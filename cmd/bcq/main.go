@@ -1,0 +1,95 @@
+// Command bcq evaluates a Boolean conjunctive query (or counts its answers)
+// over a database, using the decomposition engine or the naive baseline.
+//
+// Usage:
+//
+//	bcq -query "R(x,y), S(y,z)" -db data.txt [-count] [-naive]
+//
+// The database file holds one ground atom per line: R(a, b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"d2cq"
+	"d2cq/internal/cq"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bcq", flag.ContinueOnError)
+	query := fs.String("query", "", "conjunctive query, e.g. \"R(x,y), S(y,z)\"")
+	dbPath := fs.String("db", "", "database file (one ground atom per line)")
+	count := fs.Bool("count", false, "count answers instead of deciding")
+	naive := fs.Bool("naive", false, "use the naive backtracking baseline")
+	explain := fs.Bool("explain", false, "print the evaluation plan")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" || *dbPath == "" {
+		fs.Usage()
+		return fmt.Errorf("both -query and -db are required")
+	}
+	q, err := d2cq.ParseQuery(*query)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := cq.ParseDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	h := q.Hypergraph()
+	fmt.Fprintf(out, "query: %s\n", q)
+	fmt.Fprintf(out, "hypergraph: %s\n", h.Stats())
+	if res, err := d2cq.SemanticGHW(q); err == nil {
+		fmt.Fprintf(out, "semantic ghw: %s\n", res)
+	}
+	if *explain {
+		plan, err := d2cq.Explain(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, plan)
+	}
+	switch {
+	case *count && *naive:
+		n, err := d2cq.NaiveCount(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "answers (naive): %d\n", n)
+	case *count:
+		n, err := d2cq.Count(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "answers: %d\n", n)
+	case *naive:
+		ok, err := d2cq.NaiveBCQ(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "satisfiable (naive): %v\n", ok)
+	default:
+		ok, err := d2cq.BCQ(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "satisfiable: %v\n", ok)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDecide(t *testing.T) {
+	db := writeDB(t, "R(1,2)\nS(2,3)\n")
+	var out strings.Builder
+	if err := run([]string{"-query", "R(x,y), S(y,z)", "-db", db}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "satisfiable: true") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "semantic ghw: ghw=1 (exact)") {
+		t.Errorf("missing width report:\n%s", out.String())
+	}
+}
+
+func TestRunCountAndNaive(t *testing.T) {
+	db := writeDB(t, "R(1,2)\nS(2,3)\nS(2,4)\n")
+	var out strings.Builder
+	if err := run([]string{"-query", "R(x,y), S(y,z)", "-db", db, "-count"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "answers: 2") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-query", "R(x,y), S(y,z)", "-db", db, "-count", "-naive"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "answers (naive): 2") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	db := writeDB(t, "R(1,2)\nS(2,3)\n")
+	var out strings.Builder
+	if err := run([]string{"-query", "R(x,y), S(y,z)", "-db", db, "-explain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decomposition:") {
+		t.Errorf("missing plan:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing flags should error")
+	}
+	if err := run([]string{"-query", "bad(", "-db", "nope.txt"}, &out); err == nil {
+		t.Error("bad query should error")
+	}
+}

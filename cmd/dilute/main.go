@@ -1,0 +1,121 @@
+// Command dilute works with hypergraph dilutions: it reduces hypergraphs
+// (Lemma 3.6), extracts jigsaw dilutions (Theorem 4.7), decides whether one
+// hypergraph dilutes to another (Theorem 3.5), and replays saved sequences.
+//
+// Usage:
+//
+//	dilute -hg host.txt -reduce
+//	dilute -hg host.txt -extract 2 [-save seq.txt]
+//	dilute -hg host.txt -target goal.txt
+//	dilute -hg host.txt -apply seq.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"d2cq"
+	"d2cq/internal/dilution"
+	"d2cq/internal/hypergraph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dilute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dilute", flag.ContinueOnError)
+	hgPath := fs.String("hg", "", "host hypergraph file")
+	doReduce := fs.Bool("reduce", false, "print a dilution sequence to the reduced hypergraph")
+	extract := fs.Int("extract", 0, "extract an NxN jigsaw dilution (Theorem 4.7 pipeline)")
+	targetPath := fs.String("target", "", "decide whether the host dilutes to this hypergraph")
+	applyPath := fs.String("apply", "", "apply a saved dilution sequence")
+	savePath := fs.String("save", "", "save the produced sequence to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *hgPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-hg is required")
+	}
+	h, err := hypergraph.ParseFile(*hgPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "host: %s\n", h.Stats())
+	saveSeq := func(seq d2cq.DilutionSequence) error {
+		if *savePath == "" {
+			return nil
+		}
+		if err := os.WriteFile(*savePath, []byte(seq.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved sequence to %s\n", *savePath)
+		return nil
+	}
+	switch {
+	case *doReduce:
+		seq, red, err := d2cq.ReduceSequence(h)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "reduction sequence (%d ops):\n", len(seq))
+		for _, op := range seq {
+			fmt.Fprintf(out, "  %s\n", op)
+		}
+		fmt.Fprintf(out, "reduced: %s\n%s", red.Stats(), red)
+		return saveSeq(seq)
+	case *extract > 0:
+		if h.MaxDegree() > 2 {
+			return fmt.Errorf("jigsaw extraction requires degree ≤ 2, host has %d", h.MaxDegree())
+		}
+		seq, result, err := d2cq.ExtractJigsaw(h, *extract)
+		if err != nil {
+			return err
+		}
+		if seq == nil {
+			fmt.Fprintf(out, "no %d×%d jigsaw dilution found (ghw of the host is below the Theorem 4.7 threshold)\n", *extract, *extract)
+			return nil
+		}
+		fmt.Fprintf(out, "dilution sequence (%d ops):\n", len(seq))
+		for _, op := range seq {
+			fmt.Fprintf(out, "  %s\n", op)
+		}
+		fmt.Fprintf(out, "result (≅ %d×%d jigsaw):\n%s", *extract, *extract, result)
+		return saveSeq(seq)
+	case *targetPath != "":
+		target, err := hypergraph.ParseFile(*targetPath)
+		if err != nil {
+			return err
+		}
+		ok, err := d2cq.DecideDilution(h, target)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "target is a dilution of host: %v\n", ok)
+		return nil
+	case *applyPath != "":
+		f, err := os.Open(*applyPath)
+		if err != nil {
+			return err
+		}
+		seq, err := dilution.ParseSequence(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		_, result, err := d2cq.ApplyDilutionSequence(h, seq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "after %d ops: %s\n%s", len(seq), result.Stats(), result)
+		return nil
+	}
+	fs.Usage()
+	return fmt.Errorf("one of -reduce, -extract, -target, -apply is required")
+}

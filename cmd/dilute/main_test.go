@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"d2cq"
+)
+
+func writeHG(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReduce(t *testing.T) {
+	path := writeHG(t, "h.txt", "e1: x y p q\ne2: y z\nvertex: lonely\n")
+	var out strings.Builder
+	if err := run([]string{"-hg", path, "-reduce"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "reduction sequence") || !strings.Contains(s, "delete-vertex") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "reduced=true") {
+		t.Errorf("result not reduced:\n%s", s)
+	}
+}
+
+func TestRunExtractSaveApply(t *testing.T) {
+	// A 3×3-jigsaw host: extract the 2×2 jigsaw, save the sequence, replay.
+	j := d2cq.Jigsaw(3, 3)
+	host := writeHG(t, "host.txt", j.String())
+	seqPath := filepath.Join(t.TempDir(), "seq.txt")
+	var out strings.Builder
+	if err := run([]string{"-hg", host, "-extract", "2", "-save", seqPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dilution sequence") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	// Replay the saved sequence.
+	out.Reset()
+	if err := run([]string{"-hg", host, "-apply", seqPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "after ") {
+		t.Errorf("replay output:\n%s", out.String())
+	}
+}
+
+func TestRunDecideTarget(t *testing.T) {
+	host := writeHG(t, "host.txt", d2cq.Jigsaw(2, 3).String())
+	target := writeHG(t, "target.txt", d2cq.Jigsaw(2, 2).String())
+	var out strings.Builder
+	if err := run([]string{"-hg", host, "-target", target}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "target is a dilution of host: true") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunNoAction(t *testing.T) {
+	host := writeHG(t, "host.txt", "e1: a b\n")
+	var out strings.Builder
+	if err := run([]string{"-hg", host}, &out); err == nil {
+		t.Error("expected an error when no action flag is given")
+	}
+}

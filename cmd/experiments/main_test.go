@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The fast experiments run end-to-end; table1 is covered by the
+	// hyperbench package tests (it is the expensive one).
+	for _, exp := range []string{"figure1", "figure3", "figure4", "e1", "e2", "e4", "e5", "e6", "e7", "e8"} {
+		var out strings.Builder
+		if err := run([]string{"-exp", exp}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), "==== "+exp) {
+			t.Errorf("%s: missing banner:\n%s", exp, out.String())
+		}
+		if !strings.Contains(out.String(), "("+exp+" in ") {
+			t.Errorf("%s: did not complete:\n%s", exp, out.String())
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nonsense"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

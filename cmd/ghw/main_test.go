@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunJigsaw(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-jigsaw", "3x3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"degree=2",
+		"α-acyclic: false",
+		"generalized hypertree width: ghw=3 (exact)",
+		"recognised as the 3×3 jigsaw",
+		"Lemma 4.6 dual bound: ghw ≤ 4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.txt")
+	content := "e1: a b\ne2: b c\ne3: x y\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-hg", path, "-components"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "α-acyclic: true") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "component 0:") || !strings.Contains(s, "component 1:") {
+		t.Errorf("missing per-component report:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no input should error")
+	}
+	if err := run([]string{"-jigsaw", "bananas"}, &out); err == nil {
+		t.Error("bad jigsaw spec should error")
+	}
+	if err := run([]string{"-hg", "does-not-exist.txt"}, &out); err == nil {
+		t.Error("missing file should error")
+	}
+}

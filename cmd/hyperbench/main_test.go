@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCorpus(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "census.csv")
+	var out strings.Builder
+	if err := run([]string{"-per", "3", "-maxk", "3", "-csv", csvPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ghw > k") || !strings.Contains(s, "corpus composition") {
+		t.Errorf("output:\n%s", s)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "name,family,") {
+		t.Errorf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-per", "NaN"}, &out); err == nil {
+		t.Error("bad flag should error")
+	}
+}

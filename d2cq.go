@@ -1,0 +1,266 @@
+// Package d2cq is a Go reproduction of "The Complexity of Conjunctive
+// Queries with Degree 2" (Matthias Lanzinger, PODS 2022). It exposes the
+// paper's machinery behind a single import:
+//
+//   - hypergraphs, duals, primal graphs and reduced forms;
+//   - width parameters: α-acyclicity, (generalized) hypertree width with
+//     exact values for small degree-2 hypergraphs, fractional covers, and
+//     the Lemma 4.6 construction from dual tree decompositions;
+//   - hypergraph dilutions (Definition 3.1) with reduction sequences
+//     (Lemma 3.6), jigsaws (Definition 4.2), the constructive Excluded Grid
+//     analogue (Lemma 4.4 / Theorem 4.7), pre-jigsaws (Definition 5.1), and
+//     the NP decision procedure (Theorem 3.5);
+//   - conjunctive query evaluation: Yannakakis-style BCQ over GHDs
+//     (Proposition 2.2), #CQ counting for full CQs (Proposition 4.14), a
+//     naive baseline, homomorphisms, cores and semantic width;
+//   - the fpt-reduction along dilution sequences (Theorems 3.4/4.15) and
+//     the k-Clique-to-jigsaw hardness witness (Theorem 4.8);
+//   - a HyperBench-substitute corpus generator reproducing Table 1.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package d2cq
+
+import (
+	"d2cq/internal/cq"
+	"d2cq/internal/decomp"
+	"d2cq/internal/dilution"
+	"d2cq/internal/engine"
+	"d2cq/internal/graph"
+	"d2cq/internal/hyperbench"
+	"d2cq/internal/hypergraph"
+	"d2cq/internal/reduction"
+)
+
+// --- hypergraphs -------------------------------------------------------------
+
+// Hypergraph is a finite hypergraph with named vertices and edges (§2).
+type Hypergraph = hypergraph.Hypergraph
+
+// Graph is a finite simple undirected graph.
+type Graph = graph.Graph
+
+// MinorMap witnesses a graph minor via branch sets.
+type MinorMap = graph.MinorMap
+
+// NewHypergraph returns an empty hypergraph.
+func NewHypergraph() *Hypergraph { return hypergraph.New() }
+
+// ParseHypergraph reads the "edge: v1 v2 ..." text format.
+func ParseHypergraph(src string) (*Hypergraph, error) { return hypergraph.ParseString(src) }
+
+// HypergraphFromGraph views a graph as a 2-uniform hypergraph.
+func HypergraphFromGraph(g *Graph) *Hypergraph { return hypergraph.FromGraph(g) }
+
+// Isomorphic tests hypergraph isomorphism (small instances).
+func Isomorphic(a, b *Hypergraph) bool {
+	_, ok := hypergraph.Isomorphic(a, b)
+	return ok
+}
+
+// Grid returns the n×m grid graph.
+func Grid(n, m int) *Graph { return graph.Grid(n, m) }
+
+// --- width parameters --------------------------------------------------------
+
+// GHD is a generalized hypertree decomposition.
+type GHD = decomp.GHD
+
+// GHWResult carries ghw bounds, exactness and a witness decomposition.
+type GHWResult = decomp.GHWResult
+
+// GHWOptions tunes the width computation effort.
+type GHWOptions = decomp.GHWOptions
+
+// Acyclic reports α-acyclicity (GYO).
+func Acyclic(h *Hypergraph) bool { return decomp.Acyclic(h) }
+
+// GHW computes generalized hypertree width (exact for small degree-2
+// hypergraphs, sandwiching bounds otherwise).
+func GHW(h *Hypergraph, opts *GHWOptions) (GHWResult, error) { return decomp.GHW(h, opts) }
+
+// HypertreeWidth computes hw(h) with a witnessing decomposition.
+func HypertreeWidth(h *Hypergraph) (*GHD, int, bool, error) { return decomp.HypertreeWidth(h, 0) }
+
+// GHDFromDualTD builds a GHD of width tw(H^d)+1 via Lemma 4.6.
+func GHDFromDualTD(h *Hypergraph) (*GHD, error) { return decomp.GHDFromDualTD(h) }
+
+// FractionalCoverUpper returns an fhw upper bound over a decomposition.
+func FractionalCoverUpper(h *Hypergraph, d *GHD) float64 { return decomp.FHWUpper(h, d) }
+
+// --- dilutions (the paper's core) ---------------------------------------------
+
+// DilutionOp is one dilution operation (Definition 3.1).
+type DilutionOp = dilution.Op
+
+// DilutionSequence is a list of dilution operations.
+type DilutionSequence = dilution.Sequence
+
+// DilutionStep records one applied operation with edge-origin tracking.
+type DilutionStep = dilution.Step
+
+// Dilution operation kinds.
+const (
+	DeleteVertex  = dilution.DeleteVertex
+	DeleteSubedge = dilution.DeleteSubedge
+	Merge         = dilution.Merge
+)
+
+// ApplyDilution performs one dilution operation.
+func ApplyDilution(h *Hypergraph, op DilutionOp) (*DilutionStep, error) { return dilution.Apply(h, op) }
+
+// ApplyDilutionSequence applies a whole sequence.
+func ApplyDilutionSequence(h *Hypergraph, seq DilutionSequence) ([]*DilutionStep, *Hypergraph, error) {
+	return dilution.ApplySequence(h, seq)
+}
+
+// ReduceSequence computes a dilution sequence to the reduced hypergraph
+// (Lemma 3.6).
+func ReduceSequence(h *Hypergraph) (DilutionSequence, *Hypergraph, error) {
+	return dilution.ReduceSequence(h)
+}
+
+// Jigsaw builds the n×m-jigsaw (Definition 4.2).
+func Jigsaw(n, m int) *Hypergraph { return dilution.Jigsaw(n, m) }
+
+// IsJigsaw recognises jigsaws up to isomorphism.
+func IsJigsaw(h *Hypergraph) (n, m int, ok bool) { return dilution.IsJigsaw(h) }
+
+// ExtractJigsaw runs the Theorem 4.7 pipeline: reduce, dualise, find a grid
+// minor, and dilute to the n×n-jigsaw.
+func ExtractJigsaw(h *Hypergraph, n int) (DilutionSequence, *Hypergraph, error) {
+	return dilution.ExtractJigsaw(h, n, nil)
+}
+
+// DecideDilution decides whether target is a dilution of h (NP-complete,
+// Theorem 3.5; exhaustive search with pruning).
+func DecideDilution(h, target *Hypergraph) (bool, error) { return dilution.Decide(h, target, nil) }
+
+// --- conjunctive queries -------------------------------------------------------
+
+// Query is a conjunctive query.
+type Query = cq.Query
+
+// Atom is a relational atom.
+type Atom = cq.Atom
+
+// Term is a variable or constant.
+type Term = cq.Term
+
+// Database maps relation names to tuples of constants.
+type Database = cq.Database
+
+// Var and Const build terms.
+func Var(name string) Term   { return cq.V(name) }
+func Const(name string) Term { return cq.C(name) }
+
+// ParseQuery parses "R(x,y), S(y,'c')".
+func ParseQuery(src string) (Query, error) { return cq.ParseQuery(src) }
+
+// ParseDatabase parses one ground atom per line.
+func ParseDatabase(src string) (Database, error) { return cq.ParseDatabaseString(src) }
+
+// Core computes the core of a query.
+func Core(q Query) Query { return cq.Core(q) }
+
+// Equivalent tests homomorphic equivalence of queries.
+func Equivalent(q1, q2 Query) bool { return cq.Equivalent(q1, q2) }
+
+// SemanticGHW returns the semantic generalized hypertree width of q (§4.3).
+func SemanticGHW(q Query) (GHWResult, error) { return cq.SemanticGHW(q) }
+
+// --- evaluation ----------------------------------------------------------------
+
+// EvalOptions selects a decomposition for evaluation.
+type EvalOptions = engine.EvalOptions
+
+// BCQ decides q(D) ≠ ∅ with the decomposition engine (Proposition 2.2).
+func BCQ(q Query, db Database) (bool, error) { return engine.BCQ(q, db, nil) }
+
+// Count computes |q(D)| for a full CQ (Proposition 4.14).
+func Count(q Query, db Database) (int64, error) { return engine.Count(q, db, nil) }
+
+// NaiveBCQ is the decomposition-free backtracking baseline.
+func NaiveBCQ(q Query, db Database) (bool, error) { return engine.NaiveBCQ(q, db) }
+
+// NaiveCount counts solutions by exhaustive backtracking.
+func NaiveCount(q Query, db Database) (int64, error) { return engine.NaiveCount(q, db) }
+
+// --- reductions -----------------------------------------------------------------
+
+// Instance is a canonical query/database pair for a hypergraph.
+type Instance = reduction.Instance
+
+// CanonicalQuery builds the canonical CQ of a hypergraph (one atom per edge).
+func CanonicalQuery(h *Hypergraph) Query { return reduction.CanonicalQuery(h) }
+
+// NewInstance pairs a hypergraph with an empty canonical database.
+func NewInstance(h *Hypergraph) Instance { return reduction.NewInstance(h) }
+
+// ReverseDilution pulls an instance backwards along a dilution sequence
+// (Theorems 3.4 and 4.15; solution-projection preserving and parsimonious).
+func ReverseDilution(steps []*DilutionStep, final Instance) (Instance, error) {
+	return reduction.ReverseDilution(steps, final)
+}
+
+// AlignInstance renames an arbitrary self-join-free instance onto the
+// canonical form of an isomorphic hypergraph.
+func AlignInstance(q Query, db Database, m *Hypergraph) (Instance, error) {
+	return reduction.AlignInstance(q, db, m)
+}
+
+// CliqueToJigsaw compiles k-Clique into a BCQ over the k×k-jigsaw
+// (the Theorem 4.8 hardness witness).
+func CliqueToJigsaw(g *Graph, k int) (Instance, error) { return reduction.CliqueToJigsaw(g, k) }
+
+// --- corpus ----------------------------------------------------------------------
+
+// Corpus is a generated HyperBench-substitute collection.
+type Corpus = hyperbench.Corpus
+
+// CorpusOptions seeds and sizes the corpus.
+type CorpusOptions = hyperbench.Options
+
+// GenerateCorpus builds the degree-2 corpus with ghw data (Table 1 input).
+func GenerateCorpus(opts CorpusOptions) (*Corpus, error) { return hyperbench.Generate(opts) }
+
+// --- additional conveniences -----------------------------------------------------
+
+// Explain renders the evaluation plan (decomposition tree, covers, relation
+// sizes) for a query over a database.
+func Explain(q Query, db Database) (string, error) { return engine.Explain(q, db, nil) }
+
+// CountProjection counts distinct projections of the solutions onto the
+// given free variables (the existentially-quantified counting problem of
+// §4.4; exponential in general — see Pichler & Skritek).
+func CountProjection(q Query, db Database, free []string) (int64, error) {
+	return engine.CountProjection(q, db, free, nil)
+}
+
+// GHWByComponent computes ghw per connected component and aggregates.
+func GHWByComponent(h *Hypergraph, opts *GHWOptions) (GHWResult, []GHWResult, error) {
+	return decomp.GHWByComponent(h, opts)
+}
+
+// ParseDilutionSequence reads a sequence, one "merge(v)" / "delete-vertex(v)"
+// / "delete-subedge(e)" per line.
+func ParseDilutionSequence(src string) (DilutionSequence, error) {
+	return dilution.ParseSequenceString(src)
+}
+
+// SplitJigsaw builds a degree-2 pre-jigsaw with its Definition 5.1 witness
+// and the merge sequence back to the jigsaw.
+func SplitJigsaw(n, m int) (*Hypergraph, *PreJigsawWitness, DilutionSequence) {
+	return dilution.SplitJigsaw(n, m)
+}
+
+// PreJigsawWitness is a Definition 5.1 witness.
+type PreJigsawWitness = dilution.PreJigsawWitness
+
+// VerifyPreJigsaw checks a Definition 5.1 witness.
+func VerifyPreJigsaw(h *Hypergraph, w *PreJigsawWitness) error {
+	return dilution.VerifyPreJigsaw(h, w)
+}
+
+// ExpressiveMinor witnesses Definition D.1 (Appendix D / Theorem 5.2).
+type ExpressiveMinor = dilution.ExpressiveMinor

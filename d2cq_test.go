@@ -1,0 +1,122 @@
+package d2cq
+
+import "testing"
+
+// The facade tests double as compilable documentation of the public API.
+
+func TestFacadeQueryEvaluation(t *testing.T) {
+	q, err := ParseQuery("Likes(x, y), Lives(y, 'paris')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ParseDatabase(`
+Likes(ann, bob)
+Lives(bob, paris)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := BCQ(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("expected a match")
+	}
+	n, err := Count(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count = %d", n)
+	}
+	naive, err := NaiveBCQ(q, db)
+	if err != nil || naive != ok {
+		t.Error("baseline disagrees")
+	}
+}
+
+func TestFacadeWidthAndJigsaws(t *testing.T) {
+	j := Jigsaw(3, 3)
+	if n, m, ok := IsJigsaw(j); !ok || n != 3 || m != 3 {
+		t.Fatal("jigsaw construction/recognition broken")
+	}
+	res, err := GHW(j, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lower < 3 {
+		t.Errorf("ghw(J3) lower bound %d, want ≥ 3", res.Lower)
+	}
+	if Acyclic(j) {
+		t.Error("jigsaw should be cyclic")
+	}
+	d, err := GHDFromDualTD(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() > 4 {
+		t.Errorf("Lemma 4.6 width %d exceeds tw(grid)+1", d.Width())
+	}
+	if fhw := FractionalCoverUpper(j, d); fhw <= 0 {
+		t.Error("fhw upper should be positive")
+	}
+}
+
+func TestFacadeDilutionRoundTrip(t *testing.T) {
+	host := HypergraphFromGraph(Grid(3, 3)).Dual() // the 3×3 jigsaw
+	seq, result, err := ExtractJigsaw(host, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == nil {
+		t.Fatal("no 2×2 jigsaw dilution found in J3")
+	}
+	if n, m, ok := IsJigsaw(result); !ok || n != 2 || m != 2 {
+		t.Fatal("extraction result wrong")
+	}
+	ok, err := DecideDilution(host, result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Decide disagrees with extraction")
+	}
+}
+
+func TestFacadeReduction(t *testing.T) {
+	h := Jigsaw(2, 3)
+	seq, _, err := ReduceSequence(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 0 {
+		t.Error("jigsaw is already reduced")
+	}
+	g := Grid(2, 2) // C4: contains a 2-clique
+	inst, err := CliqueToJigsaw(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := inst.BCQ()
+	if err != nil || !ok {
+		t.Error("grid has an edge, 2-clique instance must be satisfiable")
+	}
+}
+
+func TestFacadeSemanticWidth(t *testing.T) {
+	q, err := ParseQuery("E(a,b), E(b,c), E(c,a), E(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SemanticGHW(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Upper != 2 {
+		t.Errorf("semantic ghw = %v, want 2", res)
+	}
+	if !Equivalent(q, Core(q)) {
+		t.Error("core must stay equivalent")
+	}
+}

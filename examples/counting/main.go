@@ -1,0 +1,59 @@
+// Counting answers of full CQs (§4.4): the decomposition engine counts
+// |q(D)| in polynomial time for bounded-ghw queries (Proposition 4.14),
+// here demonstrated on path-counting and triangle-counting workloads with
+// the naive engine as ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2cq"
+)
+
+func main() {
+	// Workload 1: count paths of length 3 in a small social graph.
+	pathQ, err := d2cq.ParseQuery("Follows(a,b), Follows(b,c), Follows(c,d)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := d2cq.Database{}
+	people := []string{"ann", "bob", "cat", "dan", "eve"}
+	for i, p := range people {
+		db.Add("Follows", p, people[(i+1)%len(people)])
+		db.Add("Follows", p, people[(i+2)%len(people)])
+	}
+	n, err := d2cq.Count(pathQ, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := d2cq.NaiveCount(pathQ, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paths of length 3: %d (naive ground truth: %d)\n", n, naive)
+
+	// Workload 2: triangle counting — a ghw-2 (cyclic) full CQ.
+	triQ, err := d2cq.ParseQuery("Follows(x,y), Follows(y,z), Follows(z,x)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nt, err := d2cq.Count(triQ, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveT, err := d2cq.NaiveCount(triQ, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directed triangles: %d (naive ground truth: %d)\n", nt, naiveT)
+
+	// The width report explains why both are tractable: bounded ghw.
+	for _, q := range []d2cq.Query{pathQ, triQ} {
+		res, err := d2cq.GHW(q.Hypergraph(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-55s %s\n", q.String(), res)
+	}
+}

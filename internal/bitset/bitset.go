@@ -1,0 +1,287 @@
+// Package bitset provides a compact fixed-capacity set of small non-negative
+// integers. It is the workhorse behind vertex and edge sets throughout the
+// repository: hypergraph edges, tree-decomposition bags, component masks and
+// separator candidates are all bitsets.
+//
+// A Set is a slice of 64-bit words. The zero value is an empty set of
+// capacity 0; use New to create a set able to hold values in [0, n).
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a set of small non-negative integers backed by a []uint64.
+// Operations that combine two sets require them to have the same word length;
+// use New with the same capacity for sets that will be combined.
+type Set []uint64
+
+const wordBits = 64
+
+// Words returns the number of 64-bit words needed for capacity n.
+func Words(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// New returns an empty set able to hold values in [0, n).
+func New(n int) Set {
+	return make(Set, Words(n))
+}
+
+// FromSlice returns a set of capacity n containing the given values.
+func FromSlice(n int, values []int) Set {
+	s := New(n)
+	for _, v := range values {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add inserts v into the set. v must be within capacity.
+func (s Set) Add(v int) {
+	s[v/wordBits] |= 1 << (uint(v) % wordBits)
+}
+
+// Remove deletes v from the set if present.
+func (s Set) Remove(v int) {
+	if v/wordBits < len(s) {
+		s[v/wordBits] &^= 1 << (uint(v) % wordBits)
+	}
+}
+
+// Has reports whether v is in the set.
+func (s Set) Has(v int) bool {
+	w := v / wordBits
+	return w < len(s) && s[w]&(1<<(uint(v)%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Clear removes all elements, keeping capacity.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// UnionWith adds all elements of t to s. t must not be longer than s.
+func (s Set) UnionWith(t Set) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in t.
+func (s Set) IntersectWith(t Set) {
+	for i := range s {
+		if i < len(t) {
+			s[i] &= t[i]
+		} else {
+			s[i] = 0
+		}
+	}
+}
+
+// DiffWith removes from s every element of t.
+func (s Set) DiffWith(t Set) {
+	for i := range s {
+		if i < len(t) {
+			s[i] &^= t[i]
+		}
+	}
+}
+
+// Union returns a new set s ∪ t.
+func (s Set) Union(t Set) Set {
+	c := s.Clone()
+	c.UnionWith(t)
+	return c
+}
+
+// Intersect returns a new set s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	c := s.Clone()
+	c.IntersectWith(t)
+	return c
+}
+
+// Diff returns a new set s \ t.
+func (s Set) Diff(t Set) Set {
+	c := s.Clone()
+	c.DiffWith(t)
+	return c
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s Set) Intersects(t Set) bool {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionLen returns |s ∩ t| without allocating.
+func (s Set) IntersectionLen(t Set) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s[i] & t[i])
+	}
+	return c
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s {
+		var tw uint64
+		if i < len(t) {
+			tw = t[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊂ t (subset and not equal).
+func (s Set) ProperSubsetOf(t Set) bool {
+	return s.SubsetOf(t) && !s.Equal(t)
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Set) Equal(t Set) bool {
+	n := len(s)
+	if len(t) > n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		var sw, tw uint64
+		if i < len(s) {
+			sw = s[i]
+		}
+		if i < len(t) {
+			tw = t[i]
+		}
+		if sw != tw {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false iteration stops early.
+func (s Set) ForEach(fn func(v int) bool) {
+	for i, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s Set) Min() int {
+	for i, w := range s {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s Set) Max() int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(s[i])
+		}
+	}
+	return -1
+}
+
+// Key returns a string usable as a map key identifying the set contents.
+// Trailing zero words are ignored so sets of different capacity but equal
+// contents share a key.
+func (s Set) Key() string {
+	end := len(s)
+	for end > 0 && s[end-1] == 0 {
+		end--
+	}
+	var b strings.Builder
+	b.Grow(end * 17)
+	for i := 0; i < end; i++ {
+		b.WriteString(strconv.FormatUint(s[i], 16))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// String renders the set as "{a b c}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(v))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,257 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAddRemoveHas(t *testing.T) {
+	s := New(200)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	for _, v := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		s.Add(v)
+		if !s.Has(v) {
+			t.Fatalf("Has(%d) = false after Add", v)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) after Remove")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+	s.Remove(64) // idempotent
+	if s.Len() != 7 {
+		t.Fatal("double Remove changed Len")
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 0}, {-5, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}}
+	for _, c := range cases {
+		if got := Words(c.n); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFromSliceAndSlice(t *testing.T) {
+	in := []int{5, 3, 99, 3, 0}
+	s := FromSlice(100, in)
+	got := s.Slice()
+	want := []int{0, 3, 5, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(130, []int{1, 2, 3, 70})
+	b := FromSlice(130, []int{3, 4, 70, 128})
+
+	if got := a.Union(b).Slice(); len(got) != 6 {
+		t.Errorf("union size = %d, want 6 (%v)", len(got), got)
+	}
+	inter := a.Intersect(b)
+	if !inter.Equal(FromSlice(130, []int{3, 70})) {
+		t.Errorf("intersect = %v", inter)
+	}
+	diff := a.Diff(b)
+	if !diff.Equal(FromSlice(130, []int{1, 2})) {
+		t.Errorf("diff = %v", diff)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false")
+	}
+	if a.IntersectionLen(b) != 2 {
+		t.Errorf("IntersectionLen = %d", a.IntersectionLen(b))
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets reported Equal")
+	}
+	// Union/Intersect/Diff must not mutate operands.
+	if !a.Equal(FromSlice(130, []int{1, 2, 3, 70})) {
+		t.Error("operand a was mutated")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := FromSlice(80, []int{1, 2})
+	b := FromSlice(80, []int{1, 2, 3})
+	if !a.SubsetOf(b) || !a.ProperSubsetOf(b) {
+		t.Error("a should be a proper subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a should be false")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a ⊆ a should be true")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Error("a ⊂ a should be false")
+	}
+	// Empty set is a subset of everything.
+	if !New(80).SubsetOf(a) {
+		t.Error("∅ ⊆ a should be true")
+	}
+}
+
+func TestEqualDifferentCapacities(t *testing.T) {
+	a := FromSlice(64, []int{1, 5})
+	b := FromSlice(256, []int{1, 5})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with equal contents but different capacities should be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	b.Add(200)
+	if a.Equal(b) {
+		t.Error("sets should differ after adding out-of-range-of-a element")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New(200)
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Error("Min/Max of empty should be -1")
+	}
+	s.Add(77)
+	s.Add(13)
+	s.Add(191)
+	if s.Min() != 13 {
+		t.Errorf("Min = %d", s.Min())
+	}
+	if s.Max() != 191 {
+		t.Errorf("Max = %d", s.Max())
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int{1, 2, 3, 4, 5})
+	count := 0
+	s.ForEach(func(v int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{2, 5}).String(); got != "{2 5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestClearAndClone(t *testing.T) {
+	s := FromSlice(100, []int{1, 2, 3})
+	c := s.Clone()
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear did not empty set")
+	}
+	if c.Len() != 3 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+// Property: Slice is sorted and duplicate-free, and round-trips via FromSlice.
+func TestQuickSliceRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := make([]int, len(raw))
+		for i, r := range raw {
+			vals[i] = int(r % 500)
+		}
+		s := FromSlice(500, vals)
+		sl := s.Slice()
+		if !sort.IntsAreSorted(sl) {
+			return false
+		}
+		for i := 1; i < len(sl); i++ {
+			if sl[i] == sl[i-1] {
+				return false
+			}
+		}
+		return FromSlice(500, sl).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identities over random sets.
+func TestQuickAlgebraIdentities(t *testing.T) {
+	gen := func(r *rand.Rand) Set {
+		s := New(300)
+		for i := 0; i < 40; i++ {
+			s.Add(r.Intn(300))
+		}
+		return s
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		a, b := gen(r), gen(r)
+		// |A| + |B| = |A∪B| + |A∩B|
+		if a.Len()+b.Len() != a.Union(b).Len()+a.Intersect(b).Len() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+		// A \ B = A ∩ (A\B); (A\B) ∩ B = ∅
+		if a.Diff(b).Intersects(b) {
+			t.Fatal("diff intersects subtrahend")
+		}
+		// (A∩B) ⊆ A and (A∩B) ⊆ B
+		if !a.Intersect(b).SubsetOf(a) || !a.Intersect(b).SubsetOf(b) {
+			t.Fatal("intersection not a subset")
+		}
+		// Intersects agrees with IntersectionLen
+		if a.Intersects(b) != (a.IntersectionLen(b) > 0) {
+			t.Fatal("Intersects disagrees with IntersectionLen")
+		}
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x := New(4096)
+	y := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		y.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	x := New(4096)
+	for i := 0; i < 4096; i += 7 {
+		x.Add(i)
+	}
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(v int) bool { sum += v; return true })
+	}
+	_ = sum
+}

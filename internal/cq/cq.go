@@ -1,0 +1,211 @@
+// Package cq implements conjunctive queries and databases as defined in
+// Section 2 of the paper: function-free conjunctions of relational atoms,
+// databases as sets of ground atoms, query hypergraphs, homomorphisms
+// between queries, cores, and semantic (generalized hypertree) width.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"d2cq/internal/decomp"
+	"d2cq/internal/hypergraph"
+)
+
+// Term is a variable or a constant appearing in an atom.
+type Term struct {
+	Var  bool
+	Name string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: true, Name: name} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Var: false, Name: name} }
+
+func (t Term) String() string {
+	if t.Var {
+		return t.Name
+	}
+	return "'" + t.Name + "'"
+}
+
+// Atom is a relational atom R(t1, ..., tn).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// VarSet returns the distinct variable names of the atom, sorted.
+func (a Atom) VarSet() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range a.Args {
+		if t.Var && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query is a conjunctive query. All queries are treated as full CQs (no
+// existential quantification); for BCQ this is without loss of generality
+// (§2), and the counting results of §4.4 require it.
+type Query struct {
+	Atoms []Atom
+}
+
+func (q Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Vars returns the distinct variable names of the query, sorted.
+func (q Query) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.Var && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arity returns the maximal atom arity.
+func (q Query) Arity() int {
+	a := 0
+	for _, at := range q.Atoms {
+		if len(at.Args) > a {
+			a = len(at.Args)
+		}
+	}
+	return a
+}
+
+// SelfJoinFree reports whether no relation symbol occurs twice.
+func (q Query) SelfJoinFree() bool {
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		if seen[a.Rel] {
+			return false
+		}
+		seen[a.Rel] = true
+	}
+	return true
+}
+
+// HasRepeatedVars reports whether some atom repeats a variable.
+func (q Query) HasRepeatedVars() bool {
+	for _, a := range q.Atoms {
+		seen := map[string]bool{}
+		for _, t := range a.Args {
+			if t.Var {
+				if seen[t.Name] {
+					return true
+				}
+				seen[t.Name] = true
+			}
+		}
+	}
+	return false
+}
+
+// Hypergraph returns the hypergraph of q: vertices are the variables, and
+// every atom contributes the edge of its variable set (set semantics merges
+// atoms over identical variable sets, matching the paper's definition).
+// Edges are named "a<i>" after the first atom index with that variable set.
+func (q Query) Hypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	for _, v := range q.Vars() {
+		h.AddVertex(v)
+	}
+	for i, a := range q.Atoms {
+		vs := a.VarSet()
+		if len(vs) == 0 {
+			continue // ground atom: no hypergraph contribution
+		}
+		h.AddEdge(fmt.Sprintf("a%d", i), vs...)
+	}
+	return h
+}
+
+// Degree returns the degree of the query's hypergraph (§4.3: a query "has
+// degree 2" if its hypergraph does, even if a variable occurs in more than
+// two atoms over the same variable sets).
+func (q Query) Degree() int { return q.Hypergraph().MaxDegree() }
+
+// Database is a set of ground atoms, represented per relation as a list of
+// constant tuples.
+type Database map[string][][]string
+
+// Add inserts a tuple into the named relation.
+func (d Database) Add(rel string, vals ...string) {
+	d[rel] = append(d[rel], vals)
+}
+
+// Clone returns a deep copy of the database.
+func (d Database) Clone() Database {
+	out := make(Database, len(d))
+	for rel, tuples := range d {
+		cp := make([][]string, len(tuples))
+		for i, t := range tuples {
+			cp[i] = append([]string(nil), t...)
+		}
+		out[rel] = cp
+	}
+	return out
+}
+
+// Size returns the total number of tuple fields, the ∥D∥ measure used for
+// the reduction bounds of Theorem 3.4.
+func (d Database) Size() int {
+	n := 0
+	for _, tuples := range d {
+		for _, t := range tuples {
+			n += len(t)
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks that every atom of q matches the arity of its relation's
+// tuples in d (relations absent from d are treated as empty).
+func (d Database) Validate(q Query) error {
+	for _, a := range q.Atoms {
+		for _, t := range d[a.Rel] {
+			if len(t) != len(a.Args) {
+				return fmt.Errorf("cq: relation %s has a tuple of arity %d, atom wants %d", a.Rel, len(t), len(a.Args))
+			}
+		}
+	}
+	return nil
+}
+
+// SemanticGHW returns the semantic generalized hypertree width of q
+// (§4.3): the ghw of its core, which equals min ghw over the equivalence
+// class of q (Barceló et al.).
+func SemanticGHW(q Query) (decomp.GHWResult, error) {
+	core := Core(q)
+	return decomp.GHW(core.Hypergraph(), nil)
+}

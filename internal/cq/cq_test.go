@@ -1,0 +1,234 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) Query {
+	t.Helper()
+	q, err := ParseQuery(s)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseQuery(t *testing.T) {
+	q := mustParse(t, "R(x, y), S(y, z), T(z, 'paris', 42)")
+	if len(q.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	if got := q.Vars(); len(got) != 3 || got[0] != "x" || got[2] != "z" {
+		t.Errorf("Vars = %v", got)
+	}
+	a := q.Atoms[2]
+	if a.Args[1].Var || a.Args[1].Name != "paris" {
+		t.Errorf("quoted constant parsed as %v", a.Args[1])
+	}
+	if a.Args[2].Var || a.Args[2].Name != "42" {
+		t.Errorf("numeric constant parsed as %v", a.Args[2])
+	}
+	if q.Arity() != 3 {
+		t.Errorf("arity = %d", q.Arity())
+	}
+	if _, err := ParseQuery(""); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := ParseQuery("R(x"); err == nil {
+		t.Error("unbalanced atom should fail")
+	}
+}
+
+func TestParseDatabase(t *testing.T) {
+	db, err := ParseDatabaseString(`
+R(a, b)
+# comment
+S(b, c)  # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db["R"]) != 1 || len(db["S"]) != 1 {
+		t.Fatalf("db = %v", db)
+	}
+	if db["R"][0][1] != "b" {
+		t.Errorf("tuple = %v", db["R"][0])
+	}
+}
+
+func TestHypergraphDedupesSameVarSets(t *testing.T) {
+	// §4.3: in R(x,y) ∧ S(x,y) ∧ T(x,z) the variable x is in 3 atoms but the
+	// hypergraph has degree 2 (R and S atoms are the same edge).
+	q := mustParse(t, "R(x,y), S(x,y), T(x,z)")
+	h := q.Hypergraph()
+	if h.NE() != 2 {
+		t.Fatalf("NE = %d, want 2", h.NE())
+	}
+	if q.Degree() != 2 {
+		t.Errorf("degree = %d, want 2", q.Degree())
+	}
+}
+
+func TestHypergraphRepeatedVarsAndConstants(t *testing.T) {
+	q := mustParse(t, "R(x, x, 'c'), S(x, y)")
+	h := q.Hypergraph()
+	if h.NV() != 2 {
+		t.Errorf("NV = %d, want 2", h.NV())
+	}
+	// R's variable set is {x}: a singleton edge.
+	if h.NE() != 2 {
+		t.Errorf("NE = %d, want 2", h.NE())
+	}
+	if !q.HasRepeatedVars() {
+		t.Error("HasRepeatedVars should be true")
+	}
+	if q.SelfJoinFree() != true {
+		t.Error("SelfJoinFree should be true")
+	}
+	q2 := mustParse(t, "R(x,y), R(y,z)")
+	if q2.SelfJoinFree() {
+		t.Error("SelfJoinFree should be false for repeated R")
+	}
+}
+
+func TestFindHomomorphism(t *testing.T) {
+	path := mustParse(t, "E(x,y), E(y,z)")
+	triangle := mustParse(t, "E(a,b), E(b,c), E(c,a)")
+	if _, ok := FindHomomorphism(path, triangle); !ok {
+		t.Error("path should map into triangle")
+	}
+	if _, ok := FindHomomorphism(triangle, path); ok {
+		t.Error("triangle must not map into path")
+	}
+	// Constants must match exactly.
+	q1 := mustParse(t, "R(x, 'a')")
+	q2 := mustParse(t, "R(y, 'b')")
+	if _, ok := FindHomomorphism(q1, q2); ok {
+		t.Error("mismatched constants should block homomorphism")
+	}
+	q3 := mustParse(t, "R(y, 'a')")
+	if _, ok := FindHomomorphism(q1, q3); !ok {
+		t.Error("matching constants should allow homomorphism")
+	}
+}
+
+func TestHomomorphismIsStructurePreserving(t *testing.T) {
+	q1 := mustParse(t, "E(x,y), E(y,z)")
+	q2 := mustParse(t, "E(a,b), E(b,a)")
+	h, ok := FindHomomorphism(q1, q2)
+	if !ok {
+		t.Fatal("expected homomorphism into 2-cycle")
+	}
+	// Verify the witness: every mapped atom must be an atom of q2.
+	atomSet := map[string]bool{}
+	for _, a := range q2.Atoms {
+		atomSet[atomKey(a)] = true
+	}
+	for _, a := range q1.Atoms {
+		if !atomSet[atomKey(h.Apply(a))] {
+			t.Errorf("image atom %v not in target", h.Apply(a))
+		}
+	}
+}
+
+func TestCore(t *testing.T) {
+	// Redundant disconnected copy collapses.
+	q := mustParse(t, "R(x,y), R(u,v)")
+	core := Core(q)
+	if len(core.Atoms) != 1 {
+		t.Errorf("core = %v, want one atom", core)
+	}
+	// A path of length 2 is its own core.
+	p := mustParse(t, "E(x,y), E(y,z)")
+	if len(Core(p).Atoms) != 2 {
+		t.Errorf("core of path2 = %v", Core(p))
+	}
+	// Triangle is a core.
+	tr := mustParse(t, "E(a,b), E(b,c), E(c,a)")
+	if len(Core(tr).Atoms) != 3 {
+		t.Errorf("core of triangle = %v", Core(tr))
+	}
+	// Triangle + pendant path folds the path into the triangle.
+	qp := mustParse(t, "E(a,b), E(b,c), E(c,a), E(a,d), E(d,e)")
+	if got := len(Core(qp).Atoms); got != 3 {
+		t.Errorf("core of triangle+path has %d atoms, want 3", got)
+	}
+	// Core is equivalent to the original.
+	if !Equivalent(qp, Core(qp)) {
+		t.Error("core not equivalent to original")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !Equivalent(mustParse(t, "R(x,y)"), mustParse(t, "R(u,v)")) {
+		t.Error("renamed single atoms should be equivalent")
+	}
+	if Equivalent(mustParse(t, "E(x,y), E(y,z)"), mustParse(t, "E(x,y)")) {
+		t.Error("path2 vs single edge must differ")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	q := mustParse(t, "R(x,y), R(x,y), S(y,z)")
+	d := Dedup(q)
+	if len(d.Atoms) != 2 {
+		t.Errorf("dedup = %v", d)
+	}
+}
+
+func TestSemanticGHW(t *testing.T) {
+	// Triangle query: core = itself, ghw = 2.
+	tr := mustParse(t, "E1(a,b), E2(b,c), E3(c,a)")
+	res, err := SemanticGHW(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Upper != 2 {
+		t.Errorf("sem-ghw(triangle) = %v, want 2", res)
+	}
+	// Triangle with self-join redundancy: E(a,b) ∧ E(b,c) ∧ E(c,a) ∧ E(x,y):
+	// the extra atom folds away, sem-ghw still 2.
+	q := mustParse(t, "E(a,b), E(b,c), E(c,a), E(x,y)")
+	res, err = SemanticGHW(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Upper != 2 {
+		t.Errorf("sem-ghw = %v, want 2", res)
+	}
+	// An acyclic query has sem-ghw 1.
+	p := mustParse(t, "R(x,y), S(y,z)")
+	res, err = SemanticGHW(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Upper != 1 {
+		t.Errorf("sem-ghw(path) = %v, want 1", res)
+	}
+}
+
+func TestDatabaseHelpers(t *testing.T) {
+	db := Database{}
+	db.Add("R", "a", "b")
+	db.Add("R", "b", "c")
+	clone := db.Clone()
+	clone.Add("R", "x", "y")
+	if len(db["R"]) != 2 {
+		t.Error("clone mutation leaked")
+	}
+	if db.Size() != 6 {
+		t.Errorf("Size = %d, want 6", db.Size())
+	}
+	q := mustParse(t, "R(x,y,z)")
+	if err := db.Validate(q); err == nil {
+		t.Error("arity mismatch should be caught")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := mustParse(t, "R(x, 'c')")
+	if !strings.Contains(q.String(), "R(x,'c')") {
+		t.Errorf("String = %q", q.String())
+	}
+}

@@ -1,0 +1,125 @@
+package cq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// ParseQuery parses a conjunctive query written as a comma- (or "∧"- or
+// "&"-) separated list of atoms:
+//
+//	R(x, y), S(y, z), T(z, 'paris')
+//
+// Identifiers are variables; single-quoted strings and tokens starting with
+// a digit are constants.
+func ParseQuery(s string) (Query, error) {
+	var q Query
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		atom, remainder, err := parseAtom(rest)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Atoms = append(q.Atoms, atom)
+		rest = strings.TrimSpace(remainder)
+		for _, sep := range []string{",", "∧", "&&", "&"} {
+			if strings.HasPrefix(rest, sep) {
+				rest = strings.TrimSpace(rest[len(sep):])
+				break
+			}
+		}
+	}
+	if len(q.Atoms) == 0 {
+		return Query{}, fmt.Errorf("cq: empty query")
+	}
+	return q, nil
+}
+
+func parseAtom(s string) (Atom, string, error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		return Atom{}, "", fmt.Errorf("cq: expected '(' in %q", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if rel == "" || !isIdent(rel) {
+		return Atom{}, "", fmt.Errorf("cq: bad relation name %q", rel)
+	}
+	close := strings.Index(s[open:], ")")
+	if close < 0 {
+		return Atom{}, "", fmt.Errorf("cq: missing ')' in %q", s)
+	}
+	inner := s[open+1 : open+close]
+	var args []Term
+	for _, tok := range strings.Split(inner, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		args = append(args, parseTerm(tok))
+	}
+	return Atom{Rel: rel, Args: args}, s[open+close+1:], nil
+}
+
+func parseTerm(tok string) Term {
+	if strings.HasPrefix(tok, "'") && strings.HasSuffix(tok, "'") && len(tok) >= 2 {
+		return C(tok[1 : len(tok)-1])
+	}
+	if tok != "" && unicode.IsDigit(rune(tok[0])) {
+		return C(tok)
+	}
+	return V(tok)
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && (unicode.IsDigit(r) || r == '\'')) {
+			continue
+		}
+		return false
+	}
+	return len(s) > 0
+}
+
+// ParseDatabase reads a database with one ground atom per line:
+//
+//	R(a, b)
+//	S(b, c)   # comments and blank lines are ignored
+func ParseDatabase(r io.Reader) (Database, error) {
+	db := Database{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		atom, rest, err := parseAtom(text)
+		if err != nil {
+			return nil, fmt.Errorf("cq: line %d: %v", line, err)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("cq: line %d: trailing input %q", line, rest)
+		}
+		vals := make([]string, len(atom.Args))
+		for i, t := range atom.Args {
+			vals[i] = t.Name // in a database file every token is a constant
+		}
+		db.Add(atom.Rel, vals...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ParseDatabaseString is ParseDatabase over a string.
+func ParseDatabaseString(s string) (Database, error) {
+	return ParseDatabase(strings.NewReader(s))
+}

@@ -1,0 +1,104 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraphQuery builds a self-join query over a random directed graph
+// shape with nAtoms atoms over nVars variables.
+func randomGraphQuery(r *rand.Rand) Query {
+	nVars := 3 + r.Intn(3)
+	nAtoms := 2 + r.Intn(4)
+	var q Query
+	for i := 0; i < nAtoms; i++ {
+		q.Atoms = append(q.Atoms, Atom{
+			Rel: "E",
+			Args: []Term{
+				V(fmt.Sprintf("v%d", r.Intn(nVars))),
+				V(fmt.Sprintf("v%d", r.Intn(nVars))),
+			},
+		})
+	}
+	return Dedup(q)
+}
+
+// Property: Core is idempotent and equivalent to the input.
+func TestQuickCoreIdempotentEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomGraphQuery(r)
+		c := Core(q)
+		if !Equivalent(q, c) {
+			return false
+		}
+		cc := Core(c)
+		return len(cc.Atoms) == len(c.Atoms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: homomorphisms compose — if q1 → q2 and q2 → q3 then q1 → q3.
+func TestQuickHomomorphismComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q1 := randomGraphQuery(r)
+		q2 := randomGraphQuery(r)
+		q3 := randomGraphQuery(r)
+		_, a := FindHomomorphism(q1, q2)
+		_, b := FindHomomorphism(q2, q3)
+		if a && b {
+			_, c := FindHomomorphism(q1, q3)
+			return c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every query maps homomorphically into the single-self-loop query
+// (the terminal object of directed-graph queries).
+func TestQuickHomToLoop(t *testing.T) {
+	loop, _ := ParseQuery("E(x,x)")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomGraphQuery(r)
+		_, ok := FindHomomorphism(q, loop)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the core never has more atoms than the query, and semantic ghw
+// is bounded by the query's own ghw upper bound.
+func TestQuickCoreSmaller(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomGraphQuery(r)
+		return len(Core(q).Atoms) <= len(q.Atoms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: query hypergraph vertices are exactly the variables.
+func TestQuickHypergraphVars(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomGraphQuery(r)
+		h := q.Hypergraph()
+		return h.NV() == len(q.Vars())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package decomp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"d2cq/internal/hypergraph"
+)
+
+// randomAcyclic builds a random α-acyclic hypergraph by materialising a
+// random join tree: node bags are built child-from-parent by dropping and
+// adding vertices, which guarantees the running-intersection property.
+func randomAcyclic(r *rand.Rand, nodes int) *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	fresh := 0
+	newVertex := func() string {
+		fresh++
+		return fmt.Sprintf("v%d", fresh)
+	}
+	type node struct {
+		bag []string
+	}
+	root := node{bag: []string{newVertex(), newVertex()}}
+	all := []node{root}
+	h.AddEdge("e0", root.bag...)
+	for i := 1; i < nodes; i++ {
+		parent := all[r.Intn(len(all))]
+		// Child bag: random subset of the parent's bag plus fresh vertices.
+		var bag []string
+		for _, v := range parent.bag {
+			if r.Intn(2) == 0 {
+				bag = append(bag, v)
+			}
+		}
+		for len(bag) < 2 {
+			bag = append(bag, newVertex())
+		}
+		if r.Intn(2) == 0 {
+			bag = append(bag, newVertex())
+		}
+		h.AddEdge(fmt.Sprintf("e%d", i), bag...)
+		all = append(all, node{bag: bag})
+	}
+	return h
+}
+
+func TestRandomAcyclicIsAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		h := randomAcyclic(r, 3+r.Intn(6))
+		if !Acyclic(h) {
+			t.Fatalf("trial %d: join-tree-built hypergraph reported cyclic:\n%s", trial, h)
+		}
+		jt, err := JoinTree(h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := jt.Validate(h); err != nil {
+			t.Fatalf("trial %d: invalid join tree: %v\n%s", trial, err, h)
+		}
+		// ghw of an acyclic hypergraph is 1.
+		res, err := GHW(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Upper != 1 {
+			t.Errorf("trial %d: acyclic ghw = %v", trial, res)
+		}
+	}
+}
+
+func TestRandomAcyclicPlusCycleBecomesCyclic(t *testing.T) {
+	// Adding a long induced cycle through fresh vertices breaks
+	// α-acyclicity.
+	r := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 10; trial++ {
+		h := randomAcyclic(r, 4)
+		n := 3 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			h.AddEdge(fmt.Sprintf("cyc%d", i), fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", (i+1)%n))
+		}
+		if Acyclic(h) {
+			t.Fatalf("trial %d: cycle-added hypergraph still acyclic:\n%s", trial, h)
+		}
+		res, err := GHW(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lower < 2 {
+			t.Errorf("trial %d: cyclic hypergraph with ghw lower %d", trial, res.Lower)
+		}
+	}
+}

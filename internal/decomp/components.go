@@ -1,0 +1,91 @@
+package decomp
+
+import (
+	"d2cq/internal/bitset"
+	"d2cq/internal/hypergraph"
+)
+
+// GHWByComponent computes ghw per connected component and aggregates: the
+// width of a disconnected hypergraph is the maximum over its components
+// (each component is an independent instance, §3 of the paper). Exactness
+// holds iff it holds for every component. The per-component results are
+// returned alongside the aggregate.
+func GHWByComponent(h *hypergraph.Hypergraph, opts *GHWOptions) (GHWResult, []GHWResult, error) {
+	comps := h.Components()
+	if len(comps) <= 1 {
+		res, err := GHW(h, opts)
+		return res, []GHWResult{res}, err
+	}
+	agg := GHWResult{Exact: true, Reduced: h.Reduce()}
+	var parts []GHWResult
+	for _, c := range comps {
+		sub := h.InducedSub(c)
+		if sub.NE() == 0 {
+			continue
+		}
+		res, err := GHW(sub, opts)
+		if err != nil {
+			return GHWResult{}, nil, err
+		}
+		parts = append(parts, res)
+		if res.Lower > agg.Lower {
+			agg.Lower = res.Lower
+		}
+		if res.Upper > agg.Upper {
+			agg.Upper = res.Upper
+		}
+		if !res.Exact {
+			agg.Exact = false
+		}
+	}
+	if len(parts) == 0 {
+		agg.Exact = true
+	}
+	// An aggregate witness decomposition: chain the component witnesses
+	// under a single root (disjoint vertex sets keep it valid).
+	agg.Decomp = chainDecomps(parts)
+	return agg, parts, nil
+}
+
+// chainDecomps combines component decompositions into one tree by making
+// every component root a child of the first root. Bags refer to each
+// component's own reduced hypergraph, so the combined decomposition is a
+// display artifact unless the components were built over a shared vertex
+// space; GHWByComponent callers use the per-part witnesses for validation.
+func chainDecomps(parts []GHWResult) *GHD {
+	out := &GHD{}
+	offset := 0
+	firstRoot := -1
+	for _, p := range parts {
+		if p.Decomp == nil {
+			continue
+		}
+		for i := range p.Decomp.Bags {
+			out.Bags = append(out.Bags, p.Decomp.Bags[i].Clone())
+			out.Lambdas = append(out.Lambdas, append([]int(nil), p.Decomp.Lambdas[i]...))
+			par := p.Decomp.Parent[i]
+			if par == -1 {
+				if firstRoot == -1 {
+					firstRoot = offset + i
+					out.Parent = append(out.Parent, -1)
+				} else {
+					out.Parent = append(out.Parent, firstRoot)
+				}
+			} else {
+				out.Parent = append(out.Parent, offset+par)
+			}
+		}
+		offset = len(out.Bags)
+	}
+	return out
+}
+
+// VertexCover returns the union of all bags of a decomposition (used by
+// sanity checks and the Explain output of the engine).
+func (d *GHD) VertexCover(n int) bitset.Set {
+	s := bitset.New(n)
+	for _, b := range d.Bags {
+		s.UnionWith(b)
+	}
+	return s
+}

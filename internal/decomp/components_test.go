@@ -1,0 +1,63 @@
+package decomp
+
+import (
+	"testing"
+
+	"d2cq/internal/hypergraph"
+)
+
+func TestGHWByComponent(t *testing.T) {
+	// Two components: a triangle (ghw 2) and a path (ghw 1) → aggregate 2.
+	h := hypergraph.New()
+	h.AddEdge("t1", "a", "b")
+	h.AddEdge("t2", "b", "c")
+	h.AddEdge("t3", "c", "a")
+	h.AddEdge("p1", "x", "y")
+	h.AddEdge("p2", "y", "z")
+	agg, parts, err := GHWByComponent(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(parts))
+	}
+	if !agg.Exact || agg.Upper != 2 || agg.Lower != 2 {
+		t.Errorf("aggregate = %v, want exact 2", agg)
+	}
+	// One component: falls through to plain GHW.
+	single, parts, err := GHWByComponent(triangleHG(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || single.Upper != 2 {
+		t.Errorf("single component: %v (%d parts)", single, len(parts))
+	}
+}
+
+func TestGHWByComponentAllAcyclic(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("a1", "p", "q")
+	h.AddEdge("b1", "u", "v")
+	agg, parts, err := GHWByComponent(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Exact || agg.Upper != 1 {
+		t.Errorf("aggregate = %v, want exact 1", agg)
+	}
+	if len(parts) != 2 {
+		t.Errorf("parts = %d", len(parts))
+	}
+}
+
+func TestVertexCover(t *testing.T) {
+	h := triangleHG()
+	res, err := GHW(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Decomp.VertexCover(res.Reduced.NV())
+	if cov.Len() != res.Reduced.NV() {
+		t.Errorf("bags cover %d of %d vertices", cov.Len(), res.Reduced.NV())
+	}
+}

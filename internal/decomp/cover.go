@@ -1,0 +1,105 @@
+package decomp
+
+import (
+	"math"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/hypergraph"
+	"d2cq/internal/lp"
+)
+
+// EdgeCoverNumber returns the integral edge cover number ρ(S) of the vertex
+// set S in h: the minimum number of edges whose union contains S. Returns
+// -1 if S cannot be covered (some vertex of S lies in no edge). Exact branch
+// and bound; S and h are expected to be small (decomposition bags).
+func EdgeCoverNumber(h *hypergraph.Hypergraph, s bitset.Set) int {
+	if s.Empty() {
+		return 0
+	}
+	// Feasibility.
+	all := bitset.New(h.NV())
+	for e := 0; e < h.NE(); e++ {
+		all.UnionWith(h.EdgeSet(e))
+	}
+	if !s.SubsetOf(all) {
+		return -1
+	}
+	best := math.MaxInt32
+	var rec func(uncovered bitset.Set, used int)
+	rec = func(uncovered bitset.Set, used int) {
+		if used >= best {
+			return
+		}
+		v := uncovered.Min()
+		if v < 0 {
+			best = used
+			return
+		}
+		// Branch over the edges containing the first uncovered vertex.
+		for e := 0; e < h.NE(); e++ {
+			if !h.EdgeSet(e).Has(v) {
+				continue
+			}
+			next := uncovered.Diff(h.EdgeSet(e))
+			rec(next, used+1)
+		}
+	}
+	rec(s.Clone(), 0)
+	if best == math.MaxInt32 {
+		return -1
+	}
+	return best
+}
+
+// FractionalCoverNumber returns the fractional edge cover number ρ*(S) of
+// the vertex set S in h, computed by linear programming. Returns -1 if S is
+// uncoverable.
+func FractionalCoverNumber(h *hypergraph.Hypergraph, s bitset.Set) float64 {
+	verts := s.Slice()
+	if len(verts) == 0 {
+		return 0
+	}
+	ne := h.NE()
+	c := make([]float64, ne)
+	for j := range c {
+		c[j] = 1
+	}
+	a := make([][]float64, len(verts))
+	b := make([]float64, len(verts))
+	for i, v := range verts {
+		a[i] = make([]float64, ne)
+		for e := 0; e < ne; e++ {
+			if h.EdgeSet(e).Has(v) {
+				a[i][e] = 1
+			}
+		}
+		b[i] = 1
+	}
+	_, obj, err := lp.Solve(c, a, b)
+	if err != nil {
+		return -1
+	}
+	return obj
+}
+
+// FHWUpper returns an upper bound on the fractional hypertree width of h
+// given any valid decomposition d of h: the maximum ρ* over its bags
+// (the ρ*-width of the underlying tree decomposition).
+func FHWUpper(h *hypergraph.Hypergraph, d *GHD) float64 {
+	return d.FWidth(func(bag bitset.Set) float64 {
+		return FractionalCoverNumber(h, bag)
+	})
+}
+
+// IntegralWidth returns the ρ-width of the decomposition's underlying tree
+// decomposition: the maximum integral edge cover number over its bags. This
+// can be smaller than len(λ_u) when the search used a non-minimal cover.
+func IntegralWidth(h *hypergraph.Hypergraph, d *GHD) int {
+	w := 0
+	for _, bag := range d.Bags {
+		if c := EdgeCoverNumber(h, bag); c > w {
+			w = c
+		}
+	}
+	return w
+}

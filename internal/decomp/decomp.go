@@ -1,0 +1,176 @@
+// Package decomp implements the width machinery of Section 2 of the paper:
+// tree decompositions of hypergraphs, generalized hypertree decompositions
+// (GHDs), α-acyclicity and join trees, integral and fractional edge covers,
+// hypertree width, and — the part specific to this paper — exact generalized
+// hypertree width for degree ≤ 2 hypergraphs, the Lemma 4.6 construction of a
+// GHD from a tree decomposition of the dual, and balanced-separator lower
+// bounds for ghw (§4.2).
+package decomp
+
+import (
+	"errors"
+	"fmt"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/hypergraph"
+)
+
+// GHD is a generalized hypertree decomposition of a hypergraph: a tree
+// decomposition ⟨T, (B_u)⟩ together with, for each node, an edge cover λ_u
+// of its bag. Width is max |λ_u|.
+type GHD struct {
+	Bags    []bitset.Set // vertex sets, indexed by tree node
+	Lambdas [][]int      // edge ids covering each bag
+	Parent  []int        // tree structure, -1 for the root
+}
+
+// Width returns max |λ_u| over all nodes, or 0 for an empty decomposition.
+func (d *GHD) Width() int {
+	w := 0
+	for _, l := range d.Lambdas {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// Nodes returns the number of tree nodes.
+func (d *GHD) Nodes() int { return len(d.Bags) }
+
+// Children returns the child lists of every node.
+func (d *GHD) Children() [][]int {
+	ch := make([][]int, len(d.Bags))
+	for i, p := range d.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	return ch
+}
+
+// Root returns the index of the root node (-1 if empty).
+func (d *GHD) Root() int {
+	for i, p := range d.Parent {
+		if p == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks all GHD conditions against h: tree shape, vertex and edge
+// coverage, connectedness of vertex occurrences, and λ_u covering B_u.
+func (d *GHD) Validate(h *hypergraph.Hypergraph) error {
+	if len(d.Bags) == 0 {
+		if h.NV() == 0 && h.NE() == 0 {
+			return nil
+		}
+		return errors.New("ghd: empty decomposition for non-empty hypergraph")
+	}
+	if len(d.Parent) != len(d.Bags) || len(d.Lambdas) != len(d.Bags) {
+		return errors.New("ghd: length mismatch")
+	}
+	roots := 0
+	for i, p := range d.Parent {
+		switch {
+		case p == -1:
+			roots++
+		case p < 0 || p >= len(d.Bags) || p == i:
+			return fmt.Errorf("ghd: bad parent %d of node %d", p, i)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("ghd: %d roots, want 1", roots)
+	}
+	// λ covers bag.
+	for u, bag := range d.Bags {
+		cov := bitset.New(h.NV())
+		for _, e := range d.Lambdas[u] {
+			if e < 0 || e >= h.NE() {
+				return fmt.Errorf("ghd: node %d references edge %d out of range", u, e)
+			}
+			cov.UnionWith(h.EdgeSet(e))
+		}
+		if !bag.SubsetOf(cov) {
+			return fmt.Errorf("ghd: bag of node %d not covered by its λ", u)
+		}
+	}
+	// Every edge inside some bag.
+	for e := 0; e < h.NE(); e++ {
+		ok := false
+		for _, bag := range d.Bags {
+			if h.EdgeSet(e).SubsetOf(bag) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("ghd: edge %s not contained in any bag", h.EdgeName(e))
+		}
+	}
+	// Every vertex in some bag + connectedness.
+	children := d.Children()
+	for v := 0; v < h.NV(); v++ {
+		occ := make([]bool, len(d.Bags))
+		total, first := 0, -1
+		for i, bag := range d.Bags {
+			if bag.Has(v) {
+				occ[i] = true
+				total++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("ghd: vertex %s not covered", h.VertexName(v))
+		}
+		seen := make([]bool, len(d.Bags))
+		stack := []int{first}
+		seen[first] = true
+		found := 1
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			var nbrs []int
+			if d.Parent[x] >= 0 {
+				nbrs = append(nbrs, d.Parent[x])
+			}
+			nbrs = append(nbrs, children[x]...)
+			for _, y := range nbrs {
+				if occ[y] && !seen[y] {
+					seen[y] = true
+					found++
+					stack = append(stack, y)
+				}
+			}
+		}
+		if found != total {
+			return fmt.Errorf("ghd: occurrences of vertex %s not connected", h.VertexName(v))
+		}
+	}
+	return nil
+}
+
+// FWidth computes the f-width of the decomposition for an arbitrary width
+// function f on bags (Adler's framework, §2 of the paper): sup of f over
+// the bags.
+func (d *GHD) FWidth(f func(bag bitset.Set) float64) float64 {
+	w := 0.0
+	for _, b := range d.Bags {
+		if v := f(b); v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// String renders a compact description of the decomposition.
+func (d *GHD) String() string {
+	s := ""
+	for i := range d.Bags {
+		s += fmt.Sprintf("node %d (parent %d): bag=%s λ=%v\n", i, d.Parent[i], d.Bags[i], d.Lambdas[i])
+	}
+	return s
+}

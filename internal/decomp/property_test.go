@@ -1,0 +1,144 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/graph"
+	"d2cq/internal/hypergraph"
+)
+
+func randomDegree2(r *rand.Rand) *hypergraph.Hypergraph {
+	n := 3 + r.Intn(5)
+	g := graph.New(n)
+	for i := 0; i < n+r.Intn(n); i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return hypergraph.FromGraph(g).Dual()
+}
+
+// Property: ghw = 1 ⟺ α-acyclic (for non-empty reduced hypergraphs).
+func TestQuickGHWOneIffAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomDegree2(r).Reduce()
+		if h.NE() == 0 {
+			return true
+		}
+		res, err := GHW(h, nil)
+		if err != nil {
+			return false
+		}
+		if !res.Exact {
+			return true // bounds only: nothing to falsify
+		}
+		return (res.Upper == 1) == Acyclic(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every witness decomposition validates and its λ sizes match the
+// reported width.
+func TestQuickGHWWitnessValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomDegree2(r)
+		res, err := GHW(h, nil)
+		if err != nil || res.Reduced.NE() == 0 {
+			return err == nil
+		}
+		if res.Decomp == nil {
+			return false
+		}
+		if err := res.Decomp.Validate(res.Reduced); err != nil {
+			return false
+		}
+		return res.Decomp.Width() <= res.Upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fractional cover number never exceeds the integral one, and both
+// are monotone under subset.
+func TestQuickCoverNumberRelations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomDegree2(r).Reduce()
+		if h.NV() == 0 {
+			return true
+		}
+		s := bitset.New(h.NV())
+		for v := 0; v < h.NV(); v++ {
+			if r.Intn(2) == 0 {
+				s.Add(v)
+			}
+		}
+		integral := EdgeCoverNumber(h, s)
+		if integral < 0 {
+			return true // uncoverable (cannot happen for reduced, but guard)
+		}
+		fractional := FractionalCoverNumber(h, s)
+		if fractional > float64(integral)+1e-6 {
+			return false
+		}
+		// Subset monotonicity: remove one element.
+		if v := s.Min(); v >= 0 {
+			smaller := s.Clone()
+			smaller.Remove(v)
+			if EdgeCoverNumber(h, smaller) > integral {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the f-width framework generalises: using |B|-1 as the width
+// function on a graph's hypergraph recovers at least MMD's treewidth lower
+// bound... here we simply assert FWidth with the cardinality function equals
+// max bag size - offset behaviour.
+func TestFWidthCustomFunction(t *testing.T) {
+	h := triangleHG()
+	res, err := GHW(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w(B) = |B| - 1 (treewidth's width function).
+	tw := res.Decomp.FWidth(func(b bitset.Set) float64 { return float64(b.Len() - 1) })
+	if tw < 1 {
+		t.Errorf("tw-style f-width = %v, want ≥ 1", tw)
+	}
+	// Constant function: f-width is that constant.
+	if got := res.Decomp.FWidth(func(bitset.Set) float64 { return 7 }); got != 7 {
+		t.Errorf("constant f-width = %v", got)
+	}
+}
+
+// Property: HasBalancedSeparator is monotone in k.
+func TestQuickBalancedSeparatorMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomDegree2(r).Reduce()
+		if h.NE() < 2 {
+			return true
+		}
+		for k := 1; k < 3; k++ {
+			if HasBalancedSeparator(h, k) && !HasBalancedSeparator(h, k+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

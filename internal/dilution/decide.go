@@ -1,0 +1,158 @@
+package dilution
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"d2cq/internal/hypergraph"
+)
+
+// ErrBudget is returned by Decide when the search budget is exhausted before
+// an answer was established.
+var ErrBudget = errors.New("dilution: decision search budget exhausted")
+
+// DecideOptions tunes Decide.
+type DecideOptions struct {
+	// MaxNodes caps the number of explored states (0 = 2e5). Deciding
+	// dilution is NP-complete (Theorem 3.5), so the budget guards runtime.
+	MaxNodes int
+	// NoIsoMemo disables the isomorphism-aware memoization that prunes
+	// states isomorphic to already-visited ones (not just identically
+	// labelled ones). The memo costs an isomorphism test per bucket
+	// collision but collapses the symmetric parts of the search space.
+	NoIsoMemo bool
+}
+
+// Decide reports whether target is a hypergraph dilution of h (Theorem 3.5).
+// The procedure searches the (finite, by Lemma 3.2(2)) space of hypergraphs
+// reachable from h by dilution operations, pruning with the monotonicity
+// invariants: degree never increases and |V|+|E| strictly decreases, so any
+// state with |V|+|E| below the target's is dead.
+func Decide(h, target *hypergraph.Hypergraph, opts *DecideOptions) (bool, error) {
+	budget := 200000
+	isoMemo := true
+	if opts != nil {
+		if opts.MaxNodes > 0 {
+			budget = opts.MaxNodes
+		}
+		isoMemo = !opts.NoIsoMemo
+	}
+	targetSize := target.NV() + target.NE()
+	targetDegree := target.MaxDegree()
+	seen := map[string]bool{}
+	// isoSeen buckets visited states by a cheap isomorphism-invariant key;
+	// a new state isomorphic to a bucket member is a guaranteed revisit.
+	isoSeen := map[string][]*hypergraph.Hypergraph{}
+	visitedIso := func(cur *hypergraph.Hypergraph) bool {
+		if !isoMemo {
+			return false
+		}
+		key := hypergraph.CanonicalKey(cur)
+		for _, prev := range isoSeen[key] {
+			if _, ok := hypergraph.Isomorphic(cur, prev); ok {
+				return true
+			}
+		}
+		isoSeen[key] = append(isoSeen[key], cur)
+		return false
+	}
+	var dfs func(cur *hypergraph.Hypergraph) (bool, error)
+	dfs = func(cur *hypergraph.Hypergraph) (bool, error) {
+		budget--
+		if budget <= 0 {
+			return false, ErrBudget
+		}
+		size := cur.NV() + cur.NE()
+		if size < targetSize {
+			return false, nil
+		}
+		if cur.MaxDegree() < targetDegree {
+			return false, nil // degree can only decrease along dilutions
+		}
+		if size == targetSize {
+			if _, ok := hypergraph.Isomorphic(cur, target); ok {
+				return true, nil
+			}
+		} else if cur.NV() == target.NV() && cur.NE() == target.NE() {
+			if _, ok := hypergraph.Isomorphic(cur, target); ok {
+				return true, nil
+			}
+		}
+		key := stateKey(cur)
+		if seen[key] {
+			return false, nil
+		}
+		seen[key] = true
+		if visitedIso(cur) {
+			return false, nil
+		}
+		for _, op := range candidateOps(cur) {
+			st, err := Apply(cur, op)
+			if err != nil {
+				continue
+			}
+			ok, err := dfs(st.After)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	// The trivial dilution (empty sequence) counts: H dilutes to itself
+	// only via the identity, which Definition 3.1 permits as the empty
+	// sequence; check isomorphism up front.
+	if _, ok := hypergraph.Isomorphic(h, target); ok {
+		return true, nil
+	}
+	return dfs(h)
+}
+
+// candidateOps enumerates every applicable dilution operation on h.
+func candidateOps(h *hypergraph.Hypergraph) []Op {
+	var ops []Op
+	for v := 0; v < h.NV(); v++ {
+		ops = append(ops, Op{Kind: DeleteVertex, Vertex: h.VertexName(v)})
+		if h.Degree(v) > 0 {
+			ops = append(ops, Op{Kind: Merge, Vertex: h.VertexName(v)})
+		}
+	}
+	for e := 0; e < h.NE(); e++ {
+		for f := 0; f < h.NE(); f++ {
+			if e != f && h.EdgeSet(e).ProperSubsetOf(h.EdgeSet(f)) {
+				ops = append(ops, Op{Kind: DeleteSubedge, Edge: h.EdgeName(e)})
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// stateKey is an exact (name-independent but order-dependent) encoding of
+// the hypergraph used to avoid revisiting identical states. Isomorphic but
+// differently-labelled states may be revisited; the key is a memoisation
+// aid, not a canonical form.
+func stateKey(h *hypergraph.Hypergraph) string {
+	rows := make([]string, h.NE())
+	for e := 0; e < h.NE(); e++ {
+		ids := h.EdgeSet(e).Slice()
+		parts := make([]string, len(ids))
+		for i, v := range ids {
+			parts[i] = h.VertexName(v)
+		}
+		rows[e] = strings.Join(parts, ",")
+	}
+	sort.Strings(rows)
+	var names []string
+	for v := 0; v < h.NV(); v++ {
+		if h.Degree(v) == 0 {
+			names = append(names, h.VertexName(v))
+		}
+	}
+	sort.Strings(names)
+	return strconv.Itoa(h.NV()) + "#" + strings.Join(rows, ";") + "#" + strings.Join(names, ",")
+}

@@ -1,0 +1,299 @@
+// Package dilution implements hypergraph dilutions, the central notion of
+// the paper (Definition 3.1): vertex deletion, subedge deletion, and merging
+// on a vertex, together with everything the paper builds from them — the
+// Lemma 3.6 reduction sequences, jigsaw hypergraphs and their recognition,
+// the constructive Lemma 4.4 (grid minors in the dual yield jigsaw
+// dilutions), the Theorem 4.7 extraction pipeline, Adler-style hypergraph
+// minors for contrast (Definition 3.3 / Figure 1), pre-jigsaws
+// (Definition 5.1), the NP decision procedure of Theorem 3.5, and the
+// label-tracking construction of Lemma B.1.
+package dilution
+
+import (
+	"fmt"
+	"sort"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/hypergraph"
+)
+
+// OpKind identifies one of the three dilution operations of Definition 3.1.
+type OpKind int
+
+const (
+	// DeleteVertex removes a vertex from the vertex set and from all edges.
+	DeleteVertex OpKind = iota
+	// DeleteSubedge removes an edge that is a proper subset of another edge.
+	DeleteSubedge
+	// Merge replaces the incident edges I_v of a vertex v by the single new
+	// edge (⋃I_v) \ {v}; v disappears.
+	Merge
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case DeleteVertex:
+		return "delete-vertex"
+	case DeleteSubedge:
+		return "delete-subedge"
+	case Merge:
+		return "merge"
+	}
+	return "unknown-op"
+}
+
+// Op is a single dilution operation, referencing vertices and edges by their
+// stable names.
+type Op struct {
+	Kind   OpKind
+	Vertex string // for DeleteVertex and Merge
+	Edge   string // for DeleteSubedge
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case DeleteSubedge:
+		return fmt.Sprintf("%s(%s)", o.Kind, o.Edge)
+	default:
+		return fmt.Sprintf("%s(%s)", o.Kind, o.Vertex)
+	}
+}
+
+// Sequence is a dilution sequence: a list of operations applied in order.
+type Sequence []Op
+
+// Step records the application of one operation: the hypergraphs before and
+// after, and how edges of Before map onto edges of After (edges can collapse
+// when set semantics deduplicates).
+type Step struct {
+	Op     Op
+	Before *hypergraph.Hypergraph
+	After  *hypergraph.Hypergraph
+	// EdgeOrigins maps each edge name of After to the edge names of Before
+	// that became it (singletons except when edges collapsed or merged).
+	EdgeOrigins map[string][]string
+	// NewEdge is the name of the edge created by a Merge ("" otherwise).
+	NewEdge string
+	// SuperEdge is, for DeleteSubedge, the name of a witnessing proper
+	// superedge in Before ("" otherwise).
+	SuperEdge string
+}
+
+// mergedEdgeName builds a deterministic name for the edge created by merging
+// on a vertex.
+func mergedEdgeName(v string) string { return "m(" + v + ")" }
+
+// Apply performs one dilution operation on h, returning the step record.
+// h is not modified.
+func Apply(h *hypergraph.Hypergraph, op Op) (*Step, error) {
+	switch op.Kind {
+	case DeleteVertex:
+		return applyDeleteVertex(h, op)
+	case DeleteSubedge:
+		return applyDeleteSubedge(h, op)
+	case Merge:
+		return applyMerge(h, op)
+	}
+	return nil, fmt.Errorf("dilution: unknown op kind %d", op.Kind)
+}
+
+// ApplySequence applies every operation of seq in order, returning all steps.
+func ApplySequence(h *hypergraph.Hypergraph, seq Sequence) ([]*Step, *hypergraph.Hypergraph, error) {
+	cur := h
+	steps := make([]*Step, 0, len(seq))
+	for i, op := range seq {
+		st, err := Apply(cur, op)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dilution: step %d (%s): %w", i, op, err)
+		}
+		steps = append(steps, st)
+		cur = st.After
+	}
+	return steps, cur, nil
+}
+
+func applyDeleteVertex(h *hypergraph.Hypergraph, op Op) (*Step, error) {
+	v := h.VertexID(op.Vertex)
+	if v < 0 {
+		return nil, fmt.Errorf("no vertex %q", op.Vertex)
+	}
+	out := hypergraph.New()
+	for u := 0; u < h.NV(); u++ {
+		if u != v {
+			out.AddVertex(h.VertexName(u))
+		}
+	}
+	origins := map[string][]string{}
+	for _, e := range edgeOrderByName(h) {
+		var names []string
+		h.EdgeSet(e).ForEach(func(u int) bool {
+			if u != v {
+				names = append(names, h.VertexName(u))
+			}
+			return true
+		})
+		id, created := out.AddEdge(h.EdgeName(e), names...)
+		key := out.EdgeName(id)
+		_ = created
+		origins[key] = append(origins[key], h.EdgeName(e))
+	}
+	return &Step{Op: op, Before: h, After: out, EdgeOrigins: origins}, nil
+}
+
+func applyDeleteSubedge(h *hypergraph.Hypergraph, op Op) (*Step, error) {
+	e := h.EdgeID(op.Edge)
+	if e < 0 {
+		return nil, fmt.Errorf("no edge %q", op.Edge)
+	}
+	super := -1
+	for f := 0; f < h.NE(); f++ {
+		if f != e && h.EdgeSet(e).ProperSubsetOf(h.EdgeSet(f)) {
+			if super == -1 || h.EdgeName(f) < h.EdgeName(super) {
+				super = f
+			}
+		}
+	}
+	if super == -1 {
+		return nil, fmt.Errorf("edge %q is not a proper subset of another edge", op.Edge)
+	}
+	out := hypergraph.New()
+	for u := 0; u < h.NV(); u++ {
+		out.AddVertex(h.VertexName(u))
+	}
+	origins := map[string][]string{}
+	for _, f := range edgeOrderByName(h) {
+		if f == e {
+			continue
+		}
+		id, _ := out.AddEdge(h.EdgeName(f), edgeVertexNames(h, f)...)
+		origins[out.EdgeName(id)] = append(origins[out.EdgeName(id)], h.EdgeName(f))
+	}
+	return &Step{Op: op, Before: h, After: out, EdgeOrigins: origins, SuperEdge: h.EdgeName(super)}, nil
+}
+
+func applyMerge(h *hypergraph.Hypergraph, op Op) (*Step, error) {
+	v := h.VertexID(op.Vertex)
+	if v < 0 {
+		return nil, fmt.Errorf("no vertex %q", op.Vertex)
+	}
+	inc := h.IncidentEdges(v)
+	if len(inc) == 0 {
+		return nil, fmt.Errorf("merge on isolated vertex %q", op.Vertex)
+	}
+	incSet := map[int]bool{}
+	for _, e := range inc {
+		incSet[e] = true
+	}
+	// New edge: union of incident edges minus v.
+	unionNames := map[string]bool{}
+	for _, e := range inc {
+		h.EdgeSet(e).ForEach(func(u int) bool {
+			if u != v {
+				unionNames[h.VertexName(u)] = true
+			}
+			return true
+		})
+	}
+	out := hypergraph.New()
+	for u := 0; u < h.NV(); u++ {
+		if u != v {
+			out.AddVertex(h.VertexName(u))
+		}
+	}
+	origins := map[string][]string{}
+	for _, f := range edgeOrderByName(h) {
+		if incSet[f] {
+			continue
+		}
+		id, _ := out.AddEdge(h.EdgeName(f), edgeVertexNames(h, f)...)
+		origins[out.EdgeName(id)] = append(origins[out.EdgeName(id)], h.EdgeName(f))
+	}
+	var merged []string
+	for n := range unionNames {
+		merged = append(merged, n)
+	}
+	sort.Strings(merged)
+	name := mergedEdgeName(op.Vertex)
+	// The merged edge may coincide with an existing edge; set semantics apply.
+	var newName string
+	if id := findEqualEdge(out, merged); id >= 0 {
+		newName = out.EdgeName(id)
+	} else {
+		id, _ := out.AddEdge(name, merged...)
+		newName = out.EdgeName(id)
+	}
+	for _, e := range inc {
+		origins[newName] = append(origins[newName], h.EdgeName(e))
+	}
+	return &Step{Op: op, Before: h, After: out, EdgeOrigins: origins, NewEdge: newName}, nil
+}
+
+func findEqualEdge(h *hypergraph.Hypergraph, vertexNames []string) int {
+	set := bitset.New(h.NV())
+	for _, n := range vertexNames {
+		id := h.VertexID(n)
+		if id < 0 {
+			return -1
+		}
+		set.Add(id)
+	}
+	for e := 0; e < h.NE(); e++ {
+		if h.EdgeSet(e).Equal(set) {
+			return e
+		}
+	}
+	return -1
+}
+
+func edgeVertexNames(h *hypergraph.Hypergraph, e int) []string {
+	return h.EdgeVertexNames(e)
+}
+
+// edgeOrderByName returns edge ids sorted by edge name, so that collapses
+// deterministically keep the lexicographically smallest name.
+func edgeOrderByName(h *hypergraph.Hypergraph) []int {
+	order := make([]int, h.NE())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return h.EdgeName(order[a]) < h.EdgeName(order[b]) })
+	return order
+}
+
+// CheckLemma32 verifies the monotonicity properties of Lemma 3.2 for a single
+// step: degree does not increase and |V| + |E| strictly decreases. (Property
+// (3), ghw monotonicity, is checked in tests via package decomp to avoid an
+// import cycle at this layer.)
+func CheckLemma32(st *Step) error {
+	if st.After.MaxDegree() > st.Before.MaxDegree() {
+		return fmt.Errorf("dilution: degree increased from %d to %d", st.Before.MaxDegree(), st.After.MaxDegree())
+	}
+	before := st.Before.NV() + st.Before.NE()
+	after := st.After.NV() + st.After.NE()
+	if after >= before {
+		return fmt.Errorf("dilution: |V|+|E| did not decrease (%d → %d)", before, after)
+	}
+	return nil
+}
+
+// RandomDilution applies up to steps random applicable operations to h,
+// returning the sequence actually applied and the resulting hypergraph.
+// Used by property tests and the fuzz-style experiments.
+func RandomDilution(r interface{ Intn(int) int }, h *hypergraph.Hypergraph, steps int) (Sequence, *hypergraph.Hypergraph) {
+	cur := h
+	var seq Sequence
+	for len(seq) < steps {
+		ops := candidateOps(cur)
+		if len(ops) == 0 {
+			break
+		}
+		op := ops[r.Intn(len(ops))]
+		st, err := Apply(cur, op)
+		if err != nil {
+			continue
+		}
+		seq = append(seq, op)
+		cur = st.After
+	}
+	return seq, cur
+}

@@ -1,0 +1,786 @@
+package dilution
+
+import (
+	"math/rand"
+	"testing"
+
+	"d2cq/internal/decomp"
+	"d2cq/internal/graph"
+	"d2cq/internal/hypergraph"
+)
+
+func TestApplyDeleteVertex(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("e1", "a", "b", "c")
+	h.AddEdge("e2", "b", "d")
+	st, err := Apply(h, Op{Kind: DeleteVertex, Vertex: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.After.VertexID("b") != -1 {
+		t.Error("b survived deletion")
+	}
+	if st.After.NE() != 2 {
+		t.Errorf("NE = %d, want 2", st.After.NE())
+	}
+	if err := CheckLemma32(st); err != nil {
+		t.Error(err)
+	}
+	if _, err := Apply(h, Op{Kind: DeleteVertex, Vertex: "zz"}); err == nil {
+		t.Error("expected unknown-vertex error")
+	}
+}
+
+func TestApplyDeleteVertexCollapsesEdges(t *testing.T) {
+	// e1 = {a, x}, e2 = {a, y}: deleting... rather e1 = {x, a}, e2 = {x, b}
+	// and deleting a, b separately. Direct collapse: e1 = {x, a}, e2 = {x}.
+	h := hypergraph.New()
+	h.AddEdge("e1", "x", "a")
+	h.AddEdge("e2", "x", "b")
+	st, err := Apply(h, Op{Kind: DeleteVertex, Vertex: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e1 becomes {x}; e2 stays {x,b}: no collapse yet.
+	if st.After.NE() != 2 {
+		t.Fatalf("NE = %d, want 2", st.After.NE())
+	}
+	st2, err := Apply(st.After, Op{Kind: DeleteVertex, Vertex: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both edges are now {x}: set semantics collapses them to one.
+	if st2.After.NE() != 1 {
+		t.Fatalf("NE = %d, want 1 after collapse", st2.After.NE())
+	}
+	// Origins record both parents.
+	name := st2.After.EdgeName(0)
+	if len(st2.EdgeOrigins[name]) != 2 {
+		t.Errorf("origins = %v, want two parents", st2.EdgeOrigins[name])
+	}
+}
+
+func TestApplyMerge(t *testing.T) {
+	// Figure 1 flavour: merging on y in I_y = {e2, e3} produces a 4-vertex
+	// edge {x, a, b, c}.
+	h, _, y := Figure1Example()
+	st, err := Apply(h, Op{Kind: Merge, Vertex: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.After.VertexID(y) != -1 {
+		t.Error("merged vertex should disappear")
+	}
+	me := st.After.EdgeID(st.NewEdge)
+	if me < 0 {
+		t.Fatal("merged edge missing")
+	}
+	if st.After.EdgeSet(me).Len() != 4 {
+		t.Errorf("merged edge size = %d, want 4", st.After.EdgeSet(me).Len())
+	}
+	if err := CheckLemma32(st); err != nil {
+		t.Error(err)
+	}
+	// Merge on isolated vertex fails.
+	h2 := hypergraph.New()
+	h2.AddVertex("lone")
+	if _, err := Apply(h2, Op{Kind: Merge, Vertex: "lone"}); err == nil {
+		t.Error("expected merge-on-isolated error")
+	}
+}
+
+func TestApplyMergeDegree1(t *testing.T) {
+	// Merging on a degree-1 vertex just shrinks its edge.
+	h := hypergraph.New()
+	h.AddEdge("e1", "a", "b")
+	h.AddEdge("e2", "b", "c")
+	st, err := Apply(h, Op{Kind: Merge, Vertex: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.After.NE() != 2 || st.After.NV() != 2 {
+		t.Errorf("after = %v", st.After)
+	}
+	if err := CheckLemma32(st); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyDeleteSubedge(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("big", "a", "b", "c")
+	h.AddEdge("small", "a", "b")
+	st, err := Apply(h, Op{Kind: DeleteSubedge, Edge: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.After.NE() != 1 {
+		t.Errorf("NE = %d, want 1", st.After.NE())
+	}
+	if st.SuperEdge != "big" {
+		t.Errorf("SuperEdge = %q", st.SuperEdge)
+	}
+	if err := CheckLemma32(st); err != nil {
+		t.Error(err)
+	}
+	// Non-subedge cannot be deleted.
+	h2 := hypergraph.New()
+	h2.AddEdge("e1", "a", "b")
+	h2.AddEdge("e2", "b", "c")
+	if _, err := Apply(h2, Op{Kind: DeleteSubedge, Edge: "e1"}); err == nil {
+		t.Error("expected not-a-subedge error")
+	}
+}
+
+func TestLemma32OnRandomSequences(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.New(5)
+		for i := 0; i < 7; i++ {
+			g.AddEdge(r.Intn(5), r.Intn(5))
+		}
+		h := GridDual(g)
+		if h.NE() == 0 {
+			continue
+		}
+		cur := h
+		for step := 0; step < 4; step++ {
+			ops := candidateOps(cur)
+			if len(ops) == 0 {
+				break
+			}
+			op := ops[r.Intn(len(ops))]
+			st, err := Apply(cur, op)
+			if err != nil {
+				continue
+			}
+			if err := CheckLemma32(st); err != nil {
+				t.Fatalf("trial %d: %v after %s", trial, err, op)
+			}
+			cur = st.After
+		}
+	}
+}
+
+// Lemma 3.2(3): ghw never increases along dilutions.
+func TestLemma32GHWMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		g := graph.New(4 + r.Intn(2))
+		for i := 0; i < 7; i++ {
+			g.AddEdge(r.Intn(g.N()), r.Intn(g.N()))
+		}
+		h := GridDual(g)
+		if h.NE() < 2 {
+			continue
+		}
+		before, err := decomp.GHW(h, nil)
+		if err != nil || !before.Exact {
+			continue
+		}
+		ops := candidateOps(h)
+		op := ops[r.Intn(len(ops))]
+		st, err := Apply(h, op)
+		if err != nil {
+			continue
+		}
+		if st.After.NE() == 0 {
+			continue
+		}
+		after, err := decomp.GHW(st.After, nil)
+		if err != nil || !after.Exact {
+			continue
+		}
+		if after.Upper > before.Upper {
+			t.Errorf("trial %d: ghw increased %d → %d via %s\nbefore:\n%s\nafter:\n%s",
+				trial, before.Upper, after.Upper, op, h, st.After)
+		}
+	}
+}
+
+func TestReduceSequenceMatchesReduce(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("e1", "x", "y", "p", "q")
+	h.AddEdge("e2", "y", "z")
+	h.AddVertex("isolated")
+	seq, got, err := ReduceSequence(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsReduced() {
+		t.Fatalf("result not reduced:\n%s", got)
+	}
+	if _, ok := hypergraph.Isomorphic(got, h.Reduce()); !ok {
+		t.Errorf("ReduceSequence disagrees with Reduce:\n%s\nvs\n%s", got, h.Reduce())
+	}
+	// Each step must satisfy Lemma 3.2.
+	steps, _, err := ApplySequence(h, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range steps {
+		if err := CheckLemma32(st); err != nil {
+			t.Errorf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestReduceSequenceEmptyEdgeStuck(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("empty") // edge over no vertices
+	if _, _, err := ReduceSequence(h); err == nil {
+		t.Error("expected stuck-on-empty-edge error")
+	}
+}
+
+func TestReduceSequenceAlreadyReduced(t *testing.T) {
+	h := Jigsaw(2, 2)
+	seq, got, err := ReduceSequence(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 0 {
+		t.Errorf("expected empty sequence, got %v", seq)
+	}
+	if _, ok := hypergraph.Isomorphic(got, h); !ok {
+		t.Error("already-reduced hypergraph changed")
+	}
+}
+
+func TestJigsawStructure(t *testing.T) {
+	// Figure 3: the 3×4-jigsaw.
+	j := Jigsaw(3, 4)
+	if j.NE() != 12 {
+		t.Fatalf("NE = %d, want 12", j.NE())
+	}
+	// Vertices = edges of the 3×4 grid = 3*3 + 2*4 = 17.
+	if j.NV() != 17 {
+		t.Fatalf("NV = %d, want 17", j.NV())
+	}
+	for v := 0; v < j.NV(); v++ {
+		if j.Degree(v) != 2 {
+			t.Fatalf("vertex %s degree %d, want 2", j.VertexName(v), j.Degree(v))
+		}
+	}
+	// Adjacent edges intersect in exactly one vertex; non-adjacent in none.
+	for i := 1; i <= 3; i++ {
+		for jj := 1; jj <= 4; jj++ {
+			e := j.EdgeID(JigsawEdgeName(i, jj))
+			if jj < 4 {
+				f := j.EdgeID(JigsawEdgeName(i, jj+1))
+				if j.EdgeSet(e).IntersectionLen(j.EdgeSet(f)) != 1 {
+					t.Errorf("row-adjacent edges (%d,%d),(%d,%d) intersection != 1", i, jj, i, jj+1)
+				}
+			}
+			if i < 3 {
+				f := j.EdgeID(JigsawEdgeName(i+1, jj))
+				if j.EdgeSet(e).IntersectionLen(j.EdgeSet(f)) != 1 {
+					t.Errorf("col-adjacent edges intersection != 1")
+				}
+			}
+			if i+2 <= 3 {
+				f := j.EdgeID(JigsawEdgeName(i+2, jj))
+				if j.EdgeSet(e).Intersects(j.EdgeSet(f)) {
+					t.Errorf("non-adjacent edges intersect")
+				}
+			}
+		}
+	}
+	// The jigsaw is the dual of the grid.
+	if _, ok := hypergraph.Isomorphic(j, GridDual(graph.Grid(3, 4))); !ok {
+		t.Error("jigsaw is not the dual of the grid")
+	}
+	// And it is reduced.
+	if !j.IsReduced() {
+		t.Error("jigsaw should be reduced")
+	}
+}
+
+func TestIsJigsaw(t *testing.T) {
+	for _, dim := range [][2]int{{1, 3}, {2, 2}, {2, 3}, {3, 3}, {3, 4}} {
+		n, m, ok := IsJigsaw(Jigsaw(dim[0], dim[1]))
+		if !ok {
+			t.Errorf("Jigsaw(%d,%d) not recognised", dim[0], dim[1])
+			continue
+		}
+		if n*m != dim[0]*dim[1] || n > m {
+			t.Errorf("Jigsaw(%d,%d) recognised as %d×%d", dim[0], dim[1], n, m)
+		}
+	}
+	// Negatives.
+	tri := hypergraph.New()
+	tri.AddEdge("e1", "x", "y")
+	tri.AddEdge("e2", "y", "z")
+	tri.AddEdge("e3", "z", "x")
+	if _, _, ok := IsJigsaw(tri); ok {
+		t.Error("triangle recognised as jigsaw")
+	}
+	j := Jigsaw(2, 2)
+	j.AddVertex("extra") // degree-0 vertex breaks jigsaw-ness
+	if _, _, ok := IsJigsaw(j); ok {
+		t.Error("jigsaw+isolated recognised as jigsaw")
+	}
+}
+
+func TestJigsawShrink(t *testing.T) {
+	// The n×m-jigsaw dilutes to the n×(m-1)-jigsaw (remark after Def 4.2).
+	for _, dim := range [][2]int{{2, 3}, {3, 3}, {2, 4}} {
+		n, m := dim[0], dim[1]
+		seq, err := JigsawShrinkSequence(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps, got, err := ApplySequence(Jigsaw(n, m), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, st := range steps {
+			if err := CheckLemma32(st); err != nil {
+				t.Errorf("%dx%d step %d: %v", n, m, i, err)
+			}
+		}
+		if _, ok := hypergraph.Isomorphic(got, Jigsaw(n, m-1)); !ok {
+			t.Errorf("shrink of %d×%d is not the %d×%d jigsaw:\n%s", n, m, n, m-1, got)
+		}
+	}
+}
+
+func TestMinorToDilutionJ3ToJ2(t *testing.T) {
+	// Lemma 4.4 on the cleanest instance: H = 3×3 jigsaw, dual = 3×3 grid,
+	// G = 2×2 grid; the dilution must land on G^d = the 2×2 jigsaw.
+	h := Jigsaw(3, 3)
+	dual, err := h.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Grid(2, 2)
+	mu, err := graph.FindMinor(g, dual, nil)
+	if err != nil || mu == nil {
+		t.Fatalf("no 2×2 grid minor in 3×3 grid (err=%v)", err)
+	}
+	if err := mu.ExtendOnto(dual); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := MinorToDilution(h, g, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m, ok := IsJigsaw(got); !ok || n != 2 || m != 2 {
+		t.Fatalf("result is not the 2×2 jigsaw (n=%d m=%d ok=%v)", n, m, ok)
+	}
+	// Every step obeys Lemma 3.2.
+	steps, _, err := ApplySequence(h, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range steps {
+		if err := CheckLemma32(st); err != nil {
+			t.Errorf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestMinorToDilutionRequiresReduced(t *testing.T) {
+	h := Jigsaw(2, 2)
+	h.AddVertex("noise")
+	g := graph.Grid(2, 2)
+	mu := &graph.MinorMap{}
+	if _, _, err := MinorToDilution(h, g, mu); err == nil {
+		t.Error("expected reducedness error")
+	}
+}
+
+func TestExtractJigsawFigure2Style(t *testing.T) {
+	// Figure 2: a degree-2 hypergraph diluting to the 3×2-jigsaw by merges
+	// followed by vertex deletions. We build the analogous host: the dual of
+	// the subdivided 3×2 grid (subdivision models the extra structure the
+	// figure's H carries around the jigsaw core).
+	host := GridDual(graph.Subdivide(graph.Grid(3, 2)))
+	if host.MaxDegree() > 2 {
+		t.Fatal("host must have degree 2")
+	}
+	dual, err := host.Reduce().DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Grid(3, 2)
+	mu, err := graph.FindMinor(g, dual, nil)
+	if err != nil || mu == nil {
+		t.Fatalf("no 3×2 grid minor in subdivided grid (err=%v)", err)
+	}
+	if err := mu.ExtendOnto(dual); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := MinorToDilution(host.Reduce(), g, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m, ok := IsJigsaw(got); !ok || n*m != 6 {
+		t.Fatalf("result is not the 3×2 jigsaw (n=%d m=%d ok=%v):\n%s", n, m, ok, got)
+	}
+	// The sequence's first phase is merging (as in Figure 2); whether any
+	// explicit deletions remain depends on how many cross vertices the minor
+	// map leaves outside C (here the connectors happen to cover them all).
+	merges := 0
+	for _, op := range seq {
+		if op.Kind == Merge {
+			merges++
+		}
+	}
+	if merges == 0 {
+		t.Error("expected a merging phase")
+	}
+}
+
+func TestExtractJigsawPipeline(t *testing.T) {
+	// Full Theorem 4.7 pipeline end-to-end on a decorated host.
+	host := GridDual(graph.Subdivide(graph.Grid(2, 2)))
+	seq, result, err := ExtractJigsaw(host, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == nil {
+		t.Fatal("pipeline found no jigsaw")
+	}
+	if n, m, ok := IsJigsaw(result); !ok || n != 2 || m != 2 {
+		t.Fatal("pipeline result is not the 2×2 jigsaw")
+	}
+	// Low-ghw host: dual of a tree has no C4 (= 2×2 grid) minor.
+	acyclicHost := GridDual(graph.Star(5))
+	seq, _, err = ExtractJigsaw(acyclicHost, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != nil {
+		t.Error("tree dual should contain no 2×2 jigsaw dilution")
+	}
+}
+
+func TestDecidePositive(t *testing.T) {
+	// A hypergraph dilutes to anything we reach by applying operations.
+	h := Jigsaw(2, 3)
+	st, err := Apply(h, Op{Kind: Merge, Vertex: "h1,1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Apply(st.After, Op{Kind: DeleteVertex, Vertex: "v1,1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Decide(h, st2.After, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("reachable state not recognised as dilution")
+	}
+	// Identity dilution.
+	ok, err = Decide(h, h.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("H should dilute to itself (empty sequence)")
+	}
+}
+
+func TestDecideNegative(t *testing.T) {
+	// Degree can never increase: a degree-3 target is unreachable from a
+	// degree-2 hypergraph.
+	h := Jigsaw(2, 2)
+	target := hypergraph.New()
+	target.AddEdge("f1", "x", "a")
+	target.AddEdge("f2", "x", "b")
+	target.AddEdge("f3", "x", "c")
+	ok, err := Decide(h, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("degree-3 target must not be a dilution of a degree-2 hypergraph")
+	}
+	// |V|+|E| must not grow.
+	big := Jigsaw(3, 3)
+	ok, err = Decide(Jigsaw(2, 2), big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("bigger hypergraph cannot be a dilution")
+	}
+}
+
+// Theorem 3.5's reduction: G is a minor of F iff G^d is a dilution of F^d
+// (Lemmas 4.4 + B.1). Cross-check Decide against FindMinor on small graphs.
+func TestDecideMatchesGraphMinors(t *testing.T) {
+	cases := []struct {
+		name string
+		g, f *graph.Graph
+		want bool
+	}{
+		{"C3 in C5", graph.Cycle(3), graph.Cycle(5), true},
+		{"C4 in C3", graph.Cycle(4), graph.Cycle(3), false},
+		{"C3 in C4", graph.Cycle(3), graph.Cycle(4), true},
+	}
+	for _, c := range cases {
+		mm, err := graph.FindMinor(c.g, c.f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (mm != nil) != c.want {
+			t.Fatalf("%s: FindMinor = %v, want %v", c.name, mm != nil, c.want)
+		}
+		fd := GridDual(c.f)
+		gd := GridDual(c.g)
+		got, err := Decide(fd, gd, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Decide = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFigure1ContractionVsMerging(t *testing.T) {
+	h, x, y := Figure1Example()
+	if h.MaxDegree() != 2 {
+		t.Fatalf("example should have degree 2, got %d", h.MaxDegree())
+	}
+	// Contraction (hypergraph minor op) increases the degree to 3 …
+	contracted, err := ContractVertices(h, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contracted.MaxDegree() <= h.MaxDegree() {
+		t.Errorf("contraction should increase degree, got %d", contracted.MaxDegree())
+	}
+	// … so the contracted hypergraph cannot be a dilution of H.
+	ok, err := Decide(h, contracted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("contracted hypergraph must not be a dilution of H (Lemma 3.2(1))")
+	}
+	// Merging creates a rank-4 edge; hypergraph minors could only add such
+	// an edge over a primal 4-clique, which H cannot form.
+	st, err := Apply(h, Op{Kind: Merge, Vertex: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := st.After.EdgeVertexNames(st.After.EdgeID(st.NewEdge))
+	if len(four) != 4 {
+		t.Fatalf("merged edge has %d vertices, want 4", len(four))
+	}
+	if _, err := AddCliqueEdge(h, "cheat", four...); err == nil {
+		t.Error("the 4 merged vertices must not form a primal clique in H")
+	}
+}
+
+func TestPreJigsawSplit(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {3, 3}} {
+		n, m := dim[0], dim[1]
+		h, w, mergeSeq := SplitJigsaw(n, m)
+		if h.MaxDegree() > 2 {
+			t.Fatalf("%d×%d split pre-jigsaw has degree %d", n, m, h.MaxDegree())
+		}
+		if _, _, ok := IsJigsaw(h); ok {
+			t.Fatalf("%d×%d split pre-jigsaw should not itself be a jigsaw", n, m)
+		}
+		if err := VerifyPreJigsaw(h, w); err != nil {
+			t.Fatalf("%d×%d witness rejected: %v", n, m, err)
+		}
+		// Merging along the connecting paths yields the jigsaw (degree-2
+		// remark after Definition 5.1).
+		_, got, err := ApplySequence(h, mergeSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn, gm, ok := IsJigsaw(got)
+		if !ok || gn*gm != n*m {
+			t.Errorf("merged %d×%d pre-jigsaw is not the jigsaw (got %d×%d ok=%v)", n, m, gn, gm, ok)
+		}
+	}
+}
+
+func TestPreJigsawVerifierCatchesTampering(t *testing.T) {
+	h, w, _ := SplitJigsaw(2, 2)
+	// Remove a path.
+	for k := range w.Paths {
+		delete(w.Paths, k)
+		break
+	}
+	if err := VerifyPreJigsaw(h, w); err == nil {
+		t.Error("expected missing-path error")
+	}
+	// Overlapping o-images.
+	h2, w2, _ := SplitJigsaw(2, 2)
+	first := ""
+	for k, v := range w2.O {
+		if first == "" {
+			first = v[0]
+			continue
+		}
+		w2.O[k] = append(w2.O[k], first)
+		break
+	}
+	if err := VerifyPreJigsaw(h2, w2); err == nil {
+		t.Error("expected overlap error")
+	}
+}
+
+func TestLemmaB1LabelsGiveMinorMap(t *testing.T) {
+	// Round-trip Lemma 4.4 ↔ Lemma B.1: extract a dilution to G^d and
+	// recover a valid minor map of G in the dual from the labels.
+	h := Jigsaw(3, 3)
+	dual, err := h.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Grid(2, 2)
+	mu, err := graph.FindMinor(g, dual, nil)
+	if err != nil || mu == nil {
+		t.Fatal("setup: no grid minor")
+	}
+	if err := mu.ExtendOnto(dual); err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := MinorToDilution(h, g, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := MinorMapFromDilution(h, seq, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Onto(dual) {
+		// Lemma B.1 remarks the recovered map is actually onto.
+		t.Error("recovered minor map should be onto the dual")
+	}
+}
+
+func TestApplyWithLabelsBasic(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("e1", "x", "a")
+	h.AddEdge("e2", "x", "b")
+	res, err := ApplyWithLabels(h, Sequence{{Kind: Merge, Vertex: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.NE() != 1 {
+		t.Fatalf("NE = %d, want 1", res.Final.NE())
+	}
+	label := res.Labels[res.Final.EdgeName(0)]
+	if label.Len() != 2 {
+		t.Errorf("merged label = %v, want both original edges", label)
+	}
+}
+
+func TestExtractJigsawFromWallDual(t *testing.T) {
+	// Walls are the canonical subcubic high-treewidth graphs; their duals
+	// are degree-2, rank ≤ 3 hypergraphs. The Theorem 4.7 pipeline must
+	// find the 2×2 jigsaw inside the dual of a 3×4 wall.
+	host := GridDual(graph.Wall(3, 4))
+	if host.MaxDegree() > 2 {
+		t.Fatalf("wall dual degree = %d", host.MaxDegree())
+	}
+	seq, result, err := ExtractJigsaw(host, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == nil {
+		t.Fatal("no 2×2 jigsaw in wall dual")
+	}
+	if n, m, ok := IsJigsaw(result); !ok || n != 2 || m != 2 {
+		t.Fatal("wrong extraction result")
+	}
+}
+
+// RandomDilution-based property: along random dilution sequences on random
+// degree-2 hypergraphs, every step keeps Lemma 3.2 and the final hypergraph
+// is accepted by Decide.
+func TestRandomDilutionDecideAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.New(4)
+		for i := 0; i < 6; i++ {
+			g.AddEdge(r.Intn(4), r.Intn(4))
+		}
+		h := GridDual(g)
+		if h.NE() < 2 {
+			continue
+		}
+		seq, final := RandomDilution(r, h, 2)
+		if len(seq) == 0 {
+			continue
+		}
+		ok, err := Decide(h, final, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: Decide rejects a constructed dilution\nfrom:\n%s\nto:\n%s", trial, h, final)
+		}
+	}
+}
+
+func TestJigsawTranspose(t *testing.T) {
+	// The jigsaw is symmetric: J(n,m) ≅ J(m,n).
+	for _, dim := range [][2]int{{2, 3}, {3, 4}} {
+		a := Jigsaw(dim[0], dim[1])
+		b := Jigsaw(dim[1], dim[0])
+		if _, ok := hypergraph.Isomorphic(a, b); !ok {
+			t.Errorf("J(%d,%d) ≇ J(%d,%d)", dim[0], dim[1], dim[1], dim[0])
+		}
+	}
+}
+
+func TestDecideBudgetExhaustion(t *testing.T) {
+	// A tiny budget must surface ErrBudget rather than a wrong answer.
+	h := Jigsaw(3, 3)
+	target := Jigsaw(2, 2)
+	_, err := Decide(h, target, &DecideOptions{MaxNodes: 3})
+	if err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestIsJigsawRejectsPerturbations(t *testing.T) {
+	// Removing one vertex of a jigsaw breaks the degree-2 regularity or the
+	// intersection structure; IsJigsaw must reject every single-deletion.
+	j := Jigsaw(2, 3)
+	for v := 0; v < j.NV(); v++ {
+		st, err := Apply(j, Op{Kind: DeleteVertex, Vertex: j.VertexName(v)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := IsJigsaw(st.After); ok {
+			t.Errorf("deleting %s left a recognised jigsaw", j.VertexName(v))
+		}
+	}
+}
+
+func TestDecideIsoMemoAgreesWithPlain(t *testing.T) {
+	// The isomorphism-aware memo must not change answers, only speed.
+	cases := []struct {
+		h, target *hypergraph.Hypergraph
+	}{
+		{Jigsaw(2, 3), Jigsaw(2, 2)},
+		{Jigsaw(2, 2), Jigsaw(2, 3)},
+		{GridDual(graph.Cycle(5)), GridDual(graph.Cycle(3))},
+	}
+	for i, c := range cases {
+		a, err := Decide(c.h, c.target, nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		b, err := Decide(c.h, c.target, &DecideOptions{NoIsoMemo: true, MaxNodes: 500000})
+		if err != nil {
+			t.Fatalf("case %d (plain): %v", i, err)
+		}
+		if a != b {
+			t.Errorf("case %d: memo answer %v, plain answer %v", i, a, b)
+		}
+	}
+}

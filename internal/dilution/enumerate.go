@@ -1,0 +1,74 @@
+package dilution
+
+import (
+	"errors"
+
+	"d2cq/internal/hypergraph"
+)
+
+// ErrEnumBudget is returned when EnumerateDilutions hits its cap.
+var ErrEnumBudget = errors.New("dilution: enumeration budget exhausted")
+
+// EnumerateDilutions lists all dilutions of h up to isomorphism (including h
+// itself). The paper observes (after Lemma 3.2) that |V|+|E| strictly
+// decreases along dilution sequences, so the set is finite; this procedure
+// makes that remark executable. maxResults caps the output (0 = 10000);
+// exceeding it returns ErrEnumBudget with the partial list.
+func EnumerateDilutions(h *hypergraph.Hypergraph, maxResults int) ([]*hypergraph.Hypergraph, error) {
+	if maxResults <= 0 {
+		maxResults = 10000
+	}
+	// Representatives bucketed by the cheap canonical key; a candidate is
+	// new iff it is isomorphic to no bucket member.
+	buckets := map[string][]*hypergraph.Hypergraph{}
+	var results []*hypergraph.Hypergraph
+	addIfNew := func(g *hypergraph.Hypergraph) (bool, error) {
+		key := hypergraph.CanonicalKey(g)
+		for _, prev := range buckets[key] {
+			if _, ok := hypergraph.Isomorphic(g, prev); ok {
+				return false, nil
+			}
+		}
+		if len(results) >= maxResults {
+			return false, ErrEnumBudget
+		}
+		buckets[key] = append(buckets[key], g)
+		results = append(results, g)
+		return true, nil
+	}
+	if _, err := addIfNew(h); err != nil {
+		return results, err
+	}
+	// BFS over the dilution order; |V|+|E| decreases, so depth is bounded.
+	frontier := []*hypergraph.Hypergraph{h}
+	for len(frontier) > 0 {
+		var next []*hypergraph.Hypergraph
+		for _, cur := range frontier {
+			for _, op := range candidateOps(cur) {
+				st, err := Apply(cur, op)
+				if err != nil {
+					continue
+				}
+				fresh, err := addIfNew(st.After)
+				if err != nil {
+					return results, err
+				}
+				if fresh {
+					next = append(next, st.After)
+				}
+			}
+		}
+		frontier = next
+	}
+	return results, nil
+}
+
+// CountDilutions returns the number of dilutions of h up to isomorphism
+// (h included), or an error if the budget is exceeded.
+func CountDilutions(h *hypergraph.Hypergraph, maxResults int) (int, error) {
+	all, err := EnumerateDilutions(h, maxResults)
+	if err != nil {
+		return len(all), err
+	}
+	return len(all), nil
+}

@@ -1,0 +1,82 @@
+package dilution
+
+import (
+	"testing"
+
+	"d2cq/internal/graph"
+	"d2cq/internal/hypergraph"
+)
+
+func TestEnumerateDilutionsSingleEdge(t *testing.T) {
+	// H = one edge {a, b}. Its dilutions (up to isomorphism):
+	//   {a,b} itself,
+	//   one-vertex edge {a} (delete a vertex, or merge on a degree-1 vertex),
+	//   the empty edge {} (delete both vertices / merge),
+	//   the empty hypergraph is NOT reachable ({} cannot be deleted without
+	//   a superedge), but a vertexless single empty edge is,
+	//   plus states with an isolated... deleting a vertex removes it from
+	//   the vertex set entirely, so no isolated remnants appear.
+	h := hypergraph.New()
+	h.AddEdge("e", "a", "b")
+	all, err := EnumerateDilutions(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		for _, g := range all {
+			t.Logf("dilution:\n%s|V|=%d |E|=%d", g, g.NV(), g.NE())
+		}
+		t.Fatalf("single edge has %d dilutions, want 3", len(all))
+	}
+}
+
+func TestEnumerateDilutionsContainsDecidePositives(t *testing.T) {
+	// Every enumerated dilution must be accepted by Decide, and Decide's
+	// positive answers must appear in the enumeration.
+	h := GridDual(graph.Cycle(3))
+	all, err := EnumerateDilutions(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Fatalf("suspiciously few dilutions: %d", len(all))
+	}
+	for i, g := range all {
+		ok, err := Decide(h, g, nil)
+		if err != nil {
+			t.Fatalf("dilution %d: %v", i, err)
+		}
+		if !ok {
+			t.Errorf("dilution %d not accepted by Decide:\n%s", i, g)
+		}
+	}
+}
+
+func TestEnumerateDilutionsBudget(t *testing.T) {
+	h := Jigsaw(2, 3)
+	_, err := EnumerateDilutions(h, 5)
+	if err != ErrEnumBudget {
+		t.Errorf("err = %v, want ErrEnumBudget", err)
+	}
+}
+
+func TestCountDilutionsMonotoneUnderOps(t *testing.T) {
+	// Applying an operation cannot increase the number of dilutions (the
+	// result's dilutions are a subset of the original's).
+	h := GridDual(graph.Cycle(3))
+	total, err := CountDilutions(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Apply(h, Op{Kind: Merge, Vertex: h.VertexName(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := CountDilutions(st.After, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub > total {
+		t.Errorf("dilution count grew: %d → %d", total, sub)
+	}
+}

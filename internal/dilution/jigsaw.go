@@ -1,0 +1,105 @@
+package dilution
+
+import (
+	"fmt"
+
+	"d2cq/internal/graph"
+	"d2cq/internal/hypergraph"
+)
+
+// Jigsaw returns the n×m-jigsaw hypergraph of Definition 4.2: the hypergraph
+// dual of the n×m grid graph. Its edges are named "e<i>,<j>" for the grid
+// position (1-based, i ∈ [n], j ∈ [m]); its vertices are the grid edges,
+// named "h<i>,<j>" (between e<i>,<j> and e<i>,<j+1>) and "v<i>,<j>" (between
+// e<i>,<j> and e<i+1>,<j>). Every vertex has degree exactly 2. Requires
+// n ≥ 1, m ≥ 1 and n*m ≥ 2.
+func Jigsaw(n, m int) *hypergraph.Hypergraph {
+	if n < 1 || m < 1 || n*m < 3 {
+		// 1×1 and 1×2 degenerate: their edges coincide under set semantics.
+		panic(fmt.Sprintf("dilution: invalid jigsaw dimension %d×%d", n, m))
+	}
+	h := hypergraph.New()
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			var verts []string
+			if j > 1 {
+				verts = append(verts, fmt.Sprintf("h%d,%d", i, j-1))
+			}
+			if j < m {
+				verts = append(verts, fmt.Sprintf("h%d,%d", i, j))
+			}
+			if i > 1 {
+				verts = append(verts, fmt.Sprintf("v%d,%d", i-1, j))
+			}
+			if i < n {
+				verts = append(verts, fmt.Sprintf("v%d,%d", i, j))
+			}
+			h.AddEdge(fmt.Sprintf("e%d,%d", i, j), verts...)
+		}
+	}
+	return h
+}
+
+// JigsawEdgeName returns the canonical name of the (i, j) edge of a jigsaw
+// built by Jigsaw (1-based).
+func JigsawEdgeName(i, j int) string { return fmt.Sprintf("e%d,%d", i, j) }
+
+// IsJigsaw recognises jigsaw hypergraphs: it returns (n, m, true) if h is
+// isomorphic to the n×m-jigsaw with n ≤ m (the jigsaw is unique up to
+// isomorphism, Definition 4.2). Cheap structural filters (degree exactly 2,
+// edge count factorisation) precede an isomorphism check.
+func IsJigsaw(h *hypergraph.Hypergraph) (int, int, bool) {
+	ne := h.NE()
+	if ne < 2 {
+		return 0, 0, false
+	}
+	for v := 0; v < h.NV(); v++ {
+		if h.Degree(v) != 2 {
+			return 0, 0, false
+		}
+	}
+	for n := 1; n*n <= ne; n++ {
+		if ne%n != 0 {
+			continue
+		}
+		m := ne / n
+		// Vertex count of an n×m jigsaw = edges of the grid = n(m-1)+m(n-1).
+		if h.NV() != n*(m-1)+m*(n-1) {
+			continue
+		}
+		if _, ok := hypergraph.Isomorphic(h, Jigsaw(n, m)); ok {
+			return n, m, true
+		}
+	}
+	return 0, 0, false
+}
+
+// JigsawShrinkSequence returns a dilution sequence from the n×m-jigsaw to the
+// n×(m-1)-jigsaw (the observation after Definition 4.2: jigsaws dilute to
+// jigsaws of lower dimension). It merges each last-column edge into its left
+// neighbour via the connecting h-vertex and then deletes the leftover
+// v-vertices of the last column.
+func JigsawShrinkSequence(n, m int) (Sequence, error) {
+	if m < 2 || n*(m-1) < 3 {
+		return nil, fmt.Errorf("dilution: cannot shrink %d×%d jigsaw", n, m)
+	}
+	var seq Sequence
+	// Merging on h<i>,<m-1> merges e<i>,<m-1> and e<i>,<m>.
+	for i := 1; i <= n; i++ {
+		seq = append(seq, Op{Kind: Merge, Vertex: fmt.Sprintf("h%d,%d", i, m-1)})
+	}
+	// The vertical vertices of the last column now connect merged edges that
+	// are already adjacent; delete them to restore jigsaw intersections.
+	for i := 1; i < n; i++ {
+		seq = append(seq, Op{Kind: DeleteVertex, Vertex: fmt.Sprintf("v%d,%d", i, m)})
+	}
+	return seq, nil
+}
+
+// GridDual returns the hypergraph dual of an arbitrary graph. Duals of
+// graphs are exactly the degree ≤ 2 hypergraphs (each graph edge lies in the
+// incidence sets of its two endpoints), which is how the experiments build
+// degree-2 inputs of prescribed structure.
+func GridDual(g *graph.Graph) *hypergraph.Hypergraph {
+	return hypergraph.FromGraph(g).Dual()
+}

@@ -1,0 +1,135 @@
+package dilution
+
+import (
+	"errors"
+	"fmt"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/graph"
+	"d2cq/internal/hypergraph"
+)
+
+// LabeledResult is the outcome of a label-tracked dilution (Lemma B.1): for
+// every edge of the final hypergraph, the set of original edges of the start
+// hypergraph that flowed into it.
+type LabeledResult struct {
+	Final *hypergraph.Hypergraph
+	// Labels[name] is the set of start-edge ids labelling final edge name.
+	Labels map[string]bitset.Set
+}
+
+// ApplyWithLabels applies the dilution sequence while maintaining the edge
+// labels L(e) of Lemma B.1: initially L(e) = {e}; when edges collapse or
+// merge, their labels unite; when a subedge is deleted, its label joins its
+// superedge's.
+func ApplyWithLabels(h *hypergraph.Hypergraph, seq Sequence) (*LabeledResult, error) {
+	labels := map[string]bitset.Set{}
+	for e := 0; e < h.NE(); e++ {
+		l := bitset.New(h.NE())
+		l.Add(e)
+		labels[h.EdgeName(e)] = l
+	}
+	cur := h
+	for i, op := range seq {
+		st, err := Apply(cur, op)
+		if err != nil {
+			return nil, fmt.Errorf("dilution: labeled step %d (%s): %w", i, op, err)
+		}
+		next := map[string]bitset.Set{}
+		for after, befores := range st.EdgeOrigins {
+			l := bitset.New(h.NE())
+			for _, b := range befores {
+				prev, ok := labels[b]
+				if !ok {
+					return nil, fmt.Errorf("dilution: lost label for edge %s", b)
+				}
+				l.UnionWith(prev)
+			}
+			next[after] = l
+		}
+		// Subedge deletion: the deleted edge's label joins the superedge.
+		if op.Kind == DeleteSubedge {
+			dead, ok := labels[op.Edge]
+			if !ok {
+				return nil, fmt.Errorf("dilution: lost label for deleted subedge %s", op.Edge)
+			}
+			sup := st.SuperEdge
+			if next[sup] == nil {
+				return nil, fmt.Errorf("dilution: superedge %s missing after deletion", sup)
+			}
+			next[sup] = next[sup].Union(dead)
+		}
+		labels = next
+		cur = st.After
+	}
+	return &LabeledResult{Final: cur, Labels: labels}, nil
+}
+
+// MinorMapFromDilution implements the direction of Lemma B.1: if a degree ≤ 2
+// hypergraph h dilutes to g^d via seq (the final hypergraph must be
+// isomorphic to g^d), the tracked labels form a minor map of g into the dual
+// graph of h. The returned minor map is validated before being returned.
+func MinorMapFromDilution(h *hypergraph.Hypergraph, seq Sequence, g *graph.Graph) (*graph.MinorMap, error) {
+	if h.MaxDegree() > 2 {
+		return nil, errors.New("dilution: Lemma B.1 requires degree ≤ 2")
+	}
+	res, err := ApplyWithLabels(h, seq)
+	if err != nil {
+		return nil, err
+	}
+	gd := hypergraph.FromGraph(g).Dual()
+	iso, ok := hypergraph.Isomorphic(res.Final, gd)
+	if !ok {
+		return nil, errors.New("dilution: sequence does not reach g^d")
+	}
+	// Edges of g^d correspond to vertices of g (g^d's edges are named after
+	// g's vertices "v<i>" by FromGraph/Dual). Map final edges to g vertices
+	// through the isomorphism: iso maps final vertices to gd vertices, and
+	// we recover the edge correspondence by matching vertex sets.
+	dual, err := h.DualGraph()
+	if err != nil {
+		return nil, err
+	}
+	mm := &graph.MinorMap{Branch: make([]bitset.Set, g.N())}
+	for fe := 0; fe < res.Final.NE(); fe++ {
+		// Image of this final edge in gd under the isomorphism.
+		img := bitset.New(gd.NV())
+		res.Final.EdgeSet(fe).ForEach(func(v int) bool {
+			img.Add(iso.VertexMap[v])
+			return true
+		})
+		gv := -1
+		for ge := 0; ge < gd.NE(); ge++ {
+			if gd.EdgeSet(ge).Equal(img) {
+				// gd edge names are g vertex names "v<i>".
+				name := gd.EdgeName(ge)
+				var id int
+				if _, err := fmt.Sscanf(name, "v%d", &id); err == nil {
+					gv = id
+				}
+				break
+			}
+		}
+		if gv < 0 {
+			return nil, fmt.Errorf("dilution: could not match final edge %s to a g vertex", res.Final.EdgeName(fe))
+		}
+		label := res.Labels[res.Final.EdgeName(fe)]
+		if label == nil {
+			return nil, fmt.Errorf("dilution: no label for final edge %s", res.Final.EdgeName(fe))
+		}
+		if mm.Branch[gv] == nil {
+			mm.Branch[gv] = label.Clone()
+		} else {
+			mm.Branch[gv].UnionWith(label)
+		}
+	}
+	for v := range mm.Branch {
+		if mm.Branch[v] == nil {
+			return nil, fmt.Errorf("dilution: g vertex %d received no branch set", v)
+		}
+	}
+	if err := mm.Validate(g, dual); err != nil {
+		return nil, fmt.Errorf("dilution: tracked labels are not a minor map: %w", err)
+	}
+	return mm, nil
+}

@@ -1,0 +1,98 @@
+package dilution
+
+import (
+	"fmt"
+
+	"d2cq/internal/hypergraph"
+)
+
+// ContractVertices implements the contraction operation of Adler et al.'s
+// hypergraph minors (Definition 3.3(3)): two vertices x, y contained in a
+// common hyperedge are replaced by a single new vertex (named "x*y") that
+// belongs to every edge that contained x or y. The paper contrasts this with
+// the merging operation of dilutions (Figure 1): contraction can increase
+// the degree, merging can increase the rank, and neither simulates the other.
+func ContractVertices(h *hypergraph.Hypergraph, x, y string) (*hypergraph.Hypergraph, error) {
+	vx, vy := h.VertexID(x), h.VertexID(y)
+	if vx < 0 || vy < 0 {
+		return nil, fmt.Errorf("dilution: unknown vertex in contraction %q/%q", x, y)
+	}
+	if vx == vy {
+		return nil, fmt.Errorf("dilution: cannot contract a vertex with itself")
+	}
+	common := false
+	for e := 0; e < h.NE(); e++ {
+		if h.EdgeSet(e).Has(vx) && h.EdgeSet(e).Has(vy) {
+			common = true
+			break
+		}
+	}
+	if !common {
+		return nil, fmt.Errorf("dilution: %q and %q share no hyperedge", x, y)
+	}
+	merged := x + "*" + y
+	out := hypergraph.New()
+	for v := 0; v < h.NV(); v++ {
+		if v == vx || v == vy {
+			continue
+		}
+		out.AddVertex(h.VertexName(v))
+	}
+	out.AddVertex(merged)
+	for e := 0; e < h.NE(); e++ {
+		var names []string
+		has := false
+		h.EdgeSet(e).ForEach(func(v int) bool {
+			if v == vx || v == vy {
+				has = true
+			} else {
+				names = append(names, h.VertexName(v))
+			}
+			return true
+		})
+		if has {
+			names = append(names, merged)
+		}
+		out.AddEdge(h.EdgeName(e), names...)
+	}
+	return out, nil
+}
+
+// AddCliqueEdge implements operation (4) of Definition 3.3: a hyperedge over
+// a vertex set may be added if the set already induces a clique in the
+// primal graph.
+func AddCliqueEdge(h *hypergraph.Hypergraph, name string, vertices ...string) (*hypergraph.Hypergraph, error) {
+	ids := make([]int, len(vertices))
+	for i, n := range vertices {
+		ids[i] = h.VertexID(n)
+		if ids[i] < 0 {
+			return nil, fmt.Errorf("dilution: unknown vertex %q", n)
+		}
+	}
+	primal := h.Primal()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if !primal.HasEdge(ids[i], ids[j]) {
+				return nil, fmt.Errorf("dilution: %q and %q are not adjacent in the primal graph", vertices[i], vertices[j])
+			}
+		}
+	}
+	out := h.Clone()
+	out.AddEdge(name, vertices...)
+	return out, nil
+}
+
+// Figure1Example returns the running example contrasting contraction and
+// merging in the spirit of Figure 1: a degree-2 hypergraph H together with
+// the vertices x and y on which the two operations are applied. Contracting
+// x and y produces a vertex of degree 3 (> degree(H) = 2), so the result
+// cannot be a dilution of H; merging on y produces a 4-vertex edge that
+// hypergraph-minor operations cannot create (no 4-clique can form in the
+// primal graph).
+func Figure1Example() (h *hypergraph.Hypergraph, x, y string) {
+	h = hypergraph.New()
+	h.AddEdge("e1", "u", "x")
+	h.AddEdge("e2", "x", "y", "a")
+	h.AddEdge("e3", "y", "b", "c")
+	return h, "x", "y"
+}

@@ -1,0 +1,219 @@
+package dilution
+
+import (
+	"fmt"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/hypergraph"
+)
+
+// PreJigsawWitness is a witness for Definition 5.1: h is an n×m-pre-jigsaw
+// via the mapping π from jigsaw vertices to h vertices, the mapping o from
+// jigsaw edges to disjoint sets of h edges, and, for every pair of vertices
+// sharing a jigsaw edge, a fixed path inside o(e).
+type PreJigsawWitness struct {
+	N, M int
+	// Pi maps jigsaw vertex names (as produced by Jigsaw) to h vertex names.
+	Pi map[string]string
+	// O maps jigsaw edge names to sets of h edge names.
+	O map[string][]string
+	// Paths maps "u|v" (jigsaw vertex names, u < v, sharing a jigsaw edge)
+	// to the alternating path in h: vertex, edge, vertex, ..., vertex
+	// (h names). A direct connection inside a single edge has the form
+	// [π(u), edge, π(v)].
+	Paths map[string][]string
+}
+
+// PathKey builds the canonical key for the pair of jigsaw vertices u, v.
+func PathKey(u, v string) string {
+	if u > v {
+		u, v = v, u
+	}
+	return u + "|" + v
+}
+
+// VerifyPreJigsaw checks all four conditions of Definition 5.1 for h against
+// the witness.
+func VerifyPreJigsaw(h *hypergraph.Hypergraph, w *PreJigsawWitness) error {
+	j := Jigsaw(w.N, w.M)
+	// π well-defined and injective enough to have an image in h.
+	piImage := bitset.New(h.NV())
+	for jv := 0; jv < j.NV(); jv++ {
+		name := j.VertexName(jv)
+		hv, ok := w.Pi[name]
+		if !ok {
+			return fmt.Errorf("prejigsaw: π undefined on %s", name)
+		}
+		id := h.VertexID(hv)
+		if id < 0 {
+			return fmt.Errorf("prejigsaw: π(%s) = %s not a vertex of h", name, hv)
+		}
+		piImage.Add(id)
+	}
+	// Condition 1 + 2: the o images partition E(h).
+	assigned := make([]int, h.NE())
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for je := 0; je < j.NE(); je++ {
+		jname := j.EdgeName(je)
+		for _, he := range w.O[jname] {
+			id := h.EdgeID(he)
+			if id < 0 {
+				return fmt.Errorf("prejigsaw: o(%s) contains unknown edge %s", jname, he)
+			}
+			if assigned[id] != -1 {
+				return fmt.Errorf("prejigsaw: edge %s in two o-images (condition 1)", he)
+			}
+			assigned[id] = je
+		}
+	}
+	for e, a := range assigned {
+		if a == -1 {
+			return fmt.Errorf("prejigsaw: edge %s in no o-image (condition 2)", h.EdgeName(e))
+		}
+	}
+	// Condition 3: fixed paths inside o(e) avoiding other π images.
+	onPaths := bitset.New(h.NV())
+	for je := 0; je < j.NE(); je++ {
+		jname := j.EdgeName(je)
+		verts := j.EdgeVertices(je)
+		allowedEdges := map[int]bool{}
+		for _, he := range w.O[jname] {
+			allowedEdges[h.EdgeID(he)] = true
+		}
+		for a := 0; a < len(verts); a++ {
+			for b := a + 1; b < len(verts); b++ {
+				u, v := j.VertexName(verts[a]), j.VertexName(verts[b])
+				path, ok := w.Paths[PathKey(u, v)]
+				if !ok {
+					return fmt.Errorf("prejigsaw: missing path for %s–%s in %s (condition 3)", u, v, jname)
+				}
+				if err := checkPath(h, path, w.Pi[u], w.Pi[v], allowedEdges, piImage); err != nil {
+					return fmt.Errorf("prejigsaw: path %s–%s: %w", u, v, err)
+				}
+				for i := 0; i < len(path); i += 2 {
+					onPaths.Add(h.VertexID(path[i]))
+				}
+			}
+		}
+	}
+	// Condition 4: every h vertex is a π image or on a fixed path.
+	for v := 0; v < h.NV(); v++ {
+		if !piImage.Has(v) && !onPaths.Has(v) {
+			return fmt.Errorf("prejigsaw: vertex %s neither in im(π) nor on a path (condition 4)", h.VertexName(v))
+		}
+	}
+	return nil
+}
+
+// checkPath validates an alternating vertex/edge path in h from 'from' to
+// 'to' that uses only allowed edges and no π-image vertices other than its
+// endpoints. Paths never repeat vertices or edges.
+func checkPath(h *hypergraph.Hypergraph, path []string, from, to string, allowedEdges map[int]bool, piImage bitset.Set) error {
+	if len(path) < 3 || len(path)%2 == 0 {
+		return fmt.Errorf("malformed path %v", path)
+	}
+	if path[0] != from || path[len(path)-1] != to {
+		return fmt.Errorf("path endpoints %s..%s, want %s..%s", path[0], path[len(path)-1], from, to)
+	}
+	seenV := map[string]bool{}
+	seenE := map[string]bool{}
+	for i := 0; i < len(path); i++ {
+		if i%2 == 0 { // vertex
+			v := h.VertexID(path[i])
+			if v < 0 {
+				return fmt.Errorf("unknown vertex %s", path[i])
+			}
+			if seenV[path[i]] {
+				return fmt.Errorf("vertex %s repeated", path[i])
+			}
+			seenV[path[i]] = true
+			if i != 0 && i != len(path)-1 && piImage.Has(v) {
+				return fmt.Errorf("internal vertex %s is a π image", path[i])
+			}
+		} else { // edge
+			e := h.EdgeID(path[i])
+			if e < 0 {
+				return fmt.Errorf("unknown edge %s", path[i])
+			}
+			if seenE[path[i]] {
+				return fmt.Errorf("edge %s repeated", path[i])
+			}
+			seenE[path[i]] = true
+			if !allowedEdges[e] {
+				return fmt.Errorf("edge %s outside o(e)", path[i])
+			}
+			prev := h.VertexID(path[i-1])
+			next := h.VertexID(path[i+1])
+			if !h.EdgeSet(e).Has(prev) || !h.EdgeSet(e).Has(next) {
+				return fmt.Errorf("edge %s does not connect %s and %s", path[i], path[i-1], path[i+1])
+			}
+		}
+	}
+	return nil
+}
+
+// SplitJigsaw builds a degree-2 n×m-pre-jigsaw that is not a jigsaw: every
+// jigsaw edge with more than two vertices is split into two hyperedges that
+// share a fresh internal vertex ("i<i>,<j>"). It returns the pre-jigsaw, a
+// verifying witness, and the merge sequence that dilutes it back to the
+// n×m-jigsaw (the observation after Definition 5.1 that degree-2 pre-jigsaws
+// dilute to jigsaws by merging along the connecting paths).
+func SplitJigsaw(n, m int) (*hypergraph.Hypergraph, *PreJigsawWitness, Sequence) {
+	j := Jigsaw(n, m)
+	h := hypergraph.New()
+	w := &PreJigsawWitness{
+		N: n, M: m,
+		Pi:    map[string]string{},
+		O:     map[string][]string{},
+		Paths: map[string][]string{},
+	}
+	for v := 0; v < j.NV(); v++ {
+		w.Pi[j.VertexName(v)] = j.VertexName(v) // π is the identity on names
+	}
+	var mergeSeq Sequence
+	for e := 0; e < j.NE(); e++ {
+		ename := j.EdgeName(e)
+		verts := j.EdgeVertexNames(e)
+		if len(verts) <= 1 {
+			h.AddEdge(ename, verts...)
+			w.O[ename] = []string{ename}
+			for a := 0; a < len(verts); a++ {
+				for b := a + 1; b < len(verts); b++ {
+					w.Paths[PathKey(verts[a], verts[b])] = []string{verts[a], ename, verts[b]}
+				}
+			}
+			continue
+		}
+		// Split: first half + internal vertex, internal vertex + second half.
+		internal := "i" + ename[1:]
+		half := len(verts) / 2
+		e1 := ename + "a"
+		e2 := ename + "b"
+		h.AddEdge(e1, append(append([]string{}, verts[:half]...), internal)...)
+		h.AddEdge(e2, append(append([]string{}, verts[half:]...), internal)...)
+		w.O[ename] = []string{e1, e2}
+		part := func(v string) string {
+			for _, x := range verts[:half] {
+				if x == v {
+					return e1
+				}
+			}
+			return e2
+		}
+		for a := 0; a < len(verts); a++ {
+			for b := a + 1; b < len(verts); b++ {
+				u, v := verts[a], verts[b]
+				pu, pv := part(u), part(v)
+				if pu == pv {
+					w.Paths[PathKey(u, v)] = []string{u, pu, v}
+				} else {
+					w.Paths[PathKey(u, v)] = []string{u, pu, internal, pv, v}
+				}
+			}
+		}
+		mergeSeq = append(mergeSeq, Op{Kind: Merge, Vertex: internal})
+	}
+	return h, w, mergeSeq
+}

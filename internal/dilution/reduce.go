@@ -1,0 +1,100 @@
+package dilution
+
+import (
+	"errors"
+	"fmt"
+
+	"d2cq/internal/hypergraph"
+)
+
+// ReduceSequence implements Lemma 3.6: it computes, in polynomial time, a
+// dilution sequence from h to its reduced hypergraph (isolated vertices and
+// all-but-one vertex of each duplicate type are deleted; duplicate edges
+// disappear by set semantics; empty edges are deleted as subedges). The
+// returned hypergraph is the result of applying the sequence.
+//
+// The only hypergraphs for which no such sequence exists are those whose
+// edge set is exactly {∅} (an empty edge with no proper superedge); an error
+// is returned in that case.
+func ReduceSequence(h *hypergraph.Hypergraph) (Sequence, *hypergraph.Hypergraph, error) {
+	cur := h.Clone()
+	var seq Sequence
+	for guard := 0; ; guard++ {
+		if guard > 4*(h.NV()+h.NE())+8 {
+			return nil, nil, errors.New("dilution: reduction did not converge")
+		}
+		op, done, err := nextReductionOp(cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		if done {
+			return seq, cur, nil
+		}
+		st, err := Apply(cur, op)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dilution: reduction step %s: %w", op, err)
+		}
+		seq = append(seq, op)
+		cur = st.After
+	}
+}
+
+// nextReductionOp picks the next operation towards reducedness, or reports
+// done. Deterministic: isolated vertices first (by name), then duplicate
+// vertex types (keeping the lexicographically smallest name), then empty
+// edges.
+func nextReductionOp(h *hypergraph.Hypergraph) (Op, bool, error) {
+	// Isolated vertices.
+	bestIso := ""
+	for v := 0; v < h.NV(); v++ {
+		if h.Degree(v) == 0 {
+			if bestIso == "" || h.VertexName(v) < bestIso {
+				bestIso = h.VertexName(v)
+			}
+		}
+	}
+	if bestIso != "" {
+		return Op{Kind: DeleteVertex, Vertex: bestIso}, false, nil
+	}
+	// Duplicate vertex types: delete the larger-named twin.
+	byType := map[string]int{}
+	victim := ""
+	for v := 0; v < h.NV(); v++ {
+		ty := h.VertexType(v)
+		if prev, ok := byType[ty]; ok {
+			// Delete the larger name of the two.
+			a, b := h.VertexName(prev), h.VertexName(v)
+			loser := b
+			if a > b {
+				loser = a
+				byType[ty] = v
+			}
+			if victim == "" || loser < victim {
+				victim = loser
+			}
+			continue
+		}
+		byType[ty] = v
+	}
+	if victim != "" {
+		return Op{Kind: DeleteVertex, Vertex: victim}, false, nil
+	}
+	// Empty edges (deletable as proper subedges when any non-empty edge
+	// exists).
+	for e := 0; e < h.NE(); e++ {
+		if h.EdgeSet(e).Empty() {
+			hasSuper := false
+			for f := 0; f < h.NE(); f++ {
+				if f != e && !h.EdgeSet(f).Empty() {
+					hasSuper = true
+					break
+				}
+			}
+			if !hasSuper {
+				return Op{}, false, errors.New("dilution: empty edge with no proper superedge cannot be reduced away")
+			}
+			return Op{Kind: DeleteSubedge, Edge: h.EdgeName(e)}, false, nil
+		}
+	}
+	return Op{}, true, nil
+}

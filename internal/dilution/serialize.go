@@ -1,0 +1,72 @@
+package dilution
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// String renders a sequence one operation per line, in the same syntax
+// ParseSequence reads.
+func (s Sequence) String() string {
+	var b strings.Builder
+	for _, op := range s {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseOp parses a single operation: "merge(v)", "delete-vertex(v)" or
+// "delete-subedge(e)".
+func ParseOp(s string) (Op, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Op{}, fmt.Errorf("dilution: malformed op %q", s)
+	}
+	kind := s[:open]
+	arg := s[open+1 : len(s)-1]
+	if arg == "" {
+		return Op{}, fmt.Errorf("dilution: empty argument in %q", s)
+	}
+	switch kind {
+	case "merge":
+		return Op{Kind: Merge, Vertex: arg}, nil
+	case "delete-vertex":
+		return Op{Kind: DeleteVertex, Vertex: arg}, nil
+	case "delete-subedge":
+		return Op{Kind: DeleteSubedge, Edge: arg}, nil
+	}
+	return Op{}, fmt.Errorf("dilution: unknown op kind %q", kind)
+}
+
+// ParseSequence reads a sequence, one operation per line; blank lines and
+// '#' comments are ignored.
+func ParseSequence(r io.Reader) (Sequence, error) {
+	var seq Sequence
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		op, err := ParseOp(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		seq = append(seq, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}
+
+// ParseSequenceString is ParseSequence over a string.
+func ParseSequenceString(s string) (Sequence, error) {
+	return ParseSequence(strings.NewReader(s))
+}

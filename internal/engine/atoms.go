@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+
+	"d2cq/internal/cq"
+)
+
+// Instance is a compiled query+database pair: constants interned, one
+// relation per atom over its distinct variables (repeated variables and
+// constants are resolved by selection).
+type Instance struct {
+	Query cq.Query
+	Dict  *Dict
+	// AtomRels[i] is the relation for atom i, with columns = the atom's
+	// distinct variables (sorted).
+	AtomRels []*Relation
+}
+
+// Compile interns db and builds the per-atom relations for q.
+func Compile(q cq.Query, db cq.Database) (*Instance, error) {
+	if err := db.Validate(q); err != nil {
+		return nil, err
+	}
+	inst := &Instance{Query: q, Dict: NewDict()}
+	for _, a := range q.Atoms {
+		rel, err := atomRelation(a, db, inst.Dict)
+		if err != nil {
+			return nil, err
+		}
+		inst.AtomRels = append(inst.AtomRels, rel)
+	}
+	return inst, nil
+}
+
+// atomRelation materialises the set of variable bindings of one atom:
+// tuples of the relation that agree with the atom's constants and repeated
+// variables, projected onto the distinct variables.
+func atomRelation(a cq.Atom, db cq.Database, dict *Dict) (*Relation, error) {
+	vars := a.VarSet()
+	out := NewRelation(vars...)
+	pos := make(map[string]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	buf := make([]Value, len(vars))
+	for _, tuple := range db[a.Rel] {
+		if len(tuple) != len(a.Args) {
+			return nil, fmt.Errorf("engine: arity mismatch in %s", a.Rel)
+		}
+		ok := true
+		for i := range buf {
+			buf[i] = -1
+		}
+		for i, t := range a.Args {
+			v := dict.Intern(tuple[i])
+			if t.Var {
+				p := pos[t.Name]
+				if buf[p] >= 0 && buf[p] != v {
+					ok = false // repeated variable mismatch
+					break
+				}
+				buf[p] = v
+			} else if t.Name != tuple[i] {
+				ok = false // constant mismatch
+				break
+			}
+		}
+		if ok {
+			if len(vars) == 0 {
+				out.AddEmpty()
+			} else {
+				out.Add(buf...)
+			}
+		}
+	}
+	out.Dedup()
+	return out, nil
+}
+
+// EdgeRelation joins the atom relations of every atom whose variable set
+// equals the given variable set (several atoms can share one hypergraph
+// edge). vars must be sorted.
+func (inst *Instance) EdgeRelation(vars []string) *Relation {
+	var acc *Relation
+	for i, a := range inst.Query.Atoms {
+		avs := a.VarSet()
+		if !sameStrings(avs, vars) {
+			continue
+		}
+		if acc == nil {
+			acc = inst.AtomRels[i].Clone()
+		} else {
+			acc = Join(acc, inst.AtomRels[i])
+		}
+	}
+	if acc == nil {
+		acc = NewRelation(vars...)
+	}
+	return acc
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

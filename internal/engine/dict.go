@@ -1,0 +1,58 @@
+// Package engine evaluates conjunctive queries over databases. It provides
+// the upper-bound side of the paper's dichotomy: Yannakakis-style evaluation
+// over generalized hypertree decompositions (Proposition 2.2), counting of
+// answers of full CQs over join trees (Proposition 4.14, Pichler & Skritek),
+// and a naive backtracking baseline against which the decomposition-based
+// algorithms are benchmarked.
+package engine
+
+import "fmt"
+
+// Value is an interned database constant.
+type Value int32
+
+// Dict interns string constants to dense Values.
+type Dict struct {
+	byName map[string]Value
+	names  []string
+	fresh  int
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: map[string]Value{}}
+}
+
+// Intern returns the Value of the constant, creating it if needed.
+func (d *Dict) Intern(name string) Value {
+	if v, ok := d.byName[name]; ok {
+		return v
+	}
+	v := Value(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = v
+	return v
+}
+
+// Name returns the string of an interned value.
+func (d *Dict) Name(v Value) string {
+	if int(v) < 0 || int(v) >= len(d.names) {
+		return fmt.Sprintf("<bad:%d>", v)
+	}
+	return d.names[v]
+}
+
+// Fresh interns a brand-new constant that does not occur in the database —
+// the ★ constants of the Theorem 3.4 reduction.
+func (d *Dict) Fresh(prefix string) Value {
+	for {
+		name := fmt.Sprintf("%s%d", prefix, d.fresh)
+		d.fresh++
+		if _, exists := d.byName[name]; !exists {
+			return d.Intern(name)
+		}
+	}
+}
+
+// Len returns the number of interned constants.
+func (d *Dict) Len() int { return len(d.names) }

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+func TestExplainOutput(t *testing.T) {
+	q, err := cq.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("S", "2", "3")
+	out, err := Explain(q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"decomposition:", "node", "bag=", "λ=", "|rel|="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainGroundQuery(t *testing.T) {
+	q, err := cq.ParseQuery("Fact('a')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Explain(q, cq.Database{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ground query") {
+		t.Errorf("Explain output: %s", out)
+	}
+}
+
+func TestCountProjection(t *testing.T) {
+	// ∃z: R(x,y) ∧ S(y,z): count distinct (x,y) with a witness z.
+	q, err := cq.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("S", "2", "3")
+	db.Add("S", "2", "4") // two witnesses, one projection
+	n, err := CountProjection(q, db, []string{"x", "y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("projection count = %d, want 1", n)
+	}
+	// Full count distinguishes the witnesses (the §4.4 contrast).
+	full, err := Count(q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 2 {
+		t.Errorf("full count = %d, want 2", full)
+	}
+	// Unknown free variable rejected.
+	if _, err := CountProjection(q, db, []string{"nope"}, nil); err == nil {
+		t.Error("expected unknown-variable error")
+	}
+}

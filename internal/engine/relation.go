@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+)
+
+// Relation is a set of tuples over named columns (query variables). Tuples
+// are stored flat: row i occupies Data[i*Arity : (i+1)*Arity].
+type Relation struct {
+	Cols []string
+	Data []Value
+}
+
+// NewRelation returns an empty relation over the given columns.
+func NewRelation(cols ...string) *Relation {
+	return &Relation{Cols: append([]string(nil), cols...)}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if len(r.Cols) == 0 {
+		// A zero-column relation holds 0 or 1 (the empty tuple) rows; we
+		// track that via a sentinel in Data.
+		return len(r.Data)
+	}
+	return len(r.Data) / len(r.Cols)
+}
+
+// Add appends a tuple. The caller must supply Arity values (for the
+// zero-column relation, call AddEmpty).
+func (r *Relation) Add(tuple ...Value) {
+	r.Data = append(r.Data, tuple...)
+}
+
+// AddEmpty marks the zero-column relation as containing the empty tuple.
+func (r *Relation) AddEmpty() {
+	if len(r.Cols) != 0 {
+		panic("engine: AddEmpty on non-nullary relation")
+	}
+	if len(r.Data) == 0 {
+		r.Data = append(r.Data, 0) // sentinel row
+	}
+}
+
+// Row returns the i-th tuple as a slice view (do not mutate).
+func (r *Relation) Row(i int) []Value {
+	a := len(r.Cols)
+	return r.Data[i*a : (i+1)*a]
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	return &Relation{Cols: append([]string(nil), r.Cols...), Data: append([]Value(nil), r.Data...)}
+}
+
+// key renders a tuple slice as a hashable string.
+func key(vals []Value) string {
+	var b strings.Builder
+	b.Grow(len(vals) * 5)
+	for _, v := range vals {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Dedup removes duplicate tuples in place (order not preserved).
+func (r *Relation) Dedup() {
+	a := len(r.Cols)
+	if a == 0 || r.Len() <= 1 {
+		return
+	}
+	seen := make(map[string]bool, r.Len())
+	out := r.Data[:0]
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		k := key(row)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row...)
+		}
+	}
+	r.Data = out
+	_ = a
+}
+
+// Project returns the relation projected (with dedup) onto the given columns,
+// which must all exist.
+func (r *Relation) Project(cols []string) *Relation {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.ColIndex(c)
+		if idx[i] < 0 {
+			panic("engine: projection onto missing column " + c)
+		}
+	}
+	out := NewRelation(cols...)
+	if len(cols) == 0 {
+		if r.Len() > 0 {
+			out.AddEmpty()
+		}
+		return out
+	}
+	seen := map[string]bool{}
+	buf := make([]Value, len(cols))
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for j, x := range idx {
+			buf[j] = row[x]
+		}
+		k := key(buf)
+		if !seen[k] {
+			seen[k] = true
+			out.Add(buf...)
+		}
+	}
+	return out
+}
+
+// Join returns the natural join r ⋈ s on their shared columns.
+func Join(r, s *Relation) *Relation {
+	shared, rIdx, sIdx := sharedColumns(r, s)
+	// Output columns: r's columns then s's non-shared columns.
+	var extraS []int
+	outCols := append([]string(nil), r.Cols...)
+	for i, c := range s.Cols {
+		if r.ColIndex(c) < 0 {
+			outCols = append(outCols, c)
+			extraS = append(extraS, i)
+		}
+	}
+	out := NewRelation(outCols...)
+	if len(r.Cols) == 0 {
+		if r.Len() == 0 {
+			return out
+		}
+		// r is the nullary relation holding the empty tuple: join = s.
+		cp := s.Clone()
+		return cp
+	}
+	if len(s.Cols) == 0 {
+		if s.Len() == 0 {
+			return out
+		}
+		return r.Clone()
+	}
+	// Hash s on the shared columns.
+	index := make(map[string][]int, s.Len())
+	bufS := make([]Value, len(shared))
+	for i := 0; i < s.Len(); i++ {
+		row := s.Row(i)
+		for j, x := range sIdx {
+			bufS[j] = row[x]
+		}
+		k := key(bufS)
+		index[k] = append(index[k], i)
+	}
+	bufR := make([]Value, len(shared))
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for j, x := range rIdx {
+			bufR[j] = row[x]
+		}
+		for _, si := range index[key(bufR)] {
+			srow := s.Row(si)
+			tuple := append(append([]Value(nil), row...), pick(srow, extraS)...)
+			out.Add(tuple...)
+		}
+	}
+	out.Dedup()
+	return out
+}
+
+// Semijoin returns r ⋉ s: the tuples of r that join with some tuple of s.
+func Semijoin(r, s *Relation) *Relation {
+	shared, rIdx, sIdx := sharedColumns(r, s)
+	out := NewRelation(r.Cols...)
+	if len(shared) == 0 {
+		if s.Len() > 0 {
+			return r.Clone()
+		}
+		return out
+	}
+	index := make(map[string]bool, s.Len())
+	bufS := make([]Value, len(shared))
+	for i := 0; i < s.Len(); i++ {
+		row := s.Row(i)
+		for j, x := range sIdx {
+			bufS[j] = row[x]
+		}
+		index[key(bufS)] = true
+	}
+	bufR := make([]Value, len(shared))
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for j, x := range rIdx {
+			bufR[j] = row[x]
+		}
+		if index[key(bufR)] {
+			out.Add(row...)
+		}
+	}
+	return out
+}
+
+func sharedColumns(r, s *Relation) (shared []string, rIdx, sIdx []int) {
+	for i, c := range r.Cols {
+		if j := s.ColIndex(c); j >= 0 {
+			shared = append(shared, c)
+			rIdx = append(rIdx, i)
+			sIdx = append(sIdx, j)
+		}
+	}
+	return
+}
+
+func pick(row []Value, idx []int) []Value {
+	out := make([]Value, len(idx))
+	for i, x := range idx {
+		out[i] = row[x]
+	}
+	return out
+}
+
+// SortForDisplay orders tuples lexicographically (for deterministic test
+// output and golden comparisons).
+func (r *Relation) SortForDisplay() {
+	a := len(r.Cols)
+	if a == 0 {
+		return
+	}
+	n := r.Len()
+	rows := make([][]Value, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append([]Value(nil), r.Row(i)...)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := 0; k < a; k++ {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	r.Data = r.Data[:0]
+	for _, row := range rows {
+		r.Data = append(r.Data, row...)
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"errors"
+
+	"d2cq/internal/bitset"
+)
+
+// ErrBBBudget is returned when the branch-and-bound treewidth search
+// exhausts its node budget before proving optimality.
+var ErrBBBudget = errors.New("treewidth: branch-and-bound budget exhausted")
+
+// bbState is one node of the branch-and-bound search: a partially eliminated
+// (and correspondingly filled) graph.
+type bbState struct {
+	h     *Graph     // filled graph
+	alive bitset.Set // vertices not yet eliminated
+	order []int      // elimination prefix
+	width int        // max live degree at elimination so far
+}
+
+type bbSearch struct {
+	bestWidth int
+	bestOrder []int
+	seen      map[string]int // alive-set key → smallest prefix width seen
+	budget    int
+}
+
+// TreewidthBB computes tw(g) exactly by branch and bound over elimination
+// order prefixes (QuickBB-flavoured): it starts from the heuristic upper
+// bound and prunes with the MMD lower bound of the remaining subgraph, a
+// dominance memo over eliminated sets, and the simplicial-vertex rule. It
+// handles graphs beyond the subset-DP limit; runtime is governed by budget
+// (0 = 2e6 search nodes). On budget exhaustion the current best upper bound
+// and ErrBBBudget are returned.
+func TreewidthBB(g *Graph, budget int) (int, []int, error) {
+	n := g.N()
+	if n == 0 {
+		return -1, nil, nil
+	}
+	if budget <= 0 {
+		budget = 2_000_000
+	}
+	ub, order := TreewidthUpper(g)
+	lb := TreewidthLowerMMD(g)
+	if lb >= ub {
+		return ub, order, nil
+	}
+	s := &bbSearch{bestWidth: ub, bestOrder: order, seen: map[string]int{}, budget: budget}
+	full := bitset.New(n)
+	for v := 0; v < n; v++ {
+		full.Add(v)
+	}
+	err := s.dfs(bbState{h: g.Clone(), alive: full, width: 0})
+	if err != nil {
+		return s.bestWidth, s.bestOrder, err
+	}
+	return s.bestWidth, s.bestOrder, nil
+}
+
+func (s *bbSearch) dfs(f bbState) error {
+	s.budget--
+	if s.budget <= 0 {
+		return ErrBBBudget
+	}
+	if f.width >= s.bestWidth {
+		return nil // cannot improve
+	}
+	if f.alive.Len() <= f.width+1 {
+		// Remaining vertices fit in one final bag: tw of this order = width.
+		s.bestWidth = f.width
+		s.bestOrder = append(append([]int(nil), f.order...), f.alive.Slice()...)
+		return nil
+	}
+	key := f.alive.Key()
+	if prev, ok := s.seen[key]; ok && prev <= f.width {
+		return nil
+	}
+	s.seen[key] = f.width
+	// Lower bound on the remaining subgraph.
+	sub, _ := f.h.InducedSubgraph(f.alive)
+	if rem := TreewidthLowerMMD(sub); maxInt(rem, f.width) >= s.bestWidth {
+		return nil
+	}
+	cands := f.alive.Slice()
+	// Simplicial rule: a vertex whose live neighbourhood is already a clique
+	// can be eliminated first w.l.o.g.
+	for _, v := range cands {
+		if isSimplicial(f.h, f.alive, v) {
+			return s.dfs(eliminateBB(f, v))
+		}
+	}
+	sortByLiveDegree(f.h, f.alive, cands)
+	for _, v := range cands {
+		if err := s.dfs(eliminateBB(f, v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eliminateBB eliminates v: its live neighbourhood is filled into a clique
+// and v leaves the alive set.
+func eliminateBB(f bbState, v int) bbState {
+	nbrs := f.h.Neighbors(v).Intersect(f.alive)
+	width := f.width
+	if d := nbrs.Len(); d > width {
+		width = d
+	}
+	h2 := f.h.Clone()
+	sl := nbrs.Slice()
+	for i := 0; i < len(sl); i++ {
+		for j := i + 1; j < len(sl); j++ {
+			h2.AddEdge(sl[i], sl[j])
+		}
+	}
+	alive2 := f.alive.Clone()
+	alive2.Remove(v)
+	return bbState{
+		h:     h2,
+		alive: alive2,
+		order: append(append([]int(nil), f.order...), v),
+		width: width,
+	}
+}
+
+func isSimplicial(h *Graph, alive bitset.Set, v int) bool {
+	sl := h.Neighbors(v).Intersect(alive).Slice()
+	for i := 0; i < len(sl); i++ {
+		for j := i + 1; j < len(sl); j++ {
+			if !h.HasEdge(sl[i], sl[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortByLiveDegree(h *Graph, alive bitset.Set, vs []int) {
+	deg := func(v int) int { return h.Neighbors(v).IntersectionLen(alive) }
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && deg(vs[j]) < deg(vs[j-1]); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTreewidthBBMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(8)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		exact, _, err := TreewidthExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, order, err := TreewidthBB(g, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if bb != exact {
+			t.Fatalf("trial %d: BB=%d exact=%d\n%s", trial, bb, exact, g)
+		}
+		if got := WidthOfOrder(g, order); got != exact {
+			t.Fatalf("trial %d: order width %d != %d", trial, got, exact)
+		}
+	}
+}
+
+func TestTreewidthBBKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		tw   int
+	}{
+		{"grid4x4", Grid(4, 4), 4},
+		{"K7", Complete(7), 6},
+		{"cycle9", Cycle(9), 2},
+		{"wall3x6", Wall(3, 6), 3},
+	}
+	for _, c := range cases {
+		bb, order, err := TreewidthBB(c.g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if bb != c.tw {
+			t.Errorf("%s: BB = %d, want %d", c.name, bb, c.tw)
+		}
+		td := DecompositionFromOrder(c.g, order)
+		if err := td.Validate(c.g); err != nil {
+			t.Errorf("%s: invalid decomposition: %v", c.name, err)
+		}
+	}
+}
+
+func TestTreewidthBBBeyondDPLimit(t *testing.T) {
+	// A 26-vertex partial 2-tree (outside the DP's n ≤ 24): BB must still
+	// find tw ≤ 2 and the heuristic-seeded bound must be optimal.
+	g := New(26)
+	for v := 2; v < 26; v++ {
+		g.AddEdge(v, v-1)
+		g.AddEdge(v, v-2)
+	}
+	bb, order, err := TreewidthBB(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb != 2 {
+		t.Errorf("tw = %d, want 2", bb)
+	}
+	if got := WidthOfOrder(g, order); got != 2 {
+		t.Errorf("order width = %d", got)
+	}
+}
+
+func TestTreewidthBBBudget(t *testing.T) {
+	// A dense-ish random graph with a tiny budget returns ErrBBBudget but
+	// still a sound upper bound.
+	r := rand.New(rand.NewSource(2))
+	g := New(18)
+	for i := 0; i < 60; i++ {
+		g.AddEdge(r.Intn(18), r.Intn(18))
+	}
+	ub, order, err := TreewidthBB(g, 10)
+	if err != ErrBBBudget {
+		// A lucky simplicial cascade may finish within budget; that is fine
+		// as long as the answer is sound.
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := WidthOfOrder(g, order); got > ub {
+		t.Errorf("returned order has width %d > reported %d", got, ub)
+	}
+}

@@ -1,0 +1,169 @@
+package hyperbench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	corpusOnce sync.Once
+	corpusVal  *Corpus
+	corpusErr  error
+)
+
+// smallCorpus generates one shared corpus for all tests (generation computes
+// ghw for every member, which dominates test time).
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusVal, corpusErr = Generate(Options{Seed: 1, PerFamily: 8, MaxWidth: 5})
+	})
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return corpusVal
+}
+
+func TestGenerateDegreeInvariant(t *testing.T) {
+	c := smallCorpus(t)
+	if len(c.Entries) < 30 {
+		t.Fatalf("corpus too small: %d", len(c.Entries))
+	}
+	for _, e := range c.Entries {
+		if e.H.MaxDegree() > 2 {
+			t.Errorf("%s has degree %d", e.Name, e.H.MaxDegree())
+		}
+		if e.GHW.Lower > e.GHW.Upper {
+			t.Errorf("%s: ghw bounds inverted: %v", e.Name, e.GHW)
+		}
+		if e.GHW.Upper < 1 {
+			t.Errorf("%s: nonsensical ghw %v", e.Name, e.GHW)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Options{Seed: 7, PerFamily: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Options{Seed: 7, PerFamily: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Name != b.Entries[i].Name || a.Entries[i].GHW.Upper != b.Entries[i].GHW.Upper {
+			t.Fatalf("entry %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestFamilyWidthExpectations(t *testing.T) {
+	c := smallCorpus(t)
+	for _, e := range c.Entries {
+		switch e.Family {
+		case "tree-dual":
+			// Duals of trees are α-acyclic: ghw = 1.
+			if !e.GHW.Exact || e.GHW.Upper != 1 {
+				t.Errorf("%s: tree dual ghw = %v, want 1", e.Name, e.GHW)
+			}
+		case "cycle":
+			// Cycle hypergraphs have ghw = 2 (for length ≥ 3... a triangle's
+			// dual is a triangle; all cycles here have ghw exactly 2).
+			if !e.GHW.Exact || e.GHW.Upper != 2 {
+				t.Errorf("%s: cycle ghw = %v, want 2", e.Name, e.GHW)
+			}
+		case "partial-ktree-dual":
+			// ghw ≤ tw(base)+1 ≤ k+1 ≤ 6 always holds by Lemma 4.6.
+			if e.GHW.Upper > 6 {
+				t.Errorf("%s: ghw upper %d exceeds Lemma 4.6 bound", e.Name, e.GHW.Upper)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	c := smallCorpus(t)
+	rows := c.Table1(5)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Counts are monotone non-increasing in k (as in the paper's Table 1).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Upper > rows[i-1].Upper {
+			t.Errorf("Table 1 not monotone: k=%d count %d > k=%d count %d",
+				rows[i].K, rows[i].Upper, rows[i-1].K, rows[i-1].Upper)
+		}
+		if rows[i].Definite > rows[i-1].Definite {
+			t.Error("definite counts not monotone")
+		}
+	}
+	// Some members are cyclic (ghw > 1) and some are acyclic.
+	if rows[0].Upper == 0 {
+		t.Error("no cyclic members — corpus unrepresentative")
+	}
+	if rows[0].Upper == len(c.Entries) {
+		t.Error("no acyclic members — corpus unrepresentative")
+	}
+	// Definite never exceeds Upper.
+	for _, r := range rows {
+		if r.Definite > r.Upper {
+			t.Errorf("k=%d: definite %d > upper %d", r.K, r.Definite, r.Upper)
+		}
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	c := smallCorpus(t)
+	out := FormatTable1(c.Table1(3), len(c.Entries))
+	if !strings.Contains(out, "ghw > k") {
+		t.Errorf("missing header: %q", out)
+	}
+	sum := c.FamilySummary()
+	if !strings.Contains(sum, "jigsaw") || !strings.Contains(sum, "tree-dual") {
+		t.Errorf("summary missing families:\n%s", sum)
+	}
+}
+
+func TestJigsawEntriesHaveExpectedWidths(t *testing.T) {
+	c := smallCorpus(t)
+	for _, e := range c.Entries {
+		if e.Family != "jigsaw" {
+			continue
+		}
+		// Jigsaw n×m: ghw between min(n,m) and min(n,m)+1 (balanced
+		// separators vs Lemma 4.6).
+		if e.GHW.Upper > 5 || e.GHW.Lower < 1 {
+			t.Errorf("%s: implausible jigsaw ghw %v", e.Name, e.GHW)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	c := smallCorpus(t)
+	csv := c.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(c.Entries)+1 {
+		t.Fatalf("csv has %d lines for %d entries", len(lines), len(c.Entries))
+	}
+	if !strings.HasPrefix(lines[0], "name,family,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 6 {
+			t.Errorf("malformed row %q", l)
+		}
+	}
+}
+
+func TestHighWidthFamilyPopulatesTail(t *testing.T) {
+	c := smallCorpus(t)
+	rows := c.Table1(5)
+	if rows[4].Upper == 0 {
+		t.Error("high-width family should populate the ghw > 5 tail")
+	}
+}

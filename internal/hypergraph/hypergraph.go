@@ -1,0 +1,477 @@
+// Package hypergraph implements the hypergraph model of Section 2 of the
+// paper: named vertices and edges, duals, primal (Gaifman) graphs, reduced
+// hypergraphs, degree and rank, paths and components.
+//
+// Edge sets follow the paper's set semantics: E(H) ⊆ 2^V(H) is a set, so a
+// hypergraph never contains two edges with identical vertex sets. Adding a
+// duplicate edge is a no-op that reports the existing edge. Vertices and
+// edges carry stable string names so that dilution operations (package
+// dilution) can reference them across transformations.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"d2cq/internal/bitset"
+	"d2cq/internal/graph"
+)
+
+// Hypergraph is a finite hypergraph with named vertices and edges.
+type Hypergraph struct {
+	vnames []string
+	vindex map[string]int
+	edges  []bitset.Set // edge vertex sets, indexed by edge id
+	enames []string
+	eindex map[string]int
+}
+
+// New returns an empty hypergraph.
+func New() *Hypergraph {
+	return &Hypergraph{vindex: map[string]int{}, eindex: map[string]int{}}
+}
+
+// NV returns the number of vertices.
+func (h *Hypergraph) NV() int { return len(h.vnames) }
+
+// NE returns the number of edges.
+func (h *Hypergraph) NE() int { return len(h.edges) }
+
+// AddVertex adds a vertex with the given name, or returns the existing id if
+// the name is already present.
+func (h *Hypergraph) AddVertex(name string) int {
+	if id, ok := h.vindex[name]; ok {
+		return id
+	}
+	id := len(h.vnames)
+	h.vnames = append(h.vnames, name)
+	h.vindex[name] = id
+	// Widen existing edge bitsets lazily: bitset grows by word, so only
+	// reallocate when capacity is exceeded.
+	if bitset.Words(id+1) > bitset.Words(id) || id == 0 {
+		for i, e := range h.edges {
+			grown := bitset.New(id + 1)
+			copy(grown, e)
+			h.edges[i] = grown
+		}
+	}
+	return id
+}
+
+// VertexID returns the id of the named vertex, or -1.
+func (h *Hypergraph) VertexID(name string) int {
+	if id, ok := h.vindex[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// VertexName returns the name of vertex v.
+func (h *Hypergraph) VertexName(v int) string { return h.vnames[v] }
+
+// VertexNames returns the names of all vertices indexed by id. The caller
+// must not mutate the returned slice.
+func (h *Hypergraph) VertexNames() []string { return h.vnames }
+
+// AddEdge adds an edge with the given name over the named vertices (creating
+// vertices as needed). If an edge with the same vertex set already exists the
+// call is a no-op and the existing edge id is returned with created=false.
+// Adding a name that already exists with a different vertex set panics, since
+// it indicates a programming error in a construction.
+func (h *Hypergraph) AddEdge(name string, vertices ...string) (id int, created bool) {
+	ids := make([]int, len(vertices))
+	for i, v := range vertices {
+		ids[i] = h.AddVertex(v)
+	}
+	set := bitset.New(h.NV())
+	for _, v := range ids {
+		set.Add(v)
+	}
+	return h.AddEdgeSet(name, set)
+}
+
+// AddEdgeSet adds an edge with an explicit vertex bitset (indices must be
+// existing vertex ids).
+func (h *Hypergraph) AddEdgeSet(name string, set bitset.Set) (id int, created bool) {
+	if prev, ok := h.eindex[name]; ok {
+		if h.edges[prev].Equal(set) {
+			return prev, false
+		}
+		panic(fmt.Sprintf("hypergraph: edge name %q reused with different vertex set", name))
+	}
+	for i, e := range h.edges {
+		if e.Equal(set) {
+			return i, false
+		}
+	}
+	id = len(h.edges)
+	norm := bitset.New(h.NV())
+	norm.UnionWith(set)
+	h.edges = append(h.edges, norm)
+	h.enames = append(h.enames, name)
+	h.eindex[name] = id
+	return id, true
+}
+
+// EdgeID returns the id of the named edge, or -1.
+func (h *Hypergraph) EdgeID(name string) int {
+	if id, ok := h.eindex[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// EdgeName returns the name of edge e.
+func (h *Hypergraph) EdgeName(e int) string { return h.enames[e] }
+
+// EdgeSet returns the vertex set of edge e. The caller must not mutate it.
+func (h *Hypergraph) EdgeSet(e int) bitset.Set { return h.edges[e] }
+
+// EdgeVertices returns the vertex ids of edge e in ascending order.
+func (h *Hypergraph) EdgeVertices(e int) []int { return h.edges[e].Slice() }
+
+// EdgeVertexNames returns the vertex names of edge e sorted by id.
+func (h *Hypergraph) EdgeVertexNames(e int) []string {
+	ids := h.edges[e].Slice()
+	names := make([]string, len(ids))
+	for i, v := range ids {
+		names[i] = h.vnames[v]
+	}
+	return names
+}
+
+// IncidentEdges returns the ids of the edges containing vertex v (the set
+// I_v of the paper).
+func (h *Hypergraph) IncidentEdges(v int) []int {
+	var out []int
+	for i, e := range h.edges {
+		if e.Has(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IncidentEdgeSet returns I_v as a bitset over edge ids.
+func (h *Hypergraph) IncidentEdgeSet(v int) bitset.Set {
+	s := bitset.New(h.NE())
+	for i, e := range h.edges {
+		if e.Has(v) {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Degree returns the degree of vertex v (|I_v|).
+func (h *Hypergraph) Degree(v int) int {
+	d := 0
+	for _, e := range h.edges {
+		if e.Has(v) {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxDegree returns the degree of the hypergraph: the maximum vertex degree
+// (0 for a hypergraph with no vertices).
+func (h *Hypergraph) MaxDegree() int {
+	max := 0
+	for v := 0; v < h.NV(); v++ {
+		if d := h.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Rank returns the maximum edge cardinality (0 if there are no edges).
+func (h *Hypergraph) Rank() int {
+	max := 0
+	for _, e := range h.edges {
+		if l := e.Len(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// AllVertices returns the set of all vertex ids.
+func (h *Hypergraph) AllVertices() bitset.Set {
+	s := bitset.New(h.NV())
+	for v := 0; v < h.NV(); v++ {
+		s.Add(v)
+	}
+	return s
+}
+
+// AllEdges returns the set of all edge ids.
+func (h *Hypergraph) AllEdges() bitset.Set {
+	s := bitset.New(h.NE())
+	for e := 0; e < h.NE(); e++ {
+		s.Add(e)
+	}
+	return s
+}
+
+// Clone returns a deep copy sharing no state with h.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := New()
+	for _, n := range h.vnames {
+		c.AddVertex(n)
+	}
+	for i, e := range h.edges {
+		c.AddEdgeSet(h.enames[i], e.Clone())
+	}
+	return c
+}
+
+// Primal returns the primal (Gaifman) graph of h: vertices of h, with an
+// edge between any two vertices that share a hyperedge.
+func (h *Hypergraph) Primal() *graph.Graph {
+	g := graph.New(h.NV())
+	for _, e := range h.edges {
+		vs := e.Slice()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				g.AddEdge(vs[i], vs[j])
+			}
+		}
+	}
+	return g
+}
+
+// Dual returns the dual hypergraph H^d: its vertices are the edges of h
+// (named after them) and its edges are the incidence sets I_v (named after
+// the vertices), with set semantics deduplicating equal incidence sets.
+func (h *Hypergraph) Dual() *Hypergraph {
+	d := New()
+	for _, en := range h.enames {
+		d.AddVertex(en)
+	}
+	for v := 0; v < h.NV(); v++ {
+		set := bitset.New(d.NV())
+		for i, e := range h.edges {
+			if e.Has(v) {
+				set.Add(i)
+			}
+		}
+		d.AddEdgeSet(h.vnames[v], set)
+	}
+	return d
+}
+
+// DualGraph interprets the dual of a degree ≤ 2 hypergraph as a simple graph:
+// each vertex of h with degree exactly 2 yields an edge between its two
+// incident hyperedges. Degree ≤ 1 vertices contribute nothing. The graph's
+// vertex i corresponds to edge i of h. Returns an error if some vertex has
+// degree > 2.
+func (h *Hypergraph) DualGraph() (*graph.Graph, error) {
+	g := graph.New(h.NE())
+	for v := 0; v < h.NV(); v++ {
+		inc := h.IncidentEdges(v)
+		switch len(inc) {
+		case 0, 1:
+			// no dual adjacency
+		case 2:
+			g.AddEdge(inc[0], inc[1])
+		default:
+			return nil, fmt.Errorf("hypergraph: DualGraph requires degree ≤ 2, vertex %s has degree %d", h.vnames[v], len(inc))
+		}
+	}
+	return g, nil
+}
+
+// FromGraph converts a simple graph into a 2-uniform hypergraph. Vertices are
+// named v<i>, edges e<i>-<j>.
+func FromGraph(g *graph.Graph) *Hypergraph {
+	h := New()
+	for v := 0; v < g.N(); v++ {
+		h.AddVertex(fmt.Sprintf("v%d", v))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdge(fmt.Sprintf("e%d-%d", e[0], e[1]), fmt.Sprintf("v%d", e[0]), fmt.Sprintf("v%d", e[1]))
+	}
+	return h
+}
+
+// VertexType returns the incidence signature I_v used by the reduced-ness
+// condition (3): two vertices have the same type iff their incident edge sets
+// coincide.
+func (h *Hypergraph) VertexType(v int) string {
+	return h.IncidentEdgeSet(v).Key()
+}
+
+// IsReduced reports whether h is reduced in the sense of the paper:
+// (1) every vertex has degree ≥ 1, (2) no empty edge, (3) no two vertices
+// share a vertex type. (No-duplicate-edges holds by representation.)
+func (h *Hypergraph) IsReduced() bool {
+	types := make(map[string]bool, h.NV())
+	for v := 0; v < h.NV(); v++ {
+		if h.Degree(v) == 0 {
+			return false
+		}
+		ty := h.VertexType(v)
+		if types[ty] {
+			return false
+		}
+		types[ty] = true
+	}
+	for _, e := range h.edges {
+		if e.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce returns the reduced hypergraph for h: isolated vertices and empty
+// edges are removed and all but one vertex of each vertex type is deleted,
+// iterating to a fixpoint (deleting vertices can merge edges, which can
+// create new duplicate types). Names of surviving vertices/edges are kept
+// (the lexicographically-first name survives a type class or edge merge).
+func (h *Hypergraph) Reduce() *Hypergraph {
+	cur := h.Clone()
+	for {
+		next, changed := reduceStep(cur)
+		if !changed {
+			return next
+		}
+		cur = next
+	}
+}
+
+func reduceStep(h *Hypergraph) (*Hypergraph, bool) {
+	// Group vertices by type; keep the lexicographically smallest name of
+	// each class; drop isolated vertices.
+	keep := make([]bool, h.NV())
+	byType := map[string]int{}
+	changed := false
+	for v := 0; v < h.NV(); v++ {
+		if h.Degree(v) == 0 {
+			changed = true
+			continue
+		}
+		ty := h.VertexType(v)
+		if prev, ok := byType[ty]; ok {
+			changed = true
+			if h.vnames[v] < h.vnames[prev] {
+				keep[prev] = false
+				keep[v] = true
+				byType[ty] = v
+			}
+			continue
+		}
+		byType[ty] = v
+		keep[v] = true
+	}
+	out := New()
+	for v := 0; v < h.NV(); v++ {
+		if keep[v] {
+			out.AddVertex(h.vnames[v])
+		}
+	}
+	// Rebuild edges over surviving vertices; set semantics dedupes, empty
+	// edges are dropped. Iterate in name order so the smallest name survives
+	// an edge merge deterministically.
+	order := make([]int, h.NE())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return h.enames[order[a]] < h.enames[order[b]] })
+	for _, e := range order {
+		var names []string
+		h.edges[e].ForEach(func(v int) bool {
+			if keep[v] {
+				names = append(names, h.vnames[v])
+			}
+			return true
+		})
+		if len(names) == 0 {
+			changed = true
+			continue
+		}
+		if _, created := out.AddEdge(h.enames[e], names...); !created {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// InducedSub returns the subhypergraph induced by the vertex set keep:
+// every edge is intersected with keep, empty results are dropped, and equal
+// results are merged (set semantics). This is the H[C] operation used in the
+// proof of Lemma 4.4.
+func (h *Hypergraph) InducedSub(keep bitset.Set) *Hypergraph {
+	out := New()
+	keep.ForEach(func(v int) bool {
+		out.AddVertex(h.vnames[v])
+		return true
+	})
+	for i, e := range h.edges {
+		inter := e.Intersect(keep)
+		if inter.Empty() {
+			continue
+		}
+		var names []string
+		inter.ForEach(func(v int) bool {
+			names = append(names, h.vnames[v])
+			return true
+		})
+		out.AddEdge(h.enames[i], names...)
+	}
+	return out
+}
+
+// Components returns the vertex sets of the connected components of h
+// (isolated vertices form their own components).
+func (h *Hypergraph) Components() []bitset.Set {
+	return h.Primal().Components()
+}
+
+// Connected reports whether h is connected.
+func (h *Hypergraph) Connected() bool {
+	return h.Primal().Connected()
+}
+
+// HasPath reports whether there is a path between the named vertices in the
+// sense of the paper (alternating vertices and edges).
+func (h *Hypergraph) HasPath(from, to string) bool {
+	a, b := h.VertexID(from), h.VertexID(to)
+	if a < 0 || b < 0 {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	comps := h.Components()
+	for _, c := range comps {
+		if c.Has(a) {
+			return c.Has(b)
+		}
+	}
+	return false
+}
+
+// String renders the hypergraph in the parseable text format of Parse.
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	for i := range h.edges {
+		fmt.Fprintf(&b, "%s: %s\n", h.enames[i], strings.Join(h.EdgeVertexNames(i), " "))
+	}
+	// Isolated vertices are listed explicitly so round-tripping preserves them.
+	for v := 0; v < h.NV(); v++ {
+		if h.Degree(v) == 0 {
+			fmt.Fprintf(&b, "vertex: %s\n", h.vnames[v])
+		}
+	}
+	return b.String()
+}
+
+// Stats returns a one-line summary used by the CLIs.
+func (h *Hypergraph) Stats() string {
+	return fmt.Sprintf("|V|=%d |E|=%d degree=%d rank=%d reduced=%v connected=%v",
+		h.NV(), h.NE(), h.MaxDegree(), h.Rank(), h.IsReduced(), h.Connected())
+}

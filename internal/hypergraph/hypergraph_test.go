@@ -1,0 +1,386 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"d2cq/internal/graph"
+)
+
+func triangleQueryHG() *Hypergraph {
+	h := New()
+	h.AddEdge("e1", "x", "y")
+	h.AddEdge("e2", "y", "z")
+	h.AddEdge("e3", "z", "x")
+	return h
+}
+
+func TestBasicConstruction(t *testing.T) {
+	h := triangleQueryHG()
+	if h.NV() != 3 || h.NE() != 3 {
+		t.Fatalf("NV=%d NE=%d", h.NV(), h.NE())
+	}
+	if h.MaxDegree() != 2 {
+		t.Errorf("degree = %d, want 2", h.MaxDegree())
+	}
+	if h.Rank() != 2 {
+		t.Errorf("rank = %d, want 2", h.Rank())
+	}
+	if h.VertexID("x") < 0 || h.VertexID("nope") != -1 {
+		t.Error("VertexID lookup broken")
+	}
+	if h.EdgeID("e2") < 0 || h.EdgeID("nope") != -1 {
+		t.Error("EdgeID lookup broken")
+	}
+	inc := h.IncidentEdges(h.VertexID("y"))
+	if len(inc) != 2 {
+		t.Errorf("I_y has %d edges, want 2", len(inc))
+	}
+}
+
+func TestSetSemanticsDeduplication(t *testing.T) {
+	h := New()
+	id1, created := h.AddEdge("a", "x", "y")
+	if !created {
+		t.Fatal("first edge should be created")
+	}
+	id2, created := h.AddEdge("b", "y", "x") // same vertex set
+	if created {
+		t.Fatal("duplicate vertex set must not create a new edge")
+	}
+	if id1 != id2 {
+		t.Fatal("duplicate must return the existing id")
+	}
+	if h.NE() != 1 {
+		t.Fatalf("NE = %d, want 1", h.NE())
+	}
+	// Same name, same set: idempotent.
+	id3, created := h.AddEdge("a", "x", "y")
+	if created || id3 != id1 {
+		t.Fatal("re-adding identical edge should be a no-op")
+	}
+	// Same name, different set: programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on name reuse with different set")
+		}
+	}()
+	h.AddEdge("a", "x", "z")
+}
+
+func TestVertexGrowthKeepsEdges(t *testing.T) {
+	// Adding many vertices after edges must not corrupt earlier bitsets.
+	h := New()
+	h.AddEdge("e0", "a", "b")
+	for i := 0; i < 200; i++ {
+		h.AddVertex(strings.Repeat("z", 1) + string(rune('A'+i%26)) + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26)))
+	}
+	if !h.EdgeSet(0).Has(h.VertexID("a")) || !h.EdgeSet(0).Has(h.VertexID("b")) {
+		t.Fatal("edge lost vertices after capacity growth")
+	}
+	if h.EdgeSet(0).Len() != 2 {
+		t.Fatalf("edge size = %d, want 2", h.EdgeSet(0).Len())
+	}
+}
+
+func TestPrimal(t *testing.T) {
+	h := New()
+	h.AddEdge("e", "a", "b", "c") // one 3-edge → triangle in primal
+	g := h.Primal()
+	if g.M() != 3 {
+		t.Fatalf("primal of a 3-edge should be a triangle, got %d edges", g.M())
+	}
+}
+
+func TestDualAndDoubleDual(t *testing.T) {
+	h := triangleQueryHG()
+	d := h.Dual()
+	if d.NV() != 3 || d.NE() != 3 {
+		t.Fatalf("dual: NV=%d NE=%d", d.NV(), d.NE())
+	}
+	// Triangle query hypergraph is reduced, so (H^d)^d ≅ H (paper, §2).
+	if !h.IsReduced() {
+		t.Fatal("triangle hypergraph should be reduced")
+	}
+	dd := d.Dual()
+	if _, ok := Isomorphic(h, dd); !ok {
+		t.Fatal("double dual of reduced hypergraph not isomorphic to original")
+	}
+}
+
+func TestDualGraph(t *testing.T) {
+	h := triangleQueryHG()
+	g, err := h.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dual of the triangle hypergraph is the triangle graph.
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("dual graph: n=%d m=%d", g.N(), g.M())
+	}
+	// Degree-3 vertex must be rejected.
+	h2 := New()
+	h2.AddEdge("e1", "x", "a")
+	h2.AddEdge("e2", "x", "b")
+	h2.AddEdge("e3", "x", "c")
+	if _, err := h2.DualGraph(); err == nil {
+		t.Fatal("expected degree>2 error")
+	}
+}
+
+func TestIsReducedAndReduce(t *testing.T) {
+	h := New()
+	h.AddEdge("e1", "x", "y", "p", "q")
+	h.AddEdge("e2", "y", "z")
+	h.AddVertex("isolated")
+	if h.IsReduced() {
+		t.Fatal("should not be reduced: isolated vertex + duplicate types (p,q,x share type)")
+	}
+	r := h.Reduce()
+	if !r.IsReduced() {
+		t.Fatalf("Reduce did not produce reduced hypergraph:\n%s", r.String())
+	}
+	if r.VertexID("isolated") != -1 {
+		t.Error("isolated vertex survived")
+	}
+	// x, p, q all have type {e1}; exactly one survives.
+	survivors := 0
+	for _, n := range []string{"x", "p", "q"} {
+		if r.VertexID(n) >= 0 {
+			survivors++
+		}
+	}
+	if survivors != 1 {
+		t.Errorf("%d of {x,p,q} survived, want 1", survivors)
+	}
+	// y has type {e1, e2}, z has type {e2}: both survive.
+	if r.VertexID("y") < 0 || r.VertexID("z") < 0 {
+		t.Error("y or z dropped incorrectly")
+	}
+}
+
+func TestReduceFixpointCascade(t *testing.T) {
+	// Deleting duplicate-type vertices merges edges, creating new duplicate
+	// types; Reduce must iterate to a fixpoint.
+	h := New()
+	h.AddEdge("e1", "a", "b")
+	h.AddEdge("e2", "a", "c")
+	h.AddEdge("e3", "b", "c")
+	h.AddEdge("e4", "b", "c", "d") // d has unique type; b,c differ
+	r := h.Reduce()
+	if !r.IsReduced() {
+		t.Fatalf("not reduced:\n%s", r.String())
+	}
+}
+
+func TestReduceIdempotent(t *testing.T) {
+	h := triangleQueryHG()
+	r := h.Reduce()
+	r2 := r.Reduce()
+	if _, ok := Isomorphic(r, r2); !ok {
+		t.Fatal("Reduce not idempotent")
+	}
+}
+
+func TestInducedSub(t *testing.T) {
+	h := New()
+	h.AddEdge("e1", "a", "b", "c")
+	h.AddEdge("e2", "c", "d")
+	keep := h.AllVertices()
+	keep.Remove(h.VertexID("d"))
+	sub := h.InducedSub(keep)
+	if sub.NV() != 3 {
+		t.Fatalf("NV = %d, want 3", sub.NV())
+	}
+	// e2 ∩ keep = {c}: a singleton edge remains.
+	if sub.NE() != 2 {
+		t.Fatalf("NE = %d, want 2", sub.NE())
+	}
+	// Dropping c and d leaves e2 empty → dropped.
+	keep.Remove(h.VertexID("c"))
+	sub = h.InducedSub(keep)
+	if sub.NE() != 1 {
+		t.Fatalf("NE = %d, want 1 after dropping c,d", sub.NE())
+	}
+}
+
+func TestComponentsAndPath(t *testing.T) {
+	h := New()
+	h.AddEdge("e1", "a", "b")
+	h.AddEdge("e2", "b", "c")
+	h.AddEdge("e3", "x", "y")
+	if len(h.Components()) != 2 {
+		t.Fatalf("components = %d, want 2", len(h.Components()))
+	}
+	if h.Connected() {
+		t.Error("should be disconnected")
+	}
+	if !h.HasPath("a", "c") {
+		t.Error("a–c path should exist")
+	}
+	if h.HasPath("a", "x") {
+		t.Error("a–x path should not exist")
+	}
+	if !h.HasPath("a", "a") {
+		t.Error("trivial path should exist")
+	}
+	if h.HasPath("a", "nope") {
+		t.Error("path to unknown vertex")
+	}
+}
+
+func TestFromGraphRoundTrip(t *testing.T) {
+	g := graph.Cycle(5)
+	h := FromGraph(g)
+	if h.NV() != 5 || h.NE() != 5 {
+		t.Fatalf("NV=%d NE=%d", h.NV(), h.NE())
+	}
+	if h.MaxDegree() != 2 || h.Rank() != 2 {
+		t.Error("cycle hypergraph should be 2-regular 2-uniform")
+	}
+	p := h.Primal()
+	if p.M() != 5 {
+		t.Error("primal of 2-uniform hypergraph should equal the graph")
+	}
+}
+
+func TestIsomorphicPositive(t *testing.T) {
+	a := triangleQueryHG()
+	b := New()
+	b.AddEdge("f1", "p", "q")
+	b.AddEdge("f2", "q", "r")
+	b.AddEdge("f3", "r", "p")
+	iso, ok := Isomorphic(a, b)
+	if !ok {
+		t.Fatal("triangles should be isomorphic")
+	}
+	// Verify the witness maps edges onto edges.
+	if len(iso.VertexMap) != 3 {
+		t.Fatal("bad witness size")
+	}
+}
+
+func TestIsomorphicNegative(t *testing.T) {
+	a := triangleQueryHG() // 3-cycle
+	b := New()             // path of 3 edges
+	b.AddEdge("f1", "p", "q")
+	b.AddEdge("f2", "q", "r")
+	b.AddEdge("f3", "r", "s")
+	if _, ok := Isomorphic(a, b); ok {
+		t.Fatal("cycle vs path should not be isomorphic")
+	}
+	// Same signatures can still fail on global structure: C6 vs 2×C3.
+	c6 := FromGraph(graph.Cycle(6))
+	twoTriangles := New()
+	twoTriangles.AddEdge("a1", "u1", "u2")
+	twoTriangles.AddEdge("a2", "u2", "u3")
+	twoTriangles.AddEdge("a3", "u3", "u1")
+	twoTriangles.AddEdge("b1", "w1", "w2")
+	twoTriangles.AddEdge("b2", "w2", "w3")
+	twoTriangles.AddEdge("b3", "w3", "w1")
+	if _, ok := Isomorphic(c6, twoTriangles); ok {
+		t.Fatal("C6 vs C3+C3 should not be isomorphic")
+	}
+}
+
+func TestIsomorphicRandomPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(5)
+		g := graph.New(n)
+		for i := 0; i < n+2; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		a := FromGraph(g)
+		// Permuted copy.
+		perm := r.Perm(n)
+		b := New()
+		for v := 0; v < n; v++ {
+			b.AddVertex("w" + string(rune('0'+perm[v])))
+		}
+		for _, e := range g.Edges() {
+			b.AddEdge("f"+string(rune('a'+e[0]))+string(rune('a'+e[1])),
+				"w"+string(rune('0'+perm[e[0]])), "w"+string(rune('0'+perm[e[1]])))
+		}
+		if _, ok := Isomorphic(a, b); !ok {
+			t.Fatalf("permuted copy not isomorphic (trial %d)\nA:\n%s\nB:\n%s", trial, a, b)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+# a comment
+e1: x y z
+e2: z w
+vertex: lonely
+`
+	h, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NV() != 5 || h.NE() != 2 {
+		t.Fatalf("NV=%d NE=%d", h.NV(), h.NE())
+	}
+	if h.Degree(h.VertexID("lonely")) != 0 {
+		t.Error("lonely should be isolated")
+	}
+	// Round-trip through String.
+	h2, err := ParseString(h.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Isomorphic(h, h2); !ok {
+		t.Fatal("round-trip changed the hypergraph")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("no colon here"); err == nil {
+		t.Error("expected missing-colon error")
+	}
+	if _, err := ParseString(": x y"); err == nil {
+		t.Error("expected empty-name error")
+	}
+	if _, err := ParseString("vertex: a b"); err == nil {
+		t.Error("expected vertex-arity error")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := triangleQueryHG().DOT()
+	if !strings.Contains(dot, "graph H") || !strings.Contains(dot, "e:e1") {
+		t.Error("DOT output missing expected content")
+	}
+}
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	a := triangleQueryHG()
+	b := New()
+	b.AddEdge("z9", "q", "p")
+	b.AddEdge("z8", "r", "q")
+	b.AddEdge("z7", "p", "r")
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Error("isomorphic hypergraphs should share canonical keys")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := triangleQueryHG()
+	c := h.Clone()
+	c.AddEdge("extra", "x", "y", "z")
+	if h.NE() != 3 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if _, ok := Isomorphic(h, triangleQueryHG()); !ok {
+		t.Fatal("original changed")
+	}
+}
+
+func TestStatsSmoke(t *testing.T) {
+	s := triangleQueryHG().Stats()
+	if !strings.Contains(s, "|V|=3") || !strings.Contains(s, "degree=2") {
+		t.Errorf("Stats = %q", s)
+	}
+}

@@ -1,0 +1,206 @@
+package hypergraph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Isomorphism is a vertex bijection witnessing that two hypergraphs are
+// isomorphic; VertexMap[v] is the image in the second hypergraph of vertex v
+// of the first.
+type Isomorphism struct {
+	VertexMap []int
+}
+
+// Isomorphic reports whether a and b are isomorphic hypergraphs and, if so,
+// returns a witnessing vertex bijection. Intended for the small hypergraphs
+// of the paper's constructions (jigsaw recognition, dilution targets);
+// hypergraph isomorphism is GI-hard in general.
+func Isomorphic(a, b *Hypergraph) (*Isomorphism, bool) {
+	if a.NV() != b.NV() || a.NE() != b.NE() {
+		return nil, false
+	}
+	n := a.NV()
+	if n == 0 {
+		if a.NE() != b.NE() {
+			return nil, false
+		}
+		return &Isomorphism{}, a.NE() == 0 || a.NE() == b.NE()
+	}
+	sigA := vertexSignatures(a)
+	sigB := vertexSignatures(b)
+	// The multisets of signatures must agree.
+	if !sameMultiset(sigA, sigB) {
+		return nil, false
+	}
+	// Candidate images grouped by signature.
+	candidates := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if sigA[v] == sigB[u] {
+				candidates[v] = append(candidates[v], u)
+			}
+		}
+		if len(candidates[v]) == 0 {
+			return nil, false
+		}
+	}
+	// Order vertices by fewest candidates first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return len(candidates[order[i]]) < len(candidates[order[j]]) })
+
+	vmap := make([]int, n)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	used := make([]bool, n)
+	if matchVertices(a, b, order, 0, vmap, used, candidates) {
+		return &Isomorphism{VertexMap: vmap}, true
+	}
+	return nil, false
+}
+
+func matchVertices(a, b *Hypergraph, order []int, idx int, vmap []int, used []bool, candidates [][]int) bool {
+	if idx == len(order) {
+		return edgesMatch(a, b, vmap)
+	}
+	v := order[idx]
+	for _, u := range candidates[v] {
+		if used[u] {
+			continue
+		}
+		if !pairCompatible(a, b, v, u, vmap) {
+			continue
+		}
+		vmap[v] = u
+		used[u] = true
+		if matchVertices(a, b, order, idx+1, vmap, used, candidates) {
+			return true
+		}
+		vmap[v] = -1
+		used[u] = false
+	}
+	return false
+}
+
+// pairCompatible checks, for every already-mapped vertex w, that the number
+// of common edges of (v, w) in a equals that of (u, vmap[w]) in b.
+func pairCompatible(a, b *Hypergraph, v, u int, vmap []int) bool {
+	for w := 0; w < len(vmap); w++ {
+		if vmap[w] < 0 || w == v {
+			continue
+		}
+		ca := 0
+		for e := 0; e < a.NE(); e++ {
+			if a.edges[e].Has(v) && a.edges[e].Has(w) {
+				ca++
+			}
+		}
+		cb := 0
+		for e := 0; e < b.NE(); e++ {
+			if b.edges[e].Has(u) && b.edges[e].Has(vmap[w]) {
+				cb++
+			}
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// edgesMatch verifies that vmap sends the edge set of a exactly onto the edge
+// set of b.
+func edgesMatch(a, b *Hypergraph, vmap []int) bool {
+	seen := make([]bool, b.NE())
+	for e := 0; e < a.NE(); e++ {
+		img := make([]int, 0, a.edges[e].Len())
+		a.edges[e].ForEach(func(v int) bool {
+			img = append(img, vmap[v])
+			return true
+		})
+		found := -1
+		for f := 0; f < b.NE(); f++ {
+			if seen[f] || b.edges[f].Len() != len(img) {
+				continue
+			}
+			all := true
+			for _, u := range img {
+				if !b.edges[f].Has(u) {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = f
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		seen[found] = true
+	}
+	return true
+}
+
+// vertexSignatures computes an isomorphism-invariant signature per vertex:
+// the sorted multiset of sizes of its incident edges.
+func vertexSignatures(h *Hypergraph) []string {
+	sigs := make([]string, h.NV())
+	for v := 0; v < h.NV(); v++ {
+		var sizes []int
+		for _, e := range h.edges {
+			if e.Has(v) {
+				sizes = append(sizes, e.Len())
+			}
+		}
+		sort.Ints(sizes)
+		parts := make([]string, len(sizes))
+		for i, s := range sizes {
+			parts[i] = strconv.Itoa(s)
+		}
+		sigs[v] = strings.Join(parts, ",")
+	}
+	return sigs
+}
+
+func sameMultiset(a, b []string) bool {
+	count := map[string]int{}
+	for _, s := range a {
+		count[s]++
+	}
+	for _, s := range b {
+		count[s]--
+		if count[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalKey returns a cheap canonical-ish string for memoisation in the
+// dilution decision procedure: the sorted list of edge sizes joined with the
+// sorted vertex signature multiset. Two isomorphic hypergraphs always share a
+// key; the converse may fail (keys are a pre-filter, not a decision).
+func CanonicalKey(h *Hypergraph) string {
+	sizes := make([]int, h.NE())
+	for i, e := range h.edges {
+		sizes[i] = e.Len()
+	}
+	sort.Ints(sizes)
+	sigs := vertexSignatures(h)
+	sort.Strings(sigs)
+	var b strings.Builder
+	for _, s := range sizes {
+		b.WriteString(strconv.Itoa(s))
+		b.WriteByte('.')
+	}
+	b.WriteByte('|')
+	b.WriteString(strings.Join(sigs, ";"))
+	return b.String()
+}

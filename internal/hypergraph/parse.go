@@ -1,0 +1,86 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parse reads a hypergraph from the textual format produced by String:
+//
+//	# comment
+//	edgeName: vertex1 vertex2 vertex3
+//	vertex: isolatedVertexName
+//
+// Blank lines and lines starting with '#' are ignored. The pseudo edge name
+// "vertex" declares an isolated vertex.
+func Parse(r io.Reader) (*Hypergraph, error) {
+	h := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		colon := strings.Index(text, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("hypergraph: line %d: missing ':'", line)
+		}
+		name := strings.TrimSpace(text[:colon])
+		if name == "" {
+			return nil, fmt.Errorf("hypergraph: line %d: empty edge name", line)
+		}
+		fields := strings.Fields(text[colon+1:])
+		if name == "vertex" {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("hypergraph: line %d: 'vertex:' expects exactly one name", line)
+			}
+			h.AddVertex(fields[0])
+			continue
+		}
+		h.AddEdge(name, fields...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Hypergraph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseFile is Parse over a file.
+func ParseFile(path string) (*Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// DOT renders the hypergraph as a Graphviz bipartite incidence graph
+// (vertices as circles, edges as boxes), convenient for eyeballing the
+// figures of the paper.
+func (h *Hypergraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph H {\n")
+	for v := 0; v < h.NV(); v++ {
+		fmt.Fprintf(&b, "  %q [shape=circle];\n", "v:"+h.vnames[v])
+	}
+	for e := 0; e < h.NE(); e++ {
+		fmt.Fprintf(&b, "  %q [shape=box];\n", "e:"+h.enames[e])
+		h.edges[e].ForEach(func(v int) bool {
+			fmt.Fprintf(&b, "  %q -- %q;\n", "e:"+h.enames[e], "v:"+h.vnames[v])
+			return true
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

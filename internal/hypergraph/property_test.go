@@ -1,0 +1,128 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"d2cq/internal/graph"
+)
+
+// randomReduced returns a random reduced hypergraph (dual of a random graph,
+// reduced), which is the normal form most of the paper's statements assume.
+func randomReduced(r *rand.Rand) *Hypergraph {
+	n := 3 + r.Intn(5)
+	g := graph.New(n)
+	for i := 0; i < n+r.Intn(2*n); i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return FromGraph(g).Dual().Reduce()
+}
+
+// Property (§2): for reduced H, (H^d)^d ≅ H.
+func TestQuickDoubleDualIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomReduced(r)
+		if h.NE() == 0 {
+			return true
+		}
+		dd := h.Dual().Dual()
+		_, ok := Isomorphic(h, dd)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rank/degree duality for reduced hypergraphs — the dual's degree
+// equals the rank (each vertex type of H^d is an edge of H, membership count
+// = edge size) and the dual's rank equals the degree.
+func TestQuickRankDegreeDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomReduced(r)
+		if h.NE() == 0 {
+			return true
+		}
+		d := h.Dual()
+		return d.MaxDegree() == h.Rank() && d.Rank() == h.MaxDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reduce is idempotent and never increases |V| or |E|.
+func TestQuickReduceIdempotentMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		g := graph.New(n)
+		for i := 0; i < n+2; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		h := FromGraph(g).Dual()
+		h.AddVertex("noise") // ensure some reduction work exists sometimes
+		red := h.Reduce()
+		if red.NV() > h.NV() || red.NE() > h.NE() {
+			return false
+		}
+		red2 := red.Reduce()
+		_, ok := Isomorphic(red, red2)
+		return ok && red.IsReduced()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the primal graph of the dual of a graph G is the line-graph-ish
+// structure whose vertex count equals G's edge count.
+func TestQuickDualSizes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		g := graph.New(n)
+		for i := 0; i < n+3; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		h := FromGraph(g)
+		d := h.Dual()
+		// Dual vertices = edges of g; dual edges = vertex types (≤ n).
+		return d.NV() == g.M() && d.NE() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InducedSub on the full vertex set is the identity (up to
+// dropping nothing).
+func TestQuickInducedSubIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomReduced(r)
+		sub := h.InducedSub(h.AllVertices())
+		_, ok := Isomorphic(h, sub)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: isomorphism is reflexive and invariant under vertex-name
+// permutation of our structured families.
+func TestQuickIsomorphismReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomReduced(r)
+		_, ok := Isomorphic(h, h.Clone())
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

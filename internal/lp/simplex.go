@@ -1,0 +1,173 @@
+// Package lp provides a small dense two-phase simplex solver for linear
+// programs of the covering form
+//
+//	minimize  c·x   subject to   A x ≥ b,  x ≥ 0.
+//
+// It exists to compute fractional edge cover numbers (the ρ* width function
+// behind fractional hypertree width, §2 of the paper). Problem sizes are tiny
+// (rows = vertices of a bag, columns = edges), so a straightforward dense
+// tableau with Bland's anti-cycling rule is entirely adequate.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when the constraint system has no solution.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve minimizes c·x subject to A x ≥ b and x ≥ 0, where A is row-major
+// with len(A) rows and len(c) columns. All b[i] must be ≥ 0 (true for
+// covering LPs). It returns an optimal x and the objective value.
+func Solve(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	m := len(a)
+	n := len(c)
+	for i := range b {
+		if b[i] < 0 {
+			return nil, 0, errors.New("lp: negative right-hand side unsupported")
+		}
+	}
+	if m == 0 {
+		return make([]float64, n), 0, nil
+	}
+	// Columns: x (n) | surplus (m) | artificial (m) | RHS.
+	total := n + 2*m
+	tab := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, total+1)
+		copy(row, a[i])
+		row[n+i] = -1     // surplus: A x - s = b
+		row[n+m+i] = 1    // artificial
+		row[total] = b[i] // RHS
+		tab[i] = row
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + m + i // artificials start basic
+	}
+
+	// Phase 1: minimize sum of artificials.
+	phase1 := make([]float64, total)
+	for i := 0; i < m; i++ {
+		phase1[n+m+i] = 1
+	}
+	if obj := simplexLoop(tab, basis, phase1, total); obj > eps {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any remaining artificials out of the basis if possible.
+	for i, bi := range basis {
+		if bi < n+m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+m; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j, total)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted && math.Abs(tab[i][total]) > eps {
+			return nil, 0, ErrInfeasible
+		}
+	}
+	// Phase 2: minimize c·x, artificial columns frozen at zero.
+	phase2 := make([]float64, total)
+	copy(phase2, c)
+	for i := 0; i < m; i++ {
+		phase2[n+m+i] = math.Inf(1) // never re-enter
+	}
+	obj := simplexLoop(tab, basis, phase2, total)
+	if math.IsInf(obj, -1) {
+		return nil, 0, ErrUnbounded
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = tab[i][total]
+		}
+	}
+	return x, obj, nil
+}
+
+// simplexLoop runs the simplex method minimizing cost over the tableau with
+// the given basis, returning the final objective value (−Inf if unbounded).
+func simplexLoop(tab [][]float64, basis []int, cost []float64, total int) float64 {
+	m := len(tab)
+	for iter := 0; iter < 10000; iter++ {
+		// Reduced costs: r_j = cost_j − Σ_i cost_{basis[i]} · tab[i][j].
+		entering := -1
+		for j := 0; j < total; j++ {
+			if math.IsInf(cost[j], 1) {
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				cb := cost[basis[i]]
+				if math.IsInf(cb, 1) {
+					cb = 0 // frozen artificial stuck in basis at value 0
+				}
+				r -= cb * tab[i][j]
+			}
+			if r < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				cb := cost[basis[i]]
+				if math.IsInf(cb, 1) {
+					cb = 0
+				}
+				obj += cb * tab[i][total]
+			}
+			return obj
+		}
+		// Ratio test with Bland's rule on ties (smallest basis index).
+		leaving := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][entering] > eps {
+				ratio := tab[i][total] / tab[i][entering]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return math.Inf(-1)
+		}
+		pivot(tab, basis, leaving, entering, total)
+	}
+	return math.Inf(-1) // iteration cap; should be unreachable with Bland's rule
+}
+
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	m := len(tab)
+	p := tab[row][col]
+	for j := 0; j <= total; j++ {
+		tab[row][j] /= p
+	}
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if math.Abs(f) <= eps {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,189 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestTriangleFractionalCover(t *testing.T) {
+	// Fractional edge cover of the triangle: 3 vertices, 3 edges, each edge
+	// covers 2 vertices. Optimum is 3/2 with x = (1/2, 1/2, 1/2).
+	c := []float64{1, 1, 1}
+	a := [][]float64{
+		{1, 0, 1}, // vertex x in e1, e3
+		{1, 1, 0}, // vertex y in e1, e2
+		{0, 1, 1}, // vertex z in e2, e3
+	}
+	b := []float64{1, 1, 1}
+	x, obj, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(obj, 1.5) {
+		t.Fatalf("obj = %v, want 1.5", obj)
+	}
+	for i, xi := range x {
+		if xi < -1e-9 {
+			t.Fatalf("x[%d] = %v negative", i, xi)
+		}
+	}
+}
+
+func TestSingleEdgeCover(t *testing.T) {
+	// One edge covering both vertices: optimum 1.
+	c := []float64{1}
+	a := [][]float64{{1}, {1}}
+	b := []float64{1, 1}
+	_, obj, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(obj, 1) {
+		t.Fatalf("obj = %v, want 1", obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// A vertex covered by no edge (zero row) cannot reach 1.
+	c := []float64{1}
+	a := [][]float64{{0}}
+	b := []float64{1}
+	if _, _, err := Solve(c, a, b); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEmptyConstraintSystem(t *testing.T) {
+	x, obj, err := Solve([]float64{1, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 || x[0] != 0 || x[1] != 0 {
+		t.Fatalf("want trivial optimum, got x=%v obj=%v", x, obj)
+	}
+}
+
+func TestNegativeRHSRejected(t *testing.T) {
+	if _, _, err := Solve([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Fatal("expected error on negative rhs")
+	}
+}
+
+func TestWeightedObjective(t *testing.T) {
+	// min 2x + y  s.t. x + y ≥ 1 → pick y = 1.
+	x, obj, err := Solve([]float64{2, 1}, [][]float64{{1, 1}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(obj, 1) || !almost(x[1], 1) {
+		t.Fatalf("x=%v obj=%v, want y=1 obj=1", x, obj)
+	}
+}
+
+func TestK4FractionalCover(t *testing.T) {
+	// K4 as a covering LP: 4 vertices, 6 edges. Perfect matching gives 2,
+	// and ρ* = 2 (each vertex needs total 1, every edge covers 2 vertices,
+	// so ρ* ≥ 4/2 = 2).
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	c := make([]float64, 6)
+	a := make([][]float64, 4)
+	for i := range a {
+		a[i] = make([]float64, 6)
+	}
+	for j, e := range edges {
+		c[j] = 1
+		a[e[0]][j] = 1
+		a[e[1]][j] = 1
+	}
+	b := []float64{1, 1, 1, 1}
+	_, obj, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(obj, 2) {
+		t.Fatalf("obj = %v, want 2", obj)
+	}
+}
+
+func TestC5FractionalVertexCoverStyle(t *testing.T) {
+	// Odd cycle C5 edge cover: ρ*(C5) = 5/2.
+	n := 5
+	c := make([]float64, n)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ { // edge j = {j, j+1 mod n}
+		c[j] = 1
+		a[j][j] = 1
+		a[(j+1)%n][j] = 1
+	}
+	b := []float64{1, 1, 1, 1, 1}
+	_, obj, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(obj, 2.5) {
+		t.Fatalf("obj = %v, want 2.5", obj)
+	}
+}
+
+// Property: solutions are feasible and never beat the trivial all-ones cover.
+func TestRandomCoverFeasibility(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		rows := 2 + r.Intn(6)
+		cols := 2 + r.Intn(6)
+		a := make([][]float64, rows)
+		feasible := true
+		for i := range a {
+			a[i] = make([]float64, cols)
+			nz := 0
+			for j := range a[i] {
+				if r.Intn(2) == 0 {
+					a[i][j] = 1
+					nz++
+				}
+			}
+			if nz == 0 {
+				feasible = false
+			}
+		}
+		c := make([]float64, cols)
+		b := make([]float64, rows)
+		for j := range c {
+			c[j] = 1
+		}
+		for i := range b {
+			b[i] = 1
+		}
+		x, obj, err := Solve(c, a, b)
+		if !feasible {
+			if err == nil {
+				// A zero row may still be fine if... no: zero row with b=1 is
+				// always infeasible.
+				t.Fatalf("trial %d: expected infeasible", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if obj > float64(cols)+1e-6 {
+			t.Fatalf("trial %d: obj %v beats nothing", trial, obj)
+		}
+		// Feasibility check.
+		for i := range a {
+			s := 0.0
+			for j := range a[i] {
+				s += a[i][j] * x[j]
+			}
+			if s < 1-1e-6 {
+				t.Fatalf("trial %d: row %d infeasible (%v)", trial, i, s)
+			}
+		}
+	}
+}

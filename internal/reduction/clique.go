@@ -1,0 +1,127 @@
+package reduction
+
+import (
+	"fmt"
+
+	"d2cq/internal/dilution"
+	"d2cq/internal/graph"
+)
+
+// CliqueToJigsaw compiles a k-Clique instance into a BCQ instance over the
+// k×k-jigsaw query, witnessing the W[1]-hardness of Theorem 4.8 (inherited
+// from Grohe's grid construction, Proposition 2.1): the query's hypergraph
+// is exactly the k×k-jigsaw (arity ≤ 4, degree 2) and the instance is
+// satisfiable iff g contains a clique of size k.
+//
+// Encoding: the jigsaw's edges sit at grid positions (i, j); position (i, j)
+// guesses the pair (a_i, a_j) of clique members. Its horizontal variables
+// carry the row value a_i, its vertical variables the column value a_j.
+// Shared variables force row/column consistency, diagonal positions force
+// a_i = b_i, and off-diagonal positions admit only pairs that are edges
+// of g — together: a clique.
+func CliqueToJigsaw(g *graph.Graph, k int) (Instance, error) {
+	if k < 2 {
+		return Instance{}, fmt.Errorf("reduction: k must be ≥ 2, got %d", k)
+	}
+	j := dilution.Jigsaw(k, k)
+	inst := NewInstance(j)
+	vname := func(v int) string { return fmt.Sprintf("n%d", v) }
+	for i := 1; i <= k; i++ {
+		for jj := 1; jj <= k; jj++ {
+			ename := dilution.JigsawEdgeName(i, jj)
+			cols := edgeColumns(j, ename)
+			// Candidate (row value a, column value b) pairs at (i, jj).
+			var pairs [][2]int
+			if i == jj {
+				for v := 0; v < g.N(); v++ {
+					pairs = append(pairs, [2]int{v, v})
+				}
+			} else {
+				for _, e := range g.Edges() {
+					pairs = append(pairs, [2]int{e[0], e[1]}, [2]int{e[1], e[0]})
+				}
+			}
+			for _, p := range pairs {
+				a, b := p[0], p[1]
+				tuple := make([]string, len(cols))
+				for c, col := range cols {
+					switch col[0] {
+					case 'h': // horizontal variable: row value
+						tuple[c] = vname(a)
+					case 'v': // vertical variable: column value
+						tuple[c] = vname(b)
+					default:
+						return Instance{}, fmt.Errorf("reduction: unexpected jigsaw variable %s", col)
+					}
+				}
+				inst.D.Add(ename, tuple...)
+			}
+		}
+	}
+	dedupDatabase(inst.D)
+	return inst, nil
+}
+
+// HasClique decides k-Clique by brute force (ground truth for tests).
+func HasClique(g *graph.Graph, k int) bool {
+	n := g.N()
+	var rec func(start int, chosen []int) bool
+	rec = func(start int, chosen []int) bool {
+		if len(chosen) == k {
+			return true
+		}
+		for v := start; v < n; v++ {
+			ok := true
+			for _, u := range chosen {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok && rec(v+1, append(chosen, v)) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, nil)
+}
+
+// CountCliqueTuples counts ordered k-tuples of distinct pairwise-adjacent
+// vertices; the jigsaw instance built by CliqueToJigsaw has exactly this
+// many solutions, which tests use to confirm the reduction is parsimonious
+// in the counting sense (Theorem 4.15's role in Theorem 4.16).
+func CountCliqueTuples(g *graph.Graph, k int) int64 {
+	var count int64
+	var rec func(chosen []int)
+	rec = func(chosen []int) {
+		if len(chosen) == k {
+			count++
+			return
+		}
+		for v := 0; v < g.N(); v++ {
+			used := false
+			for _, u := range chosen {
+				if u == v {
+					used = true
+					break
+				}
+			}
+			if used {
+				continue
+			}
+			ok := true
+			for _, u := range chosen {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(append(chosen, v))
+			}
+		}
+	}
+	rec(nil)
+	return count
+}

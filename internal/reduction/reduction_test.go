@@ -1,0 +1,443 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/dilution"
+	"d2cq/internal/graph"
+	"d2cq/internal/hypergraph"
+)
+
+func pathHypergraph(n int) *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	for i := 0; i < n; i++ {
+		h.AddEdge(fmt.Sprintf("e%d", i), fmt.Sprintf("x%d", i), fmt.Sprintf("x%d", i+1))
+	}
+	return h
+}
+
+func randomCanonicalDB(h *hypergraph.Hypergraph, r *rand.Rand, domain, tuples int) cq.Database {
+	db := cq.Database{}
+	for e := 0; e < h.NE(); e++ {
+		cols := edgeColumns(h, h.EdgeName(e))
+		for t := 0; t < tuples; t++ {
+			row := make([]string, len(cols))
+			for i := range row {
+				row[i] = fmt.Sprintf("c%d", r.Intn(domain))
+			}
+			db.Add(h.EdgeName(e), row...)
+		}
+	}
+	dedupDatabase(db)
+	return db
+}
+
+func TestCanonicalQuery(t *testing.T) {
+	h := pathHypergraph(3)
+	q := CanonicalQuery(h)
+	if len(q.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	if !q.SelfJoinFree() || q.HasRepeatedVars() {
+		t.Error("canonical query must be self-join free without repeats")
+	}
+	// Its hypergraph is isomorphic to h.
+	if _, ok := hypergraph.Isomorphic(q.Hypergraph(), h); !ok {
+		t.Error("canonical query hypergraph mismatch")
+	}
+}
+
+func TestReverseSingleOps(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	h := hypergraph.New()
+	h.AddEdge("e1", "a", "b", "c")
+	h.AddEdge("e2", "c", "d")
+	h.AddEdge("e3", "d", "a")
+	ops := []dilution.Op{
+		{Kind: dilution.DeleteVertex, Vertex: "c"},
+		{Kind: dilution.Merge, Vertex: "d"},
+		{Kind: dilution.Merge, Vertex: "a"},
+	}
+	for _, op := range ops {
+		st, err := dilution.Apply(h, op)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		after := NewInstance(st.After)
+		after.D = randomCanonicalDB(st.After, r, 3, 4)
+		before, err := ReverseDilution([]*dilution.Step{st}, Instance{H: st.After, Q: after.Q, D: after.D})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if err := CheckReduction(Instance{H: st.After, Q: after.Q, D: after.D}, before); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+func TestReverseSubedgeDeletion(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	h := hypergraph.New()
+	h.AddEdge("big", "a", "b", "c")
+	h.AddEdge("small", "a", "b")
+	st, err := dilution.Apply(h, dilution.Op{Kind: dilution.DeleteSubedge, Edge: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := NewInstance(st.After)
+	after.D = randomCanonicalDB(st.After, r, 3, 5)
+	before, err := ReverseDilution([]*dilution.Step{st}, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckReduction(after, before); err != nil {
+		t.Error(err)
+	}
+	// The reconstructed subedge relation must be the projection of the
+	// superedge's.
+	if len(before.D["small"]) == 0 && len(after.D["big"]) > 0 {
+		t.Error("subedge relation empty despite non-empty superedge")
+	}
+}
+
+func TestReverseFullSequencePreservesSolutions(t *testing.T) {
+	// Random degree-2 hypergraphs, random dilution sequences of length ≤ 4,
+	// random databases on the final hypergraph: the reduction must preserve
+	// projected solutions and counts (Theorems 3.4 and 4.15).
+	r := rand.New(rand.NewSource(42))
+	trials := 0
+	for attempt := 0; attempt < 60 && trials < 25; attempt++ {
+		g := graph.New(4 + r.Intn(3))
+		for i := 0; i < 8; i++ {
+			g.AddEdge(r.Intn(g.N()), r.Intn(g.N()))
+		}
+		h := hypergraph.FromGraph(g).Dual()
+		if h.NE() < 3 {
+			continue
+		}
+		// Random dilution sequence.
+		var steps []*dilution.Step
+		cur := h
+		for len(steps) < 1+r.Intn(4) {
+			var ops []dilution.Op
+			for v := 0; v < cur.NV(); v++ {
+				ops = append(ops, dilution.Op{Kind: dilution.DeleteVertex, Vertex: cur.VertexName(v)})
+				if cur.Degree(v) > 0 {
+					ops = append(ops, dilution.Op{Kind: dilution.Merge, Vertex: cur.VertexName(v)})
+				}
+			}
+			if len(ops) == 0 {
+				break
+			}
+			st, err := dilution.Apply(cur, ops[r.Intn(len(ops))])
+			if err != nil {
+				continue
+			}
+			if st.After.NE() == 0 {
+				break
+			}
+			steps = append(steps, st)
+			cur = st.After
+		}
+		if len(steps) == 0 {
+			continue
+		}
+		trials++
+		final := NewInstance(cur)
+		final.D = randomCanonicalDB(cur, r, 3, 3)
+		reduced, err := ReverseDilution(steps, final)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if err := CheckReduction(final, reduced); err != nil {
+			t.Fatalf("attempt %d: %v\nH:\n%s\nM:\n%s", attempt, err, h, cur)
+		}
+		// The engine agrees on satisfiability across the reduction.
+		a, err := final.BCQ()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := reduced.BCQ()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("attempt %d: BCQ disagrees across reduction", attempt)
+		}
+	}
+	if trials < 10 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+}
+
+func TestReductionSizeBound(t *testing.T) {
+	// ∥D_p∥ = O(degree(H))^ℓ · ∥D_q∥ (Theorem 3.4). With degree 2 the factor
+	// per step is at most ~2×(constant); assert a generous 4^ℓ bound.
+	r := rand.New(rand.NewSource(9))
+	h := dilution.Jigsaw(2, 3)
+	seq, err := dilution.JigsawShrinkSequence(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, final, err := dilution.ApplySequence(h, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := NewInstance(final)
+	inst.D = randomCanonicalDB(final, r, 4, 6)
+	reduced, err := ReverseDilution(steps, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := inst.D.Size() + 16
+	for i := 0; i < len(steps); i++ {
+		bound *= 4
+	}
+	if reduced.D.Size() > bound {
+		t.Errorf("reduced size %d exceeds bound %d", reduced.D.Size(), bound)
+	}
+}
+
+func TestAlignInstance(t *testing.T) {
+	// A user query with its own names aligns onto the canonical form.
+	q, err := cq.ParseQuery("R(u,w), S(w,t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("S", "2", "3")
+	m := pathHypergraph(2)
+	inst, err := AlignInstance(q, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Satisfiability is preserved.
+	ok, err := inst.BCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("aligned instance lost satisfiability")
+	}
+	n, err := inst.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("aligned count = %d, want 1", n)
+	}
+	// Self-joins are rejected with guidance.
+	qs, _ := cq.ParseQuery("R(u,w), R(w,t)")
+	if _, err := AlignInstance(qs, db, m); err == nil {
+		t.Error("self-join should be rejected")
+	}
+	// Non-isomorphic target rejected.
+	if _, err := AlignInstance(q, db, pathHypergraph(3)); err == nil {
+		t.Error("non-isomorphic target should be rejected")
+	}
+}
+
+func TestCliqueToJigsawSoundAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(3)
+		g := graph.New(n)
+		for i := 0; i < n+r.Intn(2*n); i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		for _, k := range []int{2, 3} {
+			inst, err := CliqueToJigsaw(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The instance's hypergraph is the k×k jigsaw by construction.
+			if a, b, ok := dilution.IsJigsaw(inst.H); !ok || a != k || b != k {
+				t.Fatalf("instance hypergraph is not the %d×%d jigsaw", k, k)
+			}
+			got, err := inst.BCQ()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := HasClique(g, k)
+			if got != want {
+				t.Fatalf("trial %d k=%d: BCQ=%v clique=%v\n%s", trial, k, got, want, g)
+			}
+			// Counting: solutions = ordered clique tuples (Thm 4.16 witness).
+			cnt, err := inst.Count()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cnt != CountCliqueTuples(g, k) {
+				t.Fatalf("trial %d k=%d: count=%d want=%d", trial, k, cnt, CountCliqueTuples(g, k))
+			}
+		}
+	}
+}
+
+func TestCliqueToJigsawK3Triangle(t *testing.T) {
+	g := graph.Complete(3)
+	inst, err := CliqueToJigsaw(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := inst.BCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("K3 contains a 3-clique")
+	}
+	// 3! = 6 ordered triangles.
+	cnt, err := inst.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 6 {
+		t.Errorf("count = %d, want 6", cnt)
+	}
+}
+
+func TestReductionComposesWithExtraction(t *testing.T) {
+	// End-to-end lower-bound machinery: extract a jigsaw dilution from a
+	// degree-2 host (Thm 4.7), compile k-Clique onto the jigsaw (Thm 4.8 /
+	// Prop 2.1), and pull the instance back to the host along the dilution
+	// (Thm 3.4). Satisfiability must equal k-Clique throughout.
+	host := dilution.GridDual(graph.Subdivide(graph.Grid(2, 2)))
+	seq, jig, err := dilution.ExtractJigsaw(host, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == nil {
+		t.Fatal("no jigsaw found")
+	}
+	steps, _, err := dilution.ApplySequence(host, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cliqueGraph := range []*graph.Graph{graph.Complete(2), graph.New(3)} {
+		inst, err := CliqueToJigsaw(cliqueGraph, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The extracted jigsaw and the constructor's jigsaw agree up to
+		// isomorphism; align the clique instance onto the extracted one.
+		aligned, err := AlignInstance(inst.Q, inst.D, jig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pulled, err := ReverseDilution(steps, aligned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := HasClique(cliqueGraph, 2)
+		got, err := pulled.BCQ()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("pulled-back instance: BCQ=%v, clique=%v", got, want)
+		}
+	}
+}
+
+func TestStarConstantsAvoidAdversarialDatabase(t *testing.T) {
+	// A database that already contains ★-prefixed constants must not collide
+	// with the reduction's fresh keys.
+	h := hypergraph.New()
+	h.AddEdge("e1", "a", "b")
+	h.AddEdge("e2", "b", "c")
+	st, err := dilution.Apply(h, dilution.Op{Kind: dilution.Merge, Vertex: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := NewInstance(st.After)
+	after.D.Add(st.NewEdge, "★0_0", "★0_1") // adversarial constants
+	after.D.Add(st.NewEdge, "x", "y")
+	before, err := ReverseDilution([]*dilution.Step{st}, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckReduction(after, before); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh keys must be distinguishable from the adversarial values:
+	// every reconstructed e1 tuple carries a key that is NOT a database
+	// constant of the final instance.
+	finalConsts := map[string]bool{"★0_0": true, "★0_1": true, "x": true, "y": true}
+	keyCol := -1
+	cols := edgeColumns(before.H, "e1")
+	for i, c := range cols {
+		if c == "b" {
+			keyCol = i
+		}
+	}
+	if keyCol < 0 {
+		t.Fatal("no key column")
+	}
+	for _, tuple := range before.D["e1"] {
+		if finalConsts[tuple[keyCol]] {
+			t.Fatalf("fresh key %q collides with a database constant", tuple[keyCol])
+		}
+	}
+}
+
+func TestReverseSequenceWithSubedgeOps(t *testing.T) {
+	// Mixed sequences including subedge deletions must still preserve
+	// solutions. Build a host with a deletable subedge, delete it, merge,
+	// and pull a random instance back.
+	r := rand.New(rand.NewSource(77))
+	h := hypergraph.New()
+	h.AddEdge("big", "a", "b", "c", "d")
+	h.AddEdge("sub", "b", "c")
+	h.AddEdge("next", "d", "e")
+	seq := dilution.Sequence{
+		{Kind: dilution.DeleteSubedge, Edge: "sub"},
+		{Kind: dilution.Merge, Vertex: "d"},
+	}
+	steps, final, err := dilution.ApplySequence(h, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := NewInstance(final)
+	inst.D = randomCanonicalDB(final, r, 3, 5)
+	back, err := ReverseDilution(steps, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckReduction(inst, back); err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed subedge relation is the projection of the big one.
+	if len(back.D["sub"]) == 0 && len(back.D["big"]) > 0 {
+		t.Error("subedge relation should be populated")
+	}
+}
+
+func TestCanonicalInstanceWithEmptyEdge(t *testing.T) {
+	// Hypergraphs with an empty edge yield ground atoms; the canonical
+	// query must remain evaluable.
+	h := hypergraph.New()
+	h.AddEdge("fact") // empty edge → nullary atom
+	h.AddEdge("e", "x", "y")
+	inst := NewInstance(h)
+	inst.D.Add("e", "1", "2")
+	ok, err := inst.BCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("missing nullary fact should make the instance unsatisfiable")
+	}
+	inst.D.Add("fact")
+	ok, err = inst.BCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("present nullary fact should satisfy")
+	}
+}

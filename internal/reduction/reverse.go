@@ -1,0 +1,293 @@
+package reduction
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"d2cq/internal/dilution"
+)
+
+// starPrefix picks a prefix for the fresh ★ constants of the Appendix B
+// proof that no constant of the database shares, so the introduced keys are
+// guaranteed fresh even against adversarial databases.
+func starPrefix(d map[string][][]string) string {
+	prefix := "★"
+	for {
+		clash := false
+	scan:
+		for _, tuples := range d {
+			for _, t := range tuples {
+				for _, v := range t {
+					if strings.HasPrefix(v, prefix) {
+						clash = true
+						break scan
+					}
+				}
+			}
+		}
+		if !clash {
+			return prefix
+		}
+		prefix += "★"
+	}
+}
+
+// starConstant builds the fresh constants (★_i) of the Appendix B proof;
+// step disambiguates between reversal steps so constants never collide.
+func starConstant(prefix string, step, i int) string {
+	return fmt.Sprintf("%s%d_%d", prefix, step, i)
+}
+
+// ReverseDilution implements the reduction of Theorem 3.4 (and, since every
+// transformation below is parsimonious, of Theorem 4.15): given the steps of
+// a dilution sequence from H to M and a canonical instance for M = the final
+// hypergraph of the steps, it constructs a canonical instance for H whose
+// solutions project onto the original's, with exactly the same count.
+//
+// The per-operation constructions follow the proof:
+//
+//   - reversing a vertex deletion extends the relations of the edges that
+//     contained v by the constant ★0 in v's position (S_e = R_pre(e) × {★0});
+//   - reversing a merge extends the merged edge's relation by a distinct key
+//     ★_t per tuple in v's position and projects it onto each original edge
+//     (functional dependence on the key makes this parsimonious);
+//   - reversing a subedge deletion adds R_f = π_f(R_e) for the witnessing
+//     superedge e.
+func ReverseDilution(steps []*dilution.Step, final Instance) (Instance, error) {
+	cur := final
+	prefix := starPrefix(final.D)
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		next, err := reverseStep(st, cur, len(steps)-1-i, prefix)
+		if err != nil {
+			return Instance{}, fmt.Errorf("reduction: reversing step %d (%s): %w", i, st.Op, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// reverseStep turns a canonical instance for st.After into one for st.Before.
+func reverseStep(st *dilution.Step, after Instance, stepNo int, prefix string) (Instance, error) {
+	out := NewInstance(st.Before)
+	// Invert EdgeOrigins: before-edge name → after-edge name.
+	afterOf := map[string]string{}
+	for a, bs := range st.EdgeOrigins {
+		for _, b := range bs {
+			afterOf[b] = a
+		}
+	}
+	switch st.Op.Kind {
+	case dilution.DeleteVertex:
+		v := st.Op.Vertex
+		star := starConstant(prefix, stepNo, 0)
+		for e := 0; e < st.Before.NE(); e++ {
+			bname := st.Before.EdgeName(e)
+			aname, ok := afterOf[bname]
+			if !ok {
+				return Instance{}, fmt.Errorf("no after-image for edge %s", bname)
+			}
+			bCols := edgeColumns(st.Before, bname)
+			aCols := edgeColumns(st.After, aname)
+			containsV := st.Before.EdgeSet(e).Has(st.Before.VertexID(v))
+			for _, tuple := range after.D[aname] {
+				row, err := remapTuple(tuple, aCols, bCols, map[string]string{v: star})
+				if err != nil {
+					return Instance{}, fmt.Errorf("edge %s: %w", bname, err)
+				}
+				out.D.Add(bname, row...)
+			}
+			if !containsV && !sameCols(bCols, aCols) {
+				return Instance{}, fmt.Errorf("edge %s changed columns without containing %s", bname, v)
+			}
+		}
+	case dilution.Merge:
+		v := st.Op.Vertex
+		merged := st.NewEdge
+		mCols := edgeColumns(st.After, merged)
+		// R' = merged relation keyed by a distinct star per tuple. Databases
+		// are sets of ground atoms: deduplicate before keying, otherwise a
+		// duplicate tuple would receive two keys and break parsimony.
+		keyed := make(map[string][]string, len(after.D[merged]))
+		seen := map[string]bool{}
+		next := 0
+		for _, tuple := range after.D[merged] {
+			tk := fmt.Sprintf("%q", tuple)
+			if seen[tk] {
+				continue
+			}
+			seen[tk] = true
+			star := starConstant(prefix, stepNo, next)
+			next++
+			full := append(append([]string(nil), tuple...), star)
+			keyed[star] = full
+		}
+		fullCols := append(append([]string(nil), mCols...), v)
+		for e := 0; e < st.Before.NE(); e++ {
+			bname := st.Before.EdgeName(e)
+			aname, ok := afterOf[bname]
+			if !ok {
+				return Instance{}, fmt.Errorf("no after-image for edge %s", bname)
+			}
+			bCols := edgeColumns(st.Before, bname)
+			if aname == merged && st.Before.EdgeSet(e).Has(st.Before.VertexID(v)) {
+				// Original member of I_v: project the keyed relation.
+				for _, full := range keyed {
+					row, err := remapTuple(full, fullCols, bCols, nil)
+					if err != nil {
+						return Instance{}, fmt.Errorf("edge %s: %w", bname, err)
+					}
+					out.D.Add(bname, row...)
+				}
+				continue
+			}
+			// Unchanged edge (or an edge the merged edge collapsed into,
+			// which has the merged edge's exact vertex set): direct copy.
+			aCols := edgeColumns(st.After, aname)
+			for _, tuple := range after.D[aname] {
+				row, err := remapTuple(tuple, aCols, bCols, nil)
+				if err != nil {
+					return Instance{}, fmt.Errorf("edge %s: %w", bname, err)
+				}
+				out.D.Add(bname, row...)
+			}
+		}
+	case dilution.DeleteSubedge:
+		f := st.Op.Edge
+		super := st.SuperEdge
+		for e := 0; e < st.Before.NE(); e++ {
+			bname := st.Before.EdgeName(e)
+			bCols := edgeColumns(st.Before, bname)
+			src := bname
+			if bname == f {
+				src = super
+			}
+			aname, ok := afterOf[src]
+			if !ok {
+				return Instance{}, fmt.Errorf("no after-image for edge %s", src)
+			}
+			aCols := edgeColumns(st.After, aname)
+			for _, tuple := range after.D[aname] {
+				row, err := remapTuple(tuple, aCols, bCols, nil)
+				if err != nil {
+					return Instance{}, fmt.Errorf("edge %s: %w", bname, err)
+				}
+				out.D.Add(bname, row...)
+			}
+		}
+	default:
+		return Instance{}, fmt.Errorf("unknown op kind %v", st.Op.Kind)
+	}
+	dedupDatabase(out.D)
+	return out, nil
+}
+
+// remapTuple converts a tuple over srcCols into one over dstCols: columns
+// present in both copy over; columns only in dst must be provided by fill.
+// Columns only in src are projected away.
+func remapTuple(tuple []string, srcCols, dstCols []string, fill map[string]string) ([]string, error) {
+	idx := map[string]int{}
+	for i, c := range srcCols {
+		idx[c] = i
+	}
+	out := make([]string, len(dstCols))
+	for j, c := range dstCols {
+		if i, ok := idx[c]; ok {
+			out[j] = tuple[i]
+			continue
+		}
+		if v, ok := fill[c]; ok {
+			out[j] = v
+			continue
+		}
+		return nil, fmt.Errorf("no value for column %s", c)
+	}
+	return out, nil
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	x := append([]string(nil), a...)
+	y := append([]string(nil), b...)
+	sort.Strings(x)
+	sort.Strings(y)
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckReduction verifies, by exhaustive enumeration, the two guarantees of
+// Theorems 3.4 and 4.15 for a reduced instance pair: the projection of the
+// reduced instance's solutions onto the original variables equals the
+// original solution set, and the solution counts coincide (parsimony).
+// Intended for tests and small demonstration instances.
+func CheckReduction(orig, reduced Instance) error {
+	origSols, origDict, err := orig.Solutions()
+	if err != nil {
+		return err
+	}
+	redSols, redDict, err := reduced.Solutions()
+	if err != nil {
+		return err
+	}
+	if origSols.Len() != redSols.Len() {
+		return fmt.Errorf("reduction not parsimonious: %d original vs %d reduced solutions", origSols.Len(), redSols.Len())
+	}
+	// Project reduced solutions onto the original variables (those that
+	// exist in the reduced query; vanished variables cannot occur).
+	var shared []string
+	for _, v := range orig.Q.Vars() {
+		if redSols.ColIndex(v) >= 0 {
+			shared = append(shared, v)
+		}
+	}
+	proj := redSols.Project(shared)
+	// Compare as string sets.
+	origSet := map[string]bool{}
+	for i := 0; i < origSols.Len(); i++ {
+		row := origSols.Row(i)
+		k := ""
+		for j, c := range origSols.Cols {
+			if !contains(shared, c) {
+				continue
+			}
+			k += c + "=" + origDict.Name(row[j]) + ";"
+		}
+		origSet[k] = true
+	}
+	projSet := map[string]bool{}
+	for i := 0; i < proj.Len(); i++ {
+		row := proj.Row(i)
+		k := ""
+		for j, c := range proj.Cols {
+			k += c + "=" + redDict.Name(row[j]) + ";"
+		}
+		projSet[k] = true
+	}
+	for k := range origSet {
+		if !projSet[k] {
+			return fmt.Errorf("reduction lost solution %s", k)
+		}
+	}
+	for k := range projSet {
+		if !origSet[k] {
+			return fmt.Errorf("reduction invented solution %s", k)
+		}
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

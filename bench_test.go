@@ -7,6 +7,7 @@
 package d2cq
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -373,16 +374,95 @@ func BenchmarkEnumerationEngines(b *testing.B) {
 		db.Add("S", fmt.Sprintf("b%d", i%5), fmt.Sprintf("c%d", i%4))
 		db.Add("T", fmt.Sprintf("c%d", i%4), fmt.Sprintf("d%d", i%3))
 	}
+	ctx := context.Background()
+	prep, err := Prepare(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("GHD", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := engine.Enumerate2(q, db, nil); err != nil {
+			if _, _, err := prep.EnumerateAll(ctx, db); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("GHD-streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := prep.Enumerate(ctx, db, func(Solution) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("no solutions")
 			}
 		}
 	})
 	b.Run("Naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := engine.Enumerate(q, db); err != nil {
+			if _, _, err := engine.NaiveEnumerate(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPreparedVsAdHoc demonstrates the compile-once speedup of the
+// prepared-query API: the ad-hoc path recomputes the decomposition on every
+// call, the prepared path pays for it once, and repeated evaluation over a
+// corpus query amortises it away (the ISSUE's ≥2× criterion; in practice
+// the gap is orders of magnitude on cyclic queries).
+func BenchmarkPreparedVsAdHoc(b *testing.B) {
+	c, err := GenerateCorpus(CorpusOptions{Seed: 7, PerFamily: 2, MaxWidth: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pick the corpus entry with the widest hypergraph that stays cheap to
+	// decompose: a cyclic degree-2 instance, so decomposition search is the
+	// dominant per-call cost the prepared path eliminates.
+	var h *Hypergraph
+	for _, e := range c.Entries {
+		if e.GHW.Lower >= 2 && (h == nil || e.H.NE() < h.NE()) {
+			h = e.H
+		}
+	}
+	if h == nil {
+		b.Fatal("corpus has no cyclic entry")
+	}
+	q := CanonicalQuery(h)
+	inst := NewInstance(h)
+	// A small canonical database with a few tuples per edge relation.
+	for e := 0; e < h.NE(); e++ {
+		cols := len(h.EdgeVertexNames(e))
+		for t := 0; t < 3; t++ {
+			row := make([]string, cols)
+			for cix := range row {
+				row[cix] = fmt.Sprintf("c%d", (t+cix)%2)
+			}
+			inst.D.Add(h.EdgeName(e), row...)
+		}
+	}
+	ctx := context.Background()
+	b.Run("AdHoc", func(b *testing.B) {
+		eng := NewEngine(WithDecompCache(0)) // no cache: recompile per call
+		for i := 0; i < b.N; i++ {
+			prep, err := eng.Prepare(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := prep.Bool(ctx, inst.D); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Prepared", func(b *testing.B) {
+		eng := NewEngine()
+		prep, err := eng.Prepare(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Bool(ctx, inst.D); err != nil {
 				b.Fatal(err)
 			}
 		}

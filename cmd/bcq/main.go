@@ -1,18 +1,23 @@
-// Command bcq evaluates a Boolean conjunctive query (or counts its answers)
-// over a database, using the decomposition engine or the naive baseline.
+// Command bcq evaluates a Boolean conjunctive query (or counts or
+// enumerates its answers) over a database. The query is compiled once into
+// a prepared plan — parse → hypergraph → decomposition → node plan — and the
+// plan is then bound to the database, mirroring the compile-once /
+// evaluate-many API of the library.
 //
 // Usage:
 //
-//	bcq -query "R(x,y), S(y,z)" -db data.txt [-count] [-naive]
+//	bcq -query "R(x,y), S(y,z)" -db data.txt [-count] [-enumerate] [-naive] [-maxwidth k]
 //
 // The database file holds one ground atom per line: R(a, b).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"d2cq"
 	"d2cq/internal/cq"
@@ -30,8 +35,10 @@ func run(args []string, out io.Writer) error {
 	query := fs.String("query", "", "conjunctive query, e.g. \"R(x,y), S(y,z)\"")
 	dbPath := fs.String("db", "", "database file (one ground atom per line)")
 	count := fs.Bool("count", false, "count answers instead of deciding")
+	enumerate := fs.Bool("enumerate", false, "stream all answers")
 	naive := fs.Bool("naive", false, "use the naive backtracking baseline")
 	explain := fs.Bool("explain", false, "print the evaluation plan")
+	maxWidth := fs.Int("maxwidth", 0, "reject plans wider than this (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,14 +65,43 @@ func run(args []string, out io.Writer) error {
 	if res, err := d2cq.SemanticGHW(q); err == nil {
 		fmt.Fprintf(out, "semantic ghw: %s\n", res)
 	}
+
+	ctx := context.Background()
+	var opts []d2cq.EngineOption
+	if *maxWidth > 0 {
+		opts = append(opts, d2cq.WithMaxWidth(*maxWidth))
+	}
+	eng := d2cq.NewEngine(opts...)
+	// The naive baseline needs no plan: only compile when a prepared path
+	// will actually run (so -naive never pays — or fails — the
+	// decomposition search).
+	var prep *d2cq.PreparedQuery
+	if *explain || *enumerate || !*naive {
+		prep, err = eng.Prepare(ctx, q)
+		if err != nil {
+			return err
+		}
+	}
 	if *explain {
-		plan, err := d2cq.Explain(q, db)
+		plan, err := prep.ExplainDB(ctx, db)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, plan)
 	}
 	switch {
+	case *enumerate:
+		fmt.Fprintf(out, "answers (%s):\n", strings.Join(prep.Vars(), ","))
+		n := 0
+		err := prep.Enumerate(ctx, db, func(s d2cq.Solution) bool {
+			n++
+			fmt.Fprintf(out, "  %s\n", strings.Join(s.Strings(), ","))
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "answers: %d\n", n)
 	case *count && *naive:
 		n, err := d2cq.NaiveCount(q, db)
 		if err != nil {
@@ -73,7 +109,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "answers (naive): %d\n", n)
 	case *count:
-		n, err := d2cq.Count(q, db)
+		n, err := prep.Count(ctx, db)
 		if err != nil {
 			return err
 		}
@@ -85,7 +121,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "satisfiable (naive): %v\n", ok)
 	default:
-		ok, err := d2cq.BCQ(q, db)
+		ok, err := prep.Bool(ctx, db)
 		if err != nil {
 			return err
 		}

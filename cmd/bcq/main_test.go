@@ -68,3 +68,20 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad query should error")
 	}
 }
+
+func TestRunEnumerateAndMaxWidth(t *testing.T) {
+	db := writeDB(t, "R(1,2)\nS(2,3)\nS(2,4)\n")
+	var out strings.Builder
+	if err := run([]string{"-query", "R(x,y), S(y,z)", "-db", db, "-enumerate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "answers: 2") || !strings.Contains(out.String(), "1,2,3") {
+		t.Errorf("enumeration output:\n%s", out.String())
+	}
+	// A cyclic (width-2) query must be rejected under -maxwidth 1.
+	tri := writeDB(t, "E1(a,b)\nE2(b,c)\nE3(c,a)\n")
+	out.Reset()
+	if err := run([]string{"-query", "E1(x,y), E2(y,z), E3(z,x)", "-db", tri, "-maxwidth", "1"}, &out); err == nil {
+		t.Error("width bound should reject the triangle query")
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -241,8 +242,18 @@ func e3() error {
 	if err != nil {
 		return err
 	}
+	// Compile once: the expensive decomposition search happens here, not in
+	// the evaluation calls.
+	ctx := context.Background()
+	eng := d2cq.NewEngine()
 	t0 := time.Now()
-	okG, err := inst.BCQ()
+	prep, err := eng.Prepare(ctx, inst.Q)
+	if err != nil {
+		return err
+	}
+	tPrep := time.Since(t0)
+	t0 = time.Now()
+	okG, err := prep.Bool(ctx, inst.D)
 	if err != nil {
 		return err
 	}
@@ -253,8 +264,19 @@ func e3() error {
 		return err
 	}
 	tNaive := time.Since(t0)
-	fmt.Fprintf(out, "triangle-free K6,6 via 3×3-jigsaw query (unsat): GHD %v in %v, naive %v in %v\n",
-		okG, tGHD.Round(time.Microsecond), okN, tNaive.Round(time.Microsecond))
+	fmt.Fprintf(out, "triangle-free K6,6 via 3×3-jigsaw query (unsat): prepare %v; GHD %v in %v, naive %v in %v\n",
+		tPrep.Round(time.Microsecond), okG, tGHD.Round(time.Microsecond), okN, tNaive.Round(time.Microsecond))
+	// Repeated evaluation amortises compilation: re-preparing the same query
+	// shape is a cache hit and evaluation dominates.
+	const repeats = 5
+	t0 = time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := prep.Bool(ctx, inst.D); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "%d prepared re-evaluations in %v (engine: %s)\n",
+		repeats, time.Since(t0).Round(time.Microsecond), eng.Stats())
 	return nil
 }
 

@@ -32,3 +32,14 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("bad flag should error")
 	}
 }
+
+func TestRunEvalCorpus(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-per", "2", "-maxk", "3", "-evalwidth", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "canonical BCQ evaluation") || !strings.Contains(s, "engine: prepares=") {
+		t.Errorf("missing evaluation report:\n%s", s)
+	}
+}

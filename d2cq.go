@@ -22,6 +22,8 @@
 package d2cq
 
 import (
+	"context"
+
 	"d2cq/internal/cq"
 	"d2cq/internal/decomp"
 	"d2cq/internal/dilution"
@@ -171,13 +173,65 @@ func SemanticGHW(q Query) (GHWResult, error) { return cq.SemanticGHW(q) }
 
 // --- evaluation ----------------------------------------------------------------
 
+// Engine owns query-compilation policy and a bounded decomposition cache.
+// Share one Engine process-wide; Prepare compiles a query once and the
+// resulting PreparedQuery evaluates any number of databases concurrently.
+type Engine = engine.Engine
+
+// PreparedQuery is a compiled, immutable, concurrency-safe query plan with
+// Bool / Count / Enumerate / Explain / CountProjection evaluation methods.
+type PreparedQuery = engine.PreparedQuery
+
+// EngineOption configures NewEngine.
+type EngineOption = engine.Option
+
+// EngineStats snapshots engine traffic (prepares, decompositions computed,
+// cache hits/misses/evictions).
+type EngineStats = engine.Stats
+
+// Solution is one streamed answer of PreparedQuery.Enumerate.
+type Solution = engine.Solution
+
+// Plan is the immutable compiled plan behind a PreparedQuery.
+type Plan = engine.Plan
+
+// NewEngine returns an engine with a bounded decomposition cache.
+func NewEngine(opts ...EngineOption) *Engine { return engine.NewEngine(opts...) }
+
+// WithMaxWidth bounds the decomposition width accepted by Prepare.
+func WithMaxWidth(w int) EngineOption { return engine.WithMaxWidth(w) }
+
+// WithDecompCache bounds the engine's decomposition cache (0 disables).
+func WithDecompCache(capacity int) EngineOption { return engine.WithDecompCache(capacity) }
+
+// WithNaiveFallback degrades Prepare to a naive backtracking plan instead of
+// failing when no (bounded-width) decomposition exists.
+func WithNaiveFallback() EngineOption { return engine.WithNaiveFallback() }
+
+// DefaultEngine returns the shared engine behind the deprecated free
+// evaluation functions (BCQ, Count, Explain, CountProjection).
+func DefaultEngine() *Engine { return engine.Default() }
+
+// Prepare compiles q once with the shared default engine. For custom policy
+// (width bounds, cache sizing, naive fallback) build an Engine with
+// NewEngine and call its Prepare.
+func Prepare(ctx context.Context, q Query) (*PreparedQuery, error) {
+	return engine.Default().Prepare(ctx, q)
+}
+
 // EvalOptions selects a decomposition for evaluation.
 type EvalOptions = engine.EvalOptions
 
 // BCQ decides q(D) ≠ ∅ with the decomposition engine (Proposition 2.2).
+//
+// Deprecated: for repeated evaluation, Prepare the query once and call
+// PreparedQuery.Bool.
 func BCQ(q Query, db Database) (bool, error) { return engine.BCQ(q, db, nil) }
 
 // Count computes |q(D)| for a full CQ (Proposition 4.14).
+//
+// Deprecated: for repeated evaluation, Prepare the query once and call
+// PreparedQuery.Count.
 func Count(q Query, db Database) (int64, error) { return engine.Count(q, db, nil) }
 
 // NaiveBCQ is the decomposition-free backtracking baseline.
@@ -228,11 +282,16 @@ func GenerateCorpus(opts CorpusOptions) (*Corpus, error) { return hyperbench.Gen
 
 // Explain renders the evaluation plan (decomposition tree, covers, relation
 // sizes) for a query over a database.
+//
+// Deprecated: Prepare the query once and call PreparedQuery.Explain (plan
+// only) or PreparedQuery.ExplainDB (with relation sizes).
 func Explain(q Query, db Database) (string, error) { return engine.Explain(q, db, nil) }
 
 // CountProjection counts distinct projections of the solutions onto the
 // given free variables (the existentially-quantified counting problem of
 // §4.4; exponential in general — see Pichler & Skritek).
+//
+// Deprecated: Prepare the query once and call PreparedQuery.CountProjection.
 func CountProjection(q Query, db Database, free []string) (int64, error) {
 	return engine.CountProjection(q, db, free, nil)
 }

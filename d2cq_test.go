@@ -1,6 +1,9 @@
 package d2cq
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The facade tests double as compilable documentation of the public API.
 
@@ -118,5 +121,55 @@ func TestFacadeSemanticWidth(t *testing.T) {
 	}
 	if !Equivalent(q, Core(q)) {
 		t.Error("core must stay equivalent")
+	}
+}
+
+func TestFacadePreparedQuery(t *testing.T) {
+	q, err := ParseQuery("E1(x,y), E2(y,z), E3(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ParseDatabase(`
+E1(a, b)
+E2(b, c)
+E3(c, a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	eng := NewEngine(WithMaxWidth(2), WithDecompCache(16))
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the same prepared plan repeatedly: the decomposition is
+	// computed exactly once (the ISSUE's acceptance criterion).
+	for i := 0; i < 3; i++ {
+		ok, err := prep.Bool(ctx, db)
+		if err != nil || !ok {
+			t.Fatalf("Bool: ok=%v err=%v", ok, err)
+		}
+	}
+	n, err := prep.Count(ctx, db)
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d (err=%v), want 1", n, err)
+	}
+	var streamed int
+	err = prep.Enumerate(ctx, db, func(s Solution) bool {
+		streamed++
+		if s.Get("x") != "a" {
+			t.Errorf("x = %q, want a", s.Get("x"))
+		}
+		return true
+	})
+	if err != nil || streamed != 1 {
+		t.Fatalf("Enumerate streamed %d (err=%v), want 1", streamed, err)
+	}
+	if st := eng.Stats(); st.DecompsComputed != 1 {
+		t.Errorf("decompositions computed = %d, want 1", st.DecompsComputed)
+	}
+	if prep.Explain() == "" {
+		t.Error("empty plan explanation")
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,4 +59,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("acyclic control host yields a jigsaw:", seq != nil)
+
+	// The extracted jigsaw is also a query shape: its canonical BCQ
+	// compiles to a plan of width ghw. A width-1 engine refuses it, the
+	// default engine prepares it once for any number of databases.
+	ctx := context.Background()
+	q := d2cq.CanonicalQuery(result)
+	_, err = d2cq.NewEngine(d2cq.WithMaxWidth(1)).Prepare(ctx, q)
+	fmt.Println("width-1 engine refuses the jigsaw query:", err != nil)
+	prep, err := d2cq.Prepare(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("default engine plan width:", prep.Plan().Width())
 }

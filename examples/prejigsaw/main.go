@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,4 +55,19 @@ func main() {
 	if res2.Exact && res.Exact && res2.Upper > res.Upper {
 		log.Fatal("ghw increased along a dilution — Lemma 3.2(3) violated")
 	}
+
+	// 5. The same widths show up as prepared plan widths: one shared engine
+	//    compiles the canonical queries of both hypergraphs (and caches the
+	//    decompositions for any future query with the same shape).
+	ctx := context.Background()
+	eng := d2cq.NewEngine()
+	for _, hg := range []*d2cq.Hypergraph{h, merged} {
+		prep, err := eng.Prepare(ctx, d2cq.CanonicalQuery(hg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prepared plan: %d nodes of width %d for %s\n",
+			prep.Plan().Decomp().Nodes(), prep.Plan().Width(), hg.Stats())
+	}
+	fmt.Println("engine:", eng.Stats())
 }

@@ -1,11 +1,14 @@
 // Quickstart: parse a conjunctive query and a database, inspect the query's
-// structure (hypergraph, degree, semantic width), and evaluate it with both
-// the decomposition engine and the naive baseline.
+// structure (hypergraph, degree, semantic width), compile the query once
+// into a prepared plan, and evaluate it — decide, count, stream — with the
+// naive baseline as ground truth.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"d2cq"
 )
@@ -47,17 +50,37 @@ Lives(bob, vienna)
 	}
 	fmt.Println("ghw:       ", width)
 
-	sat, err := d2cq.BCQ(q, db)
+	// Compile once: parse → hypergraph → decomposition → node plan. The
+	// prepared query is immutable and safe to share across goroutines; every
+	// evaluation call below just binds a database.
+	ctx := context.Background()
+	prep, err := d2cq.Prepare(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan width:", prep.Plan().Width())
+
+	sat, err := prep.Bool(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("satisfiable:", sat)
 
-	n, err := d2cq.Count(q, db)
+	n, err := prep.Count(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("answers:    ", n)
+
+	// Stream the answers without materialising the join.
+	fmt.Println("solutions ( " + strings.Join(prep.Vars(), " ") + " ):")
+	err = prep.Enumerate(ctx, db, func(s d2cq.Solution) bool {
+		fmt.Println("   ", strings.Join(s.Strings(), " "))
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The naive baseline agrees (it just scales differently).
 	naive, err := d2cq.NaiveCount(q, db)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The input graph: a 5-cycle with one chord — contains a triangle?
 	g := graph.Cycle(5)
 	g.AddEdge(0, 2) // chord: now the triangle {0,1,2} exists
@@ -24,11 +26,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("jigsaw query:", inst.Q)
-	sat, err := inst.BCQ()
+	// The jigsaw query shape is fixed by k, not by the input graph: prepare
+	// it once and reuse the plan for every instance database.
+	prep, err := d2cq.Prepare(ctx, inst.Q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	count, err := inst.Count()
+	sat, err := prep.Bool(ctx, inst.D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, err := prep.Count(ctx, inst.D)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,11 +69,15 @@ func main() {
 	fmt.Printf("pulled the instance back along %d dilution steps onto the host (∥D∥ %d → %d)\n",
 		len(steps), aligned.D.Size(), pulled.D.Size())
 
-	sat2, err := pulled.BCQ()
+	hostPrep, err := d2cq.Prepare(ctx, pulled.Q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	count2, err := pulled.Count()
+	sat2, err := hostPrep.Bool(ctx, pulled.D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count2, err := hostPrep.Count(ctx, pulled.D)
 	if err != nil {
 		log.Fatal(err)
 	}

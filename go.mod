@@ -1,0 +1,3 @@
+module d2cq
+
+go 1.24

@@ -171,7 +171,7 @@ func TestEnumerate(t *testing.T) {
 	db.Add("R", "1", "2")
 	db.Add("S", "2", "3")
 	db.Add("S", "2", "4")
-	rel, dict, err := Enumerate(q(t, "R(x,y), S(y,z)"), db)
+	rel, dict, err := NaiveEnumerate(q(t, "R(x,y), S(y,z)"), db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,88 +1,49 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
-	"d2cq/internal/cq"
 	"d2cq/internal/decomp"
 )
 
-// FullReduce performs the classic Yannakakis full reduction on the node
-// relations: a bottom-up semijoin pass followed by a top-down pass. After it,
-// every remaining tuple of every node participates in at least one solution.
-func (run *ghdRun) FullReduce() {
-	// Bottom-up (children before parents, run.order is already topological).
-	for _, u := range run.order {
-		for _, c := range run.children[u] {
-			run.nodeRels[u] = Semijoin(run.nodeRels[u], run.nodeRels[c])
-		}
-	}
-	// Top-down (parents before children).
-	for i := len(run.order) - 1; i >= 0; i-- {
-		u := run.order[i]
-		for _, c := range run.children[u] {
-			run.nodeRels[c] = Semijoin(run.nodeRels[c], run.nodeRels[u])
-		}
-	}
-}
-
-// EnumerateGHD lists all solutions of the full CQ by joining the fully
-// reduced node relations along the decomposition tree. Output columns are
-// the query's variables in sorted order; rows are deduplicated and sorted.
+// EnumerateGHD lists all solutions of the full CQ by streaming the fully
+// reduced node relations along the given decomposition tree. Output columns
+// are the query's variables in sorted order; rows are sorted.
+//
+// Deprecated: prepare the query once with Engine.Prepare and stream with
+// PreparedQuery.Enumerate (or materialise with EnumerateAll).
 func EnumerateGHD(inst *Instance, d *decomp.GHD) (*Relation, error) {
 	vars := inst.Query.Vars()
 	if len(inst.Query.Atoms) == 0 || d.Nodes() == 0 {
 		out := NewRelation(vars...)
-		all := true
-		for _, r := range inst.AtomRels {
-			if r.Len() == 0 {
-				all = false
-			}
-		}
-		if all {
+		if groundSat(inst) {
 			out.AddEmpty()
 		}
 		return out, nil
 	}
-	run, err := prepare(inst, d)
+	p, err := NewPlan(inst.Query, d)
 	if err != nil {
 		return nil, err
 	}
-	run.FullReduce()
-	// Join along the tree, children into parents, in topological order:
-	// every node's relation absorbs its children's columns.
-	acc := make([]*Relation, d.Nodes())
-	for u := range acc {
-		acc[u] = run.nodeRels[u]
-	}
-	for _, u := range run.order {
-		for _, c := range run.children[u] {
-			acc[u] = Join(acc[u], acc[c])
-		}
-	}
-	root := d.Root()
-	res := acc[root].Project(vars)
-	res.SortForDisplay()
-	return res, nil
-}
-
-// Enumerate2 evaluates q over db with the decomposition engine and returns
-// the solution relation (sorted). It is the decomposition-based counterpart
-// of Enumerate (which uses the naive engine) — tests cross-check the two.
-func Enumerate2(q cq.Query, db cq.Database, opts *EvalOptions) (*Relation, *Dict, error) {
-	inst, err := Compile(q, db)
+	ctx := context.Background()
+	r, err := newRun(ctx, p, inst)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	d, err := pickDecomp(q, opts)
+	if err := r.fullReduce(ctx); err != nil {
+		return nil, err
+	}
+	out := NewRelation(vars...)
+	err = r.enumerate(ctx, func(row []Value) bool {
+		out.Add(append([]Value(nil), row...)...)
+		return true
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	rel, err := EnumerateGHD(inst, d)
-	if err != nil {
-		return nil, nil, err
-	}
-	return rel, inst.Dict, nil
+	out.SortForDisplay()
+	return out, nil
 }
 
 // EqualRelations reports whether two relations over the same column sets

@@ -1,22 +1,29 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"d2cq/internal/cq"
+	"d2cq/internal/decomp"
 )
 
 func TestEnumerateGHDMatchesNaive(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
+	eng := NewEngine()
 	for trial := 0; trial < 40; trial++ {
 		query, db := randomInstance(r)
-		naiveRel, naiveDict, err := Enumerate(query, db)
+		naiveRel, naiveDict, err := NaiveEnumerate(query, db)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ghdRel, ghdDict, err := Enumerate2(query, db, nil)
+		prep, err := eng.Prepare(context.Background(), query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ghdRel, ghdDict, err := prep.EnumerateAll(context.Background(), db)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,15 +50,21 @@ func TestFullReduceRemovesDanglingTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := pickDecomp(query, nil)
+	d, err := decomp.EvalDecomposition(query.Hypergraph())
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := prepare(inst, d)
+	p, err := NewPlan(query, d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	run.FullReduce()
+	run, err := newRun(context.Background(), p, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.fullReduce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	for u, rel := range run.nodeRels {
 		if rel.Len() != 1 {
 			t.Errorf("node %d has %d tuples after full reduction, want 1", u, rel.Len())
@@ -59,14 +72,19 @@ func TestFullReduceRemovesDanglingTuples(t *testing.T) {
 	}
 }
 
-func TestEnumerate2GroundQuery(t *testing.T) {
+func TestEnumerateGroundQuery(t *testing.T) {
 	db := cq.Database{}
 	db.Add("Fact", "a")
 	query, err := cq.ParseQuery("Fact('a')")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel, _, err := Enumerate2(query, db, nil)
+	eng := NewEngine()
+	prep, err := eng.Prepare(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := prep.EnumerateAll(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +93,11 @@ func TestEnumerate2GroundQuery(t *testing.T) {
 	}
 	// Absent fact: no solutions.
 	query2, _ := cq.ParseQuery("Fact('b')")
-	rel, _, err = Enumerate2(query2, db, nil)
+	prep2, err := eng.Prepare(context.Background(), query2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err = prep2.EnumerateAll(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +138,15 @@ func TestEnumerateStarQuery(t *testing.T) {
 		db.Add(rel, "hub", "shared")
 		db.Add(rel, "other", "x")
 	}
-	naiveRel, nd, err := Enumerate(q, db)
+	naiveRel, nd, err := NaiveEnumerate(q, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ghdRel, gd, err := Enumerate2(q, db, nil)
+	prep, err := NewEngine().Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghdRel, gd, err := prep.EnumerateAll(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}

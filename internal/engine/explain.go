@@ -1,9 +1,7 @@
 package engine
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"context"
 
 	"d2cq/internal/cq"
 )
@@ -11,49 +9,15 @@ import (
 // Explain renders the evaluation plan for q over db: the decomposition tree
 // with per-node bags, covers, and materialised relation sizes. Useful for
 // understanding why a width-w query evaluates the way it does.
+//
+// Deprecated: prepare the query once with Engine.Prepare and call
+// PreparedQuery.Explain (data-independent) or PreparedQuery.ExplainDB.
 func Explain(q cq.Query, db cq.Database, opts *EvalOptions) (string, error) {
-	inst, err := Compile(q, db)
+	p, err := preparedFor(q, opts)
 	if err != nil {
 		return "", err
 	}
-	d, err := pickDecomp(q, opts)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "query: %s\n", q)
-	fmt.Fprintf(&b, "decomposition: %d nodes, width %d\n", d.Nodes(), d.Width())
-	if d.Nodes() == 0 {
-		fmt.Fprintf(&b, "(ground query: emptiness checks only)\n")
-		return b.String(), nil
-	}
-	run, err := prepare(inst, d)
-	if err != nil {
-		return "", err
-	}
-	h := q.Hypergraph()
-	children := d.Children()
-	var walk func(u, depth int)
-	walk = func(u, depth int) {
-		indent := strings.Repeat("  ", depth)
-		var bagVars []string
-		d.Bags[u].ForEach(func(v int) bool {
-			bagVars = append(bagVars, h.VertexName(v))
-			return true
-		})
-		sort.Strings(bagVars)
-		var cover []string
-		for _, e := range d.Lambdas[u] {
-			cover = append(cover, h.EdgeName(e))
-		}
-		fmt.Fprintf(&b, "%snode %d: bag={%s} λ={%s} |rel|=%d\n",
-			indent, u, strings.Join(bagVars, ","), strings.Join(cover, ","), run.nodeRels[u].Len())
-		for _, c := range children[u] {
-			walk(c, depth+1)
-		}
-	}
-	walk(d.Root(), 0)
-	return b.String(), nil
+	return p.ExplainDB(context.Background(), db)
 }
 
 // CountProjection counts the distinct projections of q's solutions onto the
@@ -61,23 +25,13 @@ func Explain(q cq.Query, db cq.Database, opts *EvalOptions) (string, error) {
 // Pichler & Skritek show this is #P-hard even for acyclic queries with one
 // quantified variable, so this implementation enumerates (exponential in
 // general); it exists to make the paper's full-CQ restriction tangible.
+//
+// Deprecated: prepare the query once with Engine.Prepare and call
+// PreparedQuery.CountProjection.
 func CountProjection(q cq.Query, db cq.Database, free []string, opts *EvalOptions) (int64, error) {
-	for _, f := range free {
-		found := false
-		for _, v := range q.Vars() {
-			if v == f {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return 0, fmt.Errorf("engine: free variable %s not in query", f)
-		}
-	}
-	rel, _, err := Enumerate2(q, db, opts)
+	p, err := preparedFor(q, opts)
 	if err != nil {
 		return 0, err
 	}
-	proj := rel.Project(free)
-	return int64(proj.Len()), nil
+	return p.CountProjection(context.Background(), db, free)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"d2cq/internal/cq"
@@ -14,12 +15,7 @@ func NaiveBCQ(q cq.Query, db cq.Database) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	found := false
-	naiveSearch(inst, func(map[string]Value) bool {
-		found = true
-		return false // stop at the first solution
-	})
-	return found, nil
+	return naiveBool(context.Background(), inst)
 }
 
 // NaiveCount counts the solutions of the full CQ q by exhaustive
@@ -29,44 +25,75 @@ func NaiveCount(q cq.Query, db cq.Database) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var n int64
-	naiveSearch(inst, func(map[string]Value) bool {
-		n++
-		return true
-	})
-	return n, nil
+	return naiveCount(context.Background(), inst)
 }
 
-// Enumerate returns all solutions as a relation over the query's variables,
-// sorted for determinism. Intended for small instances and ground-truth
-// checks in tests.
-func Enumerate(q cq.Query, db cq.Database) (*Relation, *Dict, error) {
+// NaiveEnumerate returns all solutions as a relation over the query's
+// variables, sorted for determinism. Intended for small instances and
+// ground-truth checks in tests.
+func NaiveEnumerate(q cq.Query, db cq.Database) (*Relation, *Dict, error) {
 	inst, err := Compile(q, db)
 	if err != nil {
 		return nil, nil, err
 	}
 	vars := q.Vars()
 	out := NewRelation(vars...)
-	naiveSearch(inst, func(assign map[string]Value) bool {
+	err = naiveEnumerate(context.Background(), inst, vars, func(row []Value) bool {
 		if len(vars) == 0 {
 			out.AddEmpty()
-			return true
+		} else {
+			out.Add(append([]Value(nil), row...)...)
 		}
-		tuple := make([]Value, len(vars))
-		for i, v := range vars {
-			tuple[i] = assign[v]
-		}
-		out.Add(tuple...)
 		return true
 	})
-	out.Dedup()
+	if err != nil {
+		return nil, nil, err
+	}
 	out.SortForDisplay()
 	return out, inst.Dict, nil
 }
 
+// naiveBool finds the first solution of the compiled instance.
+func naiveBool(ctx context.Context, inst *Instance) (bool, error) {
+	found := false
+	err := naiveSearch(ctx, inst, func(map[string]Value) bool {
+		found = true
+		return false // stop at the first solution
+	})
+	return found, err
+}
+
+// naiveCount counts all solutions of the compiled instance.
+func naiveCount(ctx context.Context, inst *Instance) (int64, error) {
+	var n int64
+	err := naiveSearch(ctx, inst, func(map[string]Value) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// naiveEnumerate streams every solution of the compiled instance as a value
+// row parallel to vars (sorted query variables). The row slice is reused
+// between yields. Distinct solutions are yielded exactly once: each full
+// assignment arises from exactly one combination of atom tuples.
+func naiveEnumerate(ctx context.Context, inst *Instance, vars []string, yield func(row []Value) bool) error {
+	row := make([]Value, len(vars))
+	return naiveSearch(ctx, inst, func(assign map[string]Value) bool {
+		for i, v := range vars {
+			row[i] = assign[v]
+		}
+		return yield(row)
+	})
+}
+
 // naiveSearch backtracks over atoms ordered by selectivity (fewest tuples
 // first), calling yield for every solution; yield returns false to stop.
-func naiveSearch(inst *Instance, yield func(assign map[string]Value) bool) {
+// Cancellation is checked every few hundred candidate tuples.
+func naiveSearch(ctx context.Context, inst *Instance, yield func(assign map[string]Value) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	order := make([]int, len(inst.Query.Atoms))
 	for i := range order {
 		order[i] = i
@@ -75,6 +102,8 @@ func naiveSearch(inst *Instance, yield func(assign map[string]Value) bool) {
 		return inst.AtomRels[order[a]].Len() < inst.AtomRels[order[b]].Len()
 	})
 	assign := map[string]Value{}
+	steps := 0
+	var ctxErr error
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(order) {
@@ -82,6 +111,13 @@ func naiveSearch(inst *Instance, yield func(assign map[string]Value) bool) {
 		}
 		rel := inst.AtomRels[order[i]]
 		for t := 0; t < rel.Len(); t++ {
+			steps++
+			if steps&0xff == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
 			row := rel.Row(t)
 			var touched []string
 			ok := true
@@ -111,4 +147,5 @@ func naiveSearch(inst *Instance, yield func(assign map[string]Value) bool) {
 		return true
 	}
 	rec(0)
+	return ctxErr
 }

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/decomp"
+	"d2cq/internal/hypergraph"
+)
+
+// Plan is the immutable, data-independent part of a compiled query: the
+// query's hypergraph, the decomposition, the atom→node assignment, the
+// per-node bag and cover variable lists, and the traversal orders. A Plan
+// never changes after NewPlan returns and is safe for concurrent use by any
+// number of evaluations; all data-dependent state lives in the per-call run.
+//
+// A Plan with a nil decomposition is a naive-fallback plan: evaluation
+// backtracks over the atoms without a decomposition.
+type Plan struct {
+	query cq.Query
+	h     *hypergraph.Hypergraph
+	d     *decomp.GHD // nil for a naive plan
+
+	vars  []string // hypergraph vertex id → variable name
+	qvars []string // the query's variables, sorted
+
+	// Per-node plan shape (empty for naive plans and ground queries).
+	assigned   [][]int    // node → indices of atoms filtered at that node
+	bagVars    [][]string // node → sorted bag variable names
+	lambdaVars [][][]string
+	children   [][]int
+	order      []int      // topological order, leaves before parents
+	shared     [][]string // node → bag vars shared with the parent's bag
+}
+
+// NewPlan compiles q against the decomposition d: assigns every atom to a
+// node whose bag covers its variables and fixes the traversal orders. d must
+// be a decomposition of q's hypergraph (pass nil for a naive plan).
+func NewPlan(q cq.Query, d *decomp.GHD) (*Plan, error) {
+	h := q.Hypergraph()
+	p := &Plan{query: q, h: h, d: d, vars: h.VertexNames(), qvars: q.Vars()}
+	if d == nil || d.Nodes() == 0 {
+		return p, nil
+	}
+	p.children = d.Children()
+	// Assign each atom to a node whose bag contains its variables.
+	p.assigned = make([][]int, d.Nodes())
+	for ai, a := range q.Atoms {
+		vs := a.VarSet()
+		node := -1
+		for u, bag := range d.Bags {
+			all := true
+			for _, v := range vs {
+				id := h.VertexID(v)
+				if id < 0 || !bag.Has(id) {
+					all = false
+					break
+				}
+			}
+			if all {
+				node = u
+				break
+			}
+		}
+		if node < 0 {
+			return nil, fmt.Errorf("engine: atom %s fits no bag", a)
+		}
+		p.assigned[node] = append(p.assigned[node], ai)
+	}
+	// Per-node variable lists.
+	p.bagVars = make([][]string, d.Nodes())
+	p.lambdaVars = make([][][]string, d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		var bagVars []string
+		d.Bags[u].ForEach(func(v int) bool {
+			bagVars = append(bagVars, p.vars[v])
+			return true
+		})
+		sort.Strings(bagVars)
+		p.bagVars[u] = bagVars
+		for _, e := range d.Lambdas[u] {
+			names := make([]string, 0, h.EdgeSet(e).Len())
+			h.EdgeSet(e).ForEach(func(v int) bool {
+				names = append(names, p.vars[v])
+				return true
+			})
+			sort.Strings(names)
+			p.lambdaVars[u] = append(p.lambdaVars[u], names)
+		}
+	}
+	// Bag variables shared with the parent (the enumeration join keys).
+	p.shared = make([][]string, d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		if parent := d.Parent[u]; parent >= 0 {
+			var sh []string
+			d.Bags[u].ForEach(func(v int) bool {
+				if d.Bags[parent].Has(v) {
+					sh = append(sh, p.vars[v])
+				}
+				return true
+			})
+			sort.Strings(sh)
+			p.shared[u] = sh
+		}
+	}
+	// Topological order (children before parents).
+	p.order = make([]int, 0, d.Nodes())
+	var visit func(u int)
+	visit = func(u int) {
+		for _, c := range p.children[u] {
+			visit(c)
+		}
+		p.order = append(p.order, u)
+	}
+	if root := d.Root(); root >= 0 {
+		visit(root)
+	}
+	if len(p.order) != d.Nodes() {
+		return nil, fmt.Errorf("engine: decomposition tree is not connected")
+	}
+	return p, nil
+}
+
+// Query returns the compiled query.
+func (p *Plan) Query() cq.Query { return p.query }
+
+// Vars returns the query's variables in output order (sorted).
+func (p *Plan) Vars() []string { return p.qvars }
+
+// Decomp returns the decomposition behind the plan (nil for a naive plan).
+func (p *Plan) Decomp() *decomp.GHD { return p.d }
+
+// Naive reports whether the plan evaluates by backtracking without a
+// decomposition.
+func (p *Plan) Naive() bool { return p.d == nil }
+
+// Width returns the decomposition width (0 for naive and ground plans).
+func (p *Plan) Width() int {
+	if p.d == nil {
+		return 0
+	}
+	return p.d.Width()
+}
+
+// Explain renders the data-independent plan: the decomposition tree with
+// per-node bags, covers and atom filters. See PreparedQuery.ExplainDB for
+// the variant that includes materialised relation sizes.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", p.query)
+	if p.d == nil {
+		fmt.Fprintf(&b, "plan: naive backtracking over %d atoms\n", len(p.query.Atoms))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "decomposition: %d nodes, width %d\n", p.d.Nodes(), p.d.Width())
+	if p.d.Nodes() == 0 {
+		fmt.Fprintf(&b, "(ground query: emptiness checks only)\n")
+		return b.String()
+	}
+	var walk func(u, depth int)
+	walk = func(u, depth int) {
+		indent := strings.Repeat("  ", depth)
+		var cover []string
+		for _, e := range p.d.Lambdas[u] {
+			cover = append(cover, p.h.EdgeName(e))
+		}
+		fmt.Fprintf(&b, "%snode %d: bag={%s} λ={%s}", indent, u,
+			strings.Join(p.bagVars[u], ","), strings.Join(cover, ","))
+		if len(p.assigned[u]) > 0 {
+			var atoms []string
+			for _, ai := range p.assigned[u] {
+				atoms = append(atoms, p.query.Atoms[ai].String())
+			}
+			fmt.Fprintf(&b, " filters={%s}", strings.Join(atoms, "; "))
+		}
+		b.WriteByte('\n')
+		for _, c := range p.children[u] {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.d.Root(), 0)
+	return b.String()
+}

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+// cycleQuery returns the n-cycle query E0(x0,x1), ..., E{n-1}(x{n-1},x0)
+// with a database whose relations form a clique over dom constants (many
+// solutions, cyclic hypergraph, ghw 2).
+func cycleQuery(n, dom int) (cq.Query, cq.Database) {
+	var q cq.Query
+	db := cq.Database{}
+	for i := 0; i < n; i++ {
+		rel := fmt.Sprintf("E%d", i)
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: rel, Args: []cq.Term{
+			cq.V(fmt.Sprintf("x%d", i)), cq.V(fmt.Sprintf("x%d", (i+1)%n)),
+		}})
+		for a := 0; a < dom; a++ {
+			for b := 0; b < dom; b++ {
+				db.Add(rel, fmt.Sprintf("c%d", a), fmt.Sprintf("c%d", b))
+			}
+		}
+	}
+	return q, db
+}
+
+func TestPreparedDecompComputedOnce(t *testing.T) {
+	eng := NewEngine()
+	q, db := cycleQuery(4, 2)
+	prep, err := eng.Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if ok, err := prep.Bool(context.Background(), db); err != nil || !ok {
+			t.Fatalf("eval %d: ok=%v err=%v", i, ok, err)
+		}
+		if _, err := prep.Count(context.Background(), db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.DecompsComputed != 1 {
+		t.Errorf("decompositions computed = %d after repeated evaluation, want exactly 1", st.DecompsComputed)
+	}
+	// Preparing the same query shape again must hit the cache, not recompute.
+	if _, err := eng.Prepare(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.DecompsComputed != 1 {
+		t.Errorf("decompositions computed = %d after re-prepare, want 1 (cache hit)", st.DecompsComputed)
+	}
+	if st.Cache.Hits == 0 {
+		t.Error("expected at least one cache hit")
+	}
+	if st.Prepares != 2 {
+		t.Errorf("prepares = %d, want 2", st.Prepares)
+	}
+}
+
+func TestPreparedConcurrentUse(t *testing.T) {
+	eng := NewEngine()
+	q, db := cycleQuery(5, 2)
+	prep, err := eng.Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, err := prep.Count(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCount == 0 {
+		t.Fatal("fixture should have solutions")
+	}
+	// Hammer one PreparedQuery from many goroutines over several databases;
+	// run with -race to catch shared-state mutation.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10; i++ {
+				switch r.Intn(3) {
+				case 0:
+					ok, err := prep.Bool(context.Background(), db)
+					if err != nil || !ok {
+						errs <- fmt.Errorf("Bool: ok=%v err=%v", ok, err)
+						return
+					}
+				case 1:
+					n, err := prep.Count(context.Background(), db)
+					if err != nil || n != wantCount {
+						errs <- fmt.Errorf("Count: n=%d want=%d err=%v", n, wantCount, err)
+						return
+					}
+				default:
+					var n int64
+					err := prep.Enumerate(context.Background(), db, func(Solution) bool {
+						n++
+						return true
+					})
+					if err != nil || n != wantCount {
+						errs <- fmt.Errorf("Enumerate: n=%d want=%d err=%v", n, wantCount, err)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := eng.Stats(); st.DecompsComputed != 1 {
+		t.Errorf("decompositions computed = %d under concurrency, want 1", st.DecompsComputed)
+	}
+}
+
+func TestPreparedContextCancellation(t *testing.T) {
+	eng := NewEngine()
+	q, db := cycleQuery(6, 3) // thousands of solutions
+	prep, err := eng.Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int
+	err = prep.Enumerate(ctx, db, func(Solution) bool {
+		n++
+		if n == 100 {
+			cancel() // cancel mid-enumeration; the stream must stop with ctx.Err()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enumerate after cancel: err=%v (yielded %d)", err, n)
+	}
+	total, err := prep.Count(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) >= total {
+		t.Fatalf("cancellation yielded all %d solutions", total)
+	}
+	// Pre-cancelled contexts fail fast everywhere.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := prep.Bool(done, db); !errors.Is(err, context.Canceled) {
+		t.Errorf("Bool on cancelled ctx: %v", err)
+	}
+	if _, err := prep.Count(done, db); !errors.Is(err, context.Canceled) {
+		t.Errorf("Count on cancelled ctx: %v", err)
+	}
+	if _, err := eng.Prepare(done, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("Prepare on cancelled ctx: %v", err)
+	}
+}
+
+func TestPreparedEnumerateEarlyStop(t *testing.T) {
+	q, db := cycleQuery(4, 3)
+	prep, err := NewEngine().Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	err = prep.Enumerate(context.Background(), db, func(Solution) bool {
+		n++
+		return n < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("early stop yielded %d, want 5", n)
+	}
+}
+
+func TestPreparedEnumerateMatchesNaiveAndCount(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	eng := NewEngine()
+	for trial := 0; trial < 30; trial++ {
+		query, db := randomInstance(r)
+		prep, err := eng.Prepare(context.Background(), query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, dict, err := prep.EnumerateAll(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveRel, naiveDict, err := NaiveEnumerate(query, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualRelations(rel, dict, naiveRel, naiveDict) {
+			t.Fatalf("trial %d: streamed enumeration differs (%d vs %d)\nq=%s",
+				trial, rel.Len(), naiveRel.Len(), query)
+		}
+		n, err := prep.Count(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(rel.Len()) {
+			t.Fatalf("trial %d: Count=%d but enumeration found %d", trial, n, rel.Len())
+		}
+	}
+}
+
+func TestPreparedSolutionAccessors(t *testing.T) {
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("S", "2", "3")
+	query, err := cq.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := NewEngine().Prepare(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err = prep.Enumerate(context.Background(), db, func(s Solution) bool {
+		if s.Get("y") != "2" {
+			t.Errorf("Get(y) = %q", s.Get("y"))
+		}
+		got = s.Strings()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2", "3"} // x, y, z sorted
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("solution = %v, want %v", got, want)
+	}
+}
+
+func TestWithMaxWidthAndNaiveFallback(t *testing.T) {
+	q, db := cycleQuery(4, 2) // cyclic: decomposition width 2
+	strict := NewEngine(WithMaxWidth(1))
+	if _, err := strict.Prepare(context.Background(), q); !errors.Is(err, ErrWidthExceeded) {
+		t.Fatalf("want ErrWidthExceeded, got %v", err)
+	}
+	relaxed := NewEngine(WithMaxWidth(1), WithNaiveFallback())
+	prep, err := relaxed.Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Plan().Naive() {
+		t.Fatal("fallback plan should be naive")
+	}
+	ok, err := prep.Bool(context.Background(), db)
+	if err != nil || !ok {
+		t.Fatalf("naive fallback Bool: ok=%v err=%v", ok, err)
+	}
+	wantN, err := NaiveCount(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := prep.Count(context.Background(), db)
+	if err != nil || n != wantN {
+		t.Fatalf("naive fallback Count = %d, want %d (err=%v)", n, wantN, err)
+	}
+	var streamed int64
+	if err := prep.Enumerate(context.Background(), db, func(Solution) bool { streamed++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != wantN {
+		t.Fatalf("naive fallback Enumerate streamed %d, want %d", streamed, wantN)
+	}
+}
+
+func TestPreparedCountProjection(t *testing.T) {
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("R", "1", "3")
+	db.Add("S", "2", "4")
+	db.Add("S", "3", "4")
+	query, err := cq.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := NewEngine().Prepare(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := prep.CountProjection(context.Background(), db, []string{"x", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // both solutions project to (1, 4)
+		t.Errorf("CountProjection = %d, want 1", n)
+	}
+	if _, err := prep.CountProjection(context.Background(), db, []string{"nope"}); err == nil {
+		t.Error("unknown free variable must error")
+	}
+}
+
+func TestPreparedExplain(t *testing.T) {
+	q, db := cycleQuery(4, 2)
+	prep, err := NewEngine().Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := prep.Explain()
+	if plan == "" || prep.Plan().Width() < 2 {
+		t.Fatalf("explain/width broken:\n%s", plan)
+	}
+	withDB, err := prep.ExplainDB(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withDB) <= len(plan) {
+		t.Error("ExplainDB should add materialised sizes")
+	}
+}
+
+func TestPrepareSingleflight(t *testing.T) {
+	eng := NewEngine()
+	q, _ := cycleQuery(5, 2)
+	// Many goroutines race to prepare the same uncached shape: the
+	// decomposition search must run exactly once (singleflight), not once
+	// per goroutine.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Prepare(context.Background(), q); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.DecompsComputed != 1 {
+		t.Errorf("decompositions computed = %d under concurrent prepare, want 1", st.DecompsComputed)
+	}
+}
+
+func TestNaivePlanHonoursCancelledContext(t *testing.T) {
+	q, db := cycleQuery(4, 2)
+	prep, err := NewEngine(WithMaxWidth(1), WithNaiveFallback()).Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Plan().Naive() {
+		t.Fatal("fixture should fall back to a naive plan")
+	}
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prep.Bool(done, db); !errors.Is(err, context.Canceled) {
+		t.Errorf("naive Bool on cancelled ctx: %v", err)
+	}
+	if _, err := prep.Count(done, db); !errors.Is(err, context.Canceled) {
+		t.Errorf("naive Count on cancelled ctx: %v", err)
+	}
+	if err := prep.Enumerate(done, db, func(Solution) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Errorf("naive Enumerate on cancelled ctx: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+)
+
+// run is the data-dependent state of one evaluation of a Plan over one
+// compiled Instance: the materialised node relations. A run belongs to a
+// single evaluation call and is never shared between goroutines; the Plan it
+// points at is immutable.
+type run struct {
+	plan     *Plan
+	inst     *Instance
+	nodeRels []*Relation
+}
+
+// newRun materialises the node relations of the plan over inst: for each
+// decomposition node, the join of its λ edge relations projected to the bag,
+// then filtered by every atom assigned to that node.
+func newRun(ctx context.Context, p *Plan, inst *Instance) (*run, error) {
+	r := &run{plan: p, inst: inst, nodeRels: make([]*Relation, p.d.Nodes())}
+	for u := 0; u < p.d.Nodes(); u++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var acc *Relation
+		for _, names := range p.lambdaVars[u] {
+			er := inst.EdgeRelation(names)
+			if acc == nil {
+				acc = er
+			} else {
+				acc = Join(acc, er)
+			}
+		}
+		if acc == nil {
+			acc = NewRelation()
+			acc.AddEmpty()
+		}
+		acc = acc.Project(p.bagVars[u])
+		for _, ai := range p.assigned[u] {
+			acc = Semijoin(acc, inst.AtomRels[ai])
+		}
+		r.nodeRels[u] = acc
+	}
+	return r, nil
+}
+
+// bool_ decides satisfiability by a bottom-up Yannakakis semijoin pass:
+// semijoin every parent with its children in topological order; satisfiable
+// iff no node relation empties out.
+func (r *run) bool_(ctx context.Context) (bool, error) {
+	for _, u := range r.plan.order {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		for _, c := range r.plan.children[u] {
+			r.nodeRels[u] = Semijoin(r.nodeRels[u], r.nodeRels[c])
+		}
+		if r.nodeRels[u].Len() == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// count computes |q(D)| for a full CQ by dynamic programming over the
+// decomposition (Pichler & Skritek, Proposition 4.14): every tuple of a node
+// carries the number of extensions to the variables introduced strictly
+// below it; counts multiply across children and sum across matching child
+// tuples.
+func (r *run) count(ctx context.Context) (int64, error) {
+	d := r.plan.d
+	counts := make([][]int64, d.Nodes())
+	for _, u := range r.plan.order {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		rel := r.nodeRels[u]
+		cnt := make([]int64, rel.Len())
+		for i := range cnt {
+			cnt[i] = 1
+		}
+		for _, c := range r.plan.children[u] {
+			crel := r.nodeRels[c]
+			_, uIdx, cIdx := sharedColumns(rel, crel)
+			sum := map[string]int64{}
+			buf := make([]Value, len(uIdx))
+			for i := 0; i < crel.Len(); i++ {
+				row := crel.Row(i)
+				for j, x := range cIdx {
+					buf[j] = row[x]
+				}
+				sum[key(buf)] += counts[c][i]
+			}
+			for i := 0; i < rel.Len(); i++ {
+				row := rel.Row(i)
+				for j, x := range uIdx {
+					buf[j] = row[x]
+				}
+				cnt[i] *= sum[key(buf)]
+			}
+		}
+		counts[u] = cnt
+	}
+	var total int64
+	for _, c := range counts[d.Root()] {
+		total += c
+	}
+	return total, nil
+}
+
+// fullReduce performs the classic Yannakakis full reduction on the node
+// relations: a bottom-up semijoin pass followed by a top-down pass. After
+// it, every remaining tuple of every node participates in at least one
+// solution.
+func (r *run) fullReduce(ctx context.Context) error {
+	for _, u := range r.plan.order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, c := range r.plan.children[u] {
+			r.nodeRels[u] = Semijoin(r.nodeRels[u], r.nodeRels[c])
+		}
+	}
+	for i := len(r.plan.order) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		u := r.plan.order[i]
+		for _, c := range r.plan.children[u] {
+			r.nodeRels[c] = Semijoin(r.nodeRels[c], r.nodeRels[u])
+		}
+	}
+	return nil
+}
+
+// enumerate streams every solution of the full CQ without materialising the
+// join. It assumes fullReduce has run: then every node tuple participates in
+// a solution and the backtracking search below never dead-ends, so the
+// delay between consecutive yields is bounded by the tree size. yield
+// receives the assignment as values indexed parallel to plan.Vars(); the
+// slice is reused between calls. Returning false from yield stops the
+// enumeration early (enumerate then returns nil).
+func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error {
+	p := r.plan
+	// Pre-order over the tree: reverse of the (post-order) topological
+	// order. Every node appears after all of its ancestors.
+	pre := make([]int, len(p.order))
+	for i, u := range p.order {
+		pre[len(p.order)-1-i] = u
+	}
+	// For every non-root node, index its relation by the columns shared
+	// with the parent bag; by TD connectedness those are exactly the
+	// columns constrained by the time the node is visited.
+	type nodeIndex struct {
+		rel       *Relation
+		byKey     map[string][]int // shared-column key → row indices
+		sharedVid []int            // vertex ids of the shared columns
+		write     []int            // vertex id of every rel column
+	}
+	idx := make([]nodeIndex, p.d.Nodes())
+	for _, u := range pre {
+		rel := r.nodeRels[u]
+		ni := nodeIndex{rel: rel}
+		for _, c := range rel.Cols {
+			ni.write = append(ni.write, p.h.VertexID(c))
+		}
+		if len(p.shared[u]) > 0 {
+			sharedAt := make([]int, len(p.shared[u]))
+			ni.sharedVid = make([]int, len(p.shared[u]))
+			for j, c := range p.shared[u] {
+				sharedAt[j] = rel.ColIndex(c)
+				ni.sharedVid[j] = p.h.VertexID(c)
+			}
+			ni.byKey = make(map[string][]int, rel.Len())
+			buf := make([]Value, len(sharedAt))
+			for i := 0; i < rel.Len(); i++ {
+				row := rel.Row(i)
+				for j, x := range sharedAt {
+					buf[j] = row[x]
+				}
+				ni.byKey[key(buf)] = append(ni.byKey[key(buf)], i)
+			}
+		}
+		idx[u] = ni
+	}
+	maxShared := 0
+	for _, u := range pre {
+		if len(p.shared[u]) > maxShared {
+			maxShared = len(p.shared[u])
+		}
+	}
+	asg := make([]Value, p.h.NV())
+	out := make([]Value, len(p.qvars))
+	keyBuf := make([]Value, maxShared)
+	var yielded int
+	stop := false
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(pre) {
+			yielded++
+			if yielded&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			// Vertex ids follow sorted variable order, so the assignment
+			// is already the output row.
+			copy(out, asg[:len(out)])
+			if !yield(out) {
+				stop = true
+			}
+			return nil
+		}
+		u := pre[i]
+		ni := idx[u]
+		n := ni.rel.Len()
+		var rows []int
+		if ni.byKey != nil {
+			kb := keyBuf[:len(ni.sharedVid)]
+			for j, vid := range ni.sharedVid {
+				kb[j] = asg[vid]
+			}
+			rows = ni.byKey[key(kb)]
+			n = len(rows)
+		}
+		for ri := 0; ri < n; ri++ {
+			if stop {
+				return nil
+			}
+			rowIdx := ri
+			if rows != nil {
+				rowIdx = rows[ri]
+			}
+			row := ni.rel.Row(rowIdx)
+			for j, vid := range ni.write {
+				asg[vid] = row[j]
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p.d.Nodes() == 0 {
+		return nil
+	}
+	return rec(0)
+}

@@ -1,215 +1,83 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
-	"sort"
+	"context"
 
 	"d2cq/internal/cq"
 	"d2cq/internal/decomp"
 )
 
-// ghdRun holds the per-node relations of a decomposition-based evaluation.
-type ghdRun struct {
-	inst     *Instance
-	d        *decomp.GHD
-	vars     []string // hypergraph vertex id → variable name
-	nodeRels []*Relation
-	children [][]int
-	order    []int // topological order, leaves before parents
+// defaultEngine backs the free evaluation functions. It is shared so that
+// repeated ad-hoc calls still benefit from the decomposition cache.
+var defaultEngine = NewEngine()
+
+// Default returns the process-wide engine behind the free functions.
+func Default() *Engine { return defaultEngine }
+
+// preparedFor compiles q with the default engine, or against the explicitly
+// supplied decomposition when opts carries one.
+func preparedFor(q cq.Query, opts *EvalOptions) (*PreparedQuery, error) {
+	if opts != nil && opts.Decomp != nil {
+		p, err := NewPlan(q, opts.Decomp)
+		if err != nil {
+			return nil, err
+		}
+		return &PreparedQuery{eng: defaultEngine, plan: p}, nil
+	}
+	return defaultEngine.Prepare(context.Background(), q)
 }
 
-// prepare materialises the node relations: for each GHD node, the join of
-// its λ edge relations projected to the bag, then filtered by every atom
-// assigned to that node.
-func prepare(inst *Instance, d *decomp.GHD) (*ghdRun, error) {
-	h := inst.Query.Hypergraph()
-	vars := h.VertexNames()
-	run := &ghdRun{inst: inst, d: d, vars: vars, children: d.Children()}
-	// Assign each atom to a node whose bag contains its variables.
-	assigned := make([][]int, d.Nodes())
-	for ai, a := range inst.Query.Atoms {
-		vs := a.VarSet()
-		node := -1
-		for u, bag := range d.Bags {
-			all := true
-			for _, v := range vs {
-				id := h.VertexID(v)
-				if id < 0 || !bag.Has(id) {
-					all = false
-					break
-				}
-			}
-			if all {
-				node = u
-				break
-			}
-		}
-		if node < 0 {
-			return nil, fmt.Errorf("engine: atom %s fits no bag", a)
-		}
-		assigned[node] = append(assigned[node], ai)
-	}
-	run.nodeRels = make([]*Relation, d.Nodes())
-	for u := 0; u < d.Nodes(); u++ {
-		// Join the λ cover's edge relations.
-		var acc *Relation
-		for _, e := range d.Lambdas[u] {
-			names := make([]string, 0, h.EdgeSet(e).Len())
-			h.EdgeSet(e).ForEach(func(v int) bool {
-				names = append(names, vars[v])
-				return true
-			})
-			sort.Strings(names)
-			er := inst.EdgeRelation(names)
-			if acc == nil {
-				acc = er
-			} else {
-				acc = Join(acc, er)
-			}
-		}
-		if acc == nil {
-			acc = NewRelation()
-			acc.AddEmpty()
-		}
-		// Project to the bag.
-		var bagVars []string
-		d.Bags[u].ForEach(func(v int) bool {
-			bagVars = append(bagVars, vars[v])
-			return true
-		})
-		sort.Strings(bagVars)
-		acc = acc.Project(bagVars)
-		// Filter by the atoms assigned here.
-		for _, ai := range assigned[u] {
-			acc = Semijoin(acc, inst.AtomRels[ai])
-		}
-		run.nodeRels[u] = acc
-	}
-	// Topological order (children before parents).
-	run.order = make([]int, 0, d.Nodes())
-	var visit func(u int)
-	visit = func(u int) {
-		for _, c := range run.children[u] {
-			visit(c)
-		}
-		run.order = append(run.order, u)
-	}
-	root := d.Root()
-	if root >= 0 {
-		visit(root)
-	}
-	if len(run.order) != d.Nodes() {
-		return nil, errors.New("engine: decomposition tree is not connected")
-	}
-	return run, nil
-}
-
-// BCQGHD decides q(D) ≠ ∅ by a bottom-up Yannakakis pass over the
+// BCQGHD decides q(D) ≠ ∅ by a bottom-up Yannakakis pass over the given
 // decomposition: semijoin every parent with its children in topological
-// order; the query is satisfiable iff the root relation stays non-empty
-// (and no node relation is empty).
+// order; the query is satisfiable iff no node relation empties out.
+//
+// Deprecated: prepare the query once with Engine.Prepare (passing the
+// decomposition via EvalOptions when needed) and call PreparedQuery.Bool.
 func BCQGHD(inst *Instance, d *decomp.GHD) (bool, error) {
 	if len(inst.Query.Atoms) == 0 {
 		return true, nil
 	}
 	if d.Nodes() == 0 {
-		// The query hypergraph has no edges: every atom is ground (or the
-		// query is trivial); satisfiable iff all atom relations are
-		// non-empty.
-		for _, r := range inst.AtomRels {
-			if r.Len() == 0 {
-				return false, nil
-			}
-		}
-		return true, nil
+		return groundSat(inst), nil
 	}
-	run, err := prepare(inst, d)
+	p, err := NewPlan(inst.Query, d)
 	if err != nil {
 		return false, err
 	}
-	for _, u := range run.order {
-		for _, c := range run.children[u] {
-			run.nodeRels[u] = Semijoin(run.nodeRels[u], run.nodeRels[c])
-		}
-		if run.nodeRels[u].Len() == 0 {
-			return false, nil
-		}
+	r, err := newRun(context.Background(), p, inst)
+	if err != nil {
+		return false, err
 	}
-	return true, nil
+	return r.bool_(context.Background())
 }
 
 // CountGHD computes |q(D)| for a full CQ by dynamic programming over the
-// decomposition (Pichler & Skritek, Proposition 4.14): every tuple of a node
-// carries the number of extensions to the variables introduced strictly
-// below it; counts multiply across children and sum across matching child
-// tuples.
+// given decomposition (Pichler & Skritek, Proposition 4.14).
+//
+// Deprecated: prepare the query once with Engine.Prepare and call
+// PreparedQuery.Count.
 func CountGHD(inst *Instance, d *decomp.GHD) (int64, error) {
 	if len(inst.Query.Atoms) == 0 {
 		return 1, nil
 	}
 	if d.Nodes() == 0 {
-		// Ground query: one (empty) solution if every atom holds.
-		for _, r := range inst.AtomRels {
-			if r.Len() == 0 {
-				return 0, nil
-			}
+		if groundSat(inst) {
+			return 1, nil
 		}
-		return 1, nil
+		return 0, nil
 	}
-	run, err := prepare(inst, d)
+	p, err := NewPlan(inst.Query, d)
 	if err != nil {
 		return 0, err
 	}
-	h := inst.Query.Hypergraph()
-	// counts[u][i] = number of extensions of tuple i of node u into the
-	// subtree below u, over variables not in bag(u).
-	counts := make([][]int64, d.Nodes())
-	for _, u := range run.order {
-		rel := run.nodeRels[u]
-		cnt := make([]int64, rel.Len())
-		for i := range cnt {
-			cnt[i] = 1
-		}
-		for _, c := range run.children[u] {
-			crel := run.nodeRels[c]
-			shared, uIdx, cIdx := sharedColumns(rel, crel)
-			// Sum child counts per shared-key; new child-bag variables are
-			// counted by the child tuples themselves.
-			sum := map[string]int64{}
-			buf := make([]Value, len(shared))
-			for i := 0; i < crel.Len(); i++ {
-				row := crel.Row(i)
-				for j, x := range cIdx {
-					buf[j] = row[x]
-				}
-				sum[key(buf)] += counts[c][i]
-			}
-			for i := 0; i < rel.Len(); i++ {
-				row := rel.Row(i)
-				for j, x := range uIdx {
-					buf[j] = row[x]
-				}
-				cnt[i] *= sum[key(buf)]
-			}
-		}
-		counts[u] = cnt
+	r, err := newRun(context.Background(), p, inst)
+	if err != nil {
+		return 0, err
 	}
-	root := d.Root()
-	var total int64
-	for _, c := range counts[root] {
-		total += c
-	}
-	// Variables of the query not appearing in any atom relation (impossible
-	// here: every variable is in some atom), so total is the answer count —
-	// but the bags may not introduce variables disjointly if the
-	// decomposition repeats a variable across incomparable nodes; the TD
-	// connectedness condition rules that out.
-	_ = h
-	return total, nil
+	return r.count(context.Background())
 }
 
-// EvalOptions selects a decomposition strategy.
+// EvalOptions selects a decomposition strategy for the free functions.
 type EvalOptions struct {
 	// Decomp supplies a decomposition; if nil, one is computed
 	// (join tree when acyclic, hypertree decomposition otherwise).
@@ -218,35 +86,26 @@ type EvalOptions struct {
 
 // BCQ decides whether q has a solution over db, using a decomposition-based
 // evaluation (Proposition 2.2: polynomial for bounded ghw).
+//
+// Deprecated: for repeated evaluation, prepare the query once with
+// Engine.Prepare and call PreparedQuery.Bool.
 func BCQ(q cq.Query, db cq.Database, opts *EvalOptions) (bool, error) {
-	inst, err := Compile(q, db)
+	p, err := preparedFor(q, opts)
 	if err != nil {
 		return false, err
 	}
-	d, err := pickDecomp(q, opts)
-	if err != nil {
-		return false, err
-	}
-	return BCQGHD(inst, d)
+	return p.Bool(context.Background(), db)
 }
 
 // Count computes |q(D)| for the full CQ q over db (Proposition 4.14:
 // polynomial for bounded ghw).
+//
+// Deprecated: for repeated evaluation, prepare the query once with
+// Engine.Prepare and call PreparedQuery.Count.
 func Count(q cq.Query, db cq.Database, opts *EvalOptions) (int64, error) {
-	inst, err := Compile(q, db)
+	p, err := preparedFor(q, opts)
 	if err != nil {
 		return 0, err
 	}
-	d, err := pickDecomp(q, opts)
-	if err != nil {
-		return 0, err
-	}
-	return CountGHD(inst, d)
-}
-
-func pickDecomp(q cq.Query, opts *EvalOptions) (*decomp.GHD, error) {
-	if opts != nil && opts.Decomp != nil {
-		return opts.Decomp, nil
-	}
-	return decomp.EvalDecomposition(q.Hypergraph())
+	return p.Count(context.Background(), db)
 }

@@ -152,7 +152,7 @@ func dedupDatabase(d cq.Database) {
 // Solutions enumerates the canonical instance's solution relation (sorted,
 // deduplicated) for ground-truth comparisons.
 func (in Instance) Solutions() (*engine.Relation, *engine.Dict, error) {
-	return engine.Enumerate(in.Q, in.D)
+	return engine.NaiveEnumerate(in.Q, in.D)
 }
 
 // BCQ decides the instance with the decomposition engine.

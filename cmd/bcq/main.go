@@ -1,8 +1,9 @@
 // Command bcq evaluates a Boolean conjunctive query (or counts or
 // enumerates its answers) over a database. The query is compiled once into
 // a prepared plan — parse → hypergraph → decomposition → node plan — and the
-// plan is then bound to the database, mirroring the compile-once /
-// evaluate-many API of the library.
+// database is compiled once into interned, indexed form; binding the two
+// fixes all shared evaluation state, mirroring the compile-once /
+// evaluate-many API of the library on both the query and the data side.
 //
 // Usage:
 //
@@ -74,26 +75,46 @@ func run(args []string, out io.Writer) error {
 	eng := d2cq.NewEngine(opts...)
 	// The naive baseline needs no plan: only compile when a prepared path
 	// will actually run (so -naive never pays — or fails — the
-	// decomposition search).
-	var prep *d2cq.PreparedQuery
-	if *explain || *enumerate || !*naive {
-		prep, err = eng.Prepare(ctx, q)
+	// decomposition search). The database is compiled once and the prepared
+	// plan bound to it, so every evaluation below shares the interned
+	// dictionary, atom relations and node materialisation.
+	var bound *d2cq.BoundQuery
+	if *explain || !*naive {
+		prep, err := eng.Prepare(ctx, q)
+		if err != nil {
+			return err
+		}
+		cdb, err := eng.CompileDB(ctx, db)
+		if err != nil {
+			return err
+		}
+		bound, err = prep.Bind(ctx, cdb)
 		if err != nil {
 			return err
 		}
 	}
 	if *explain {
-		plan, err := prep.ExplainDB(ctx, db)
+		// The bound state already holds the materialised node relations:
+		// explaining is pure formatting, no recompilation.
+		fmt.Fprint(out, bound.ExplainDB())
+	}
+	switch {
+	case *enumerate && *naive:
+		fmt.Fprintf(out, "answers (%s):\n", strings.Join(q.Vars(), ","))
+		n := 0
+		err := d2cq.NaiveEnumerate(q, db, func(s d2cq.Solution) bool {
+			n++
+			fmt.Fprintf(out, "  %s\n", strings.Join(s.Strings(), ","))
+			return true
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, plan)
-	}
-	switch {
+		fmt.Fprintf(out, "answers (naive): %d\n", n)
 	case *enumerate:
-		fmt.Fprintf(out, "answers (%s):\n", strings.Join(prep.Vars(), ","))
+		fmt.Fprintf(out, "answers (%s):\n", strings.Join(bound.Vars(), ","))
 		n := 0
-		err := prep.Enumerate(ctx, db, func(s d2cq.Solution) bool {
+		err := bound.Enumerate(ctx, func(s d2cq.Solution) bool {
 			n++
 			fmt.Fprintf(out, "  %s\n", strings.Join(s.Strings(), ","))
 			return true
@@ -109,7 +130,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "answers (naive): %d\n", n)
 	case *count:
-		n, err := prep.Count(ctx, db)
+		n, err := bound.Count(ctx)
 		if err != nil {
 			return err
 		}
@@ -121,7 +142,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "satisfiable (naive): %v\n", ok)
 	default:
-		ok, err := prep.Bool(ctx, db)
+		ok, err := bound.Bool(ctx)
 		if err != nil {
 			return err
 		}

@@ -84,4 +84,13 @@ func TestRunEnumerateAndMaxWidth(t *testing.T) {
 	if err := run([]string{"-query", "E1(x,y), E2(y,z), E3(z,x)", "-db", tri, "-maxwidth", "1"}, &out); err == nil {
 		t.Error("width bound should reject the triangle query")
 	}
+	// -naive -enumerate must use the naive engine — and therefore succeed
+	// even when the width bound would reject the prepared plan.
+	out.Reset()
+	if err := run([]string{"-query", "E1(x,y), E2(y,z), E3(z,x)", "-db", tri, "-maxwidth", "1", "-naive", "-enumerate"}, &out); err != nil {
+		t.Fatalf("-naive -enumerate must not touch the decomposition search: %v", err)
+	}
+	if !strings.Contains(out.String(), "answers (naive): 1") || !strings.Contains(out.String(), "a,b,c") {
+		t.Errorf("naive enumeration output:\n%s", out.String())
+	}
 }

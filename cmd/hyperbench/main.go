@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	hyperbench [-seed 1] [-per 24] [-maxk 5] [-csv out.csv]
+//	hyperbench [-seed 1] [-per 24] [-maxk 5] [-csv out.csv] [-evalwidth k] [-json]
+//
+// With -json the run emits one machine-readable report (generation and
+// evaluation timings, Table 1 rows, engine/cache statistics) instead of the
+// human tables, so benchmark trajectories can be recorded across runs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"d2cq"
 	"d2cq/internal/hyperbench"
@@ -26,6 +32,32 @@ func main() {
 	}
 }
 
+// report is the -json output: everything a trajectory recorder needs to
+// compare runs (inputs, sizes, timings, cache behaviour).
+type report struct {
+	Seed      int64                  `json:"seed"`
+	PerFamily int                    `json:"per_family"`
+	MaxK      int                    `json:"max_k"`
+	Entries   int                    `json:"entries"`
+	GenMS     float64                `json:"generate_ms"`
+	Table1    []hyperbench.Table1Row `json:"table1"`
+	Eval      *evalReport            `json:"eval,omitempty"`
+}
+
+type evalReport struct {
+	MaxWidth    int     `json:"max_width"`
+	Sat         int     `json:"sat"`
+	Unsat       int     `json:"unsat"`
+	Naive       int     `json:"naive_fallback"`
+	EvalMS      float64 `json:"eval_ms"`
+	Prepares    uint64  `json:"prepares"`
+	Decomps     uint64  `json:"decomps_computed"`
+	DBCompiles  uint64  `json:"db_compiles"`
+	Binds       uint64  `json:"binds"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hyperbench", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "corpus seed")
@@ -33,19 +65,44 @@ func run(args []string, out io.Writer) error {
 	maxk := fs.Int("maxk", 5, "largest k for the ghw > k table")
 	csv := fs.String("csv", "", "also write the per-instance census to this CSV file")
 	evalWidth := fs.Int("evalwidth", 0, "also prepare & evaluate the canonical BCQ of every corpus entry up to this plan width (0 = skip)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of the human tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	genStart := time.Now()
 	c, err := hyperbench.Generate(hyperbench.Options{Seed: *seed, PerFamily: *per, MaxWidth: *maxk})
 	if err != nil {
 		return err
 	}
+	genMS := float64(time.Since(genStart).Microseconds()) / 1000
 	if *csv != "" {
 		if err := os.WriteFile(*csv, []byte(c.CSV()), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote %s\n", *csv)
+		if !*jsonOut {
+			fmt.Fprintf(out, "wrote %s\n", *csv)
+		}
+	}
+	if *jsonOut {
+		rep := report{
+			Seed:      *seed,
+			PerFamily: *per,
+			MaxK:      *maxk,
+			Entries:   len(c.Entries),
+			GenMS:     genMS,
+			Table1:    c.Table1(*maxk),
+		}
+		if *evalWidth > 0 {
+			ev, err := evalCorpus(io.Discard, c, *evalWidth, false)
+			if err != nil {
+				return err
+			}
+			rep.Eval = ev
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	fmt.Fprintln(out, "=== Table 1 (reproduced shape): degree-2 hypergraphs with ghw > k ===")
 	fmt.Fprint(out, hyperbench.FormatTable1(c.Table1(*maxk), len(c.Entries)))
@@ -53,20 +110,25 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "=== corpus composition ===")
 	fmt.Fprint(out, c.FamilySummary())
 	if *evalWidth > 0 {
-		return evalCorpus(out, c, *evalWidth)
+		if _, err := evalCorpus(out, c, *evalWidth, true); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // evalCorpus prepares the canonical BCQ of every corpus entry with one
-// shared engine (skipping entries whose plan exceeds maxWidth) and
-// evaluates each prepared query over its canonical instance. Structurally
-// repeated entries hit the decomposition cache, which the final stats line
-// makes visible.
-func evalCorpus(out io.Writer, c *hyperbench.Corpus, maxWidth int) error {
+// shared engine (falling back to naive plans past maxWidth), compiles each
+// entry's canonical database once, binds, and evaluates the bound query.
+// Structurally repeated entries hit the decomposition cache, which the
+// stats make visible.
+func evalCorpus(out io.Writer, c *hyperbench.Corpus, maxWidth int, human bool) (*evalReport, error) {
 	ctx := context.Background()
 	eng := d2cq.NewEngine(d2cq.WithMaxWidth(maxWidth), d2cq.WithNaiveFallback())
-	fmt.Fprintf(out, "\n=== canonical BCQ evaluation (shared engine, max width %d) ===\n", maxWidth)
+	if human {
+		fmt.Fprintf(out, "\n=== canonical BCQ evaluation (shared engine, max width %d) ===\n", maxWidth)
+	}
+	start := time.Now()
 	sat, unsat, naive := 0, 0, 0
 	for _, e := range c.Entries {
 		inst := reduction.NewInstance(e.H)
@@ -83,14 +145,22 @@ func evalCorpus(out io.Writer, c *hyperbench.Corpus, maxWidth int) error {
 		}
 		prep, err := eng.Prepare(ctx, inst.Q)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
 		if prep.Plan().Naive() {
 			naive++
 		}
-		ok, err := prep.Bool(ctx, inst.D)
+		cdb, err := eng.CompileDB(ctx, inst.D)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		bound, err := prep.Bind(ctx, cdb)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		ok, err := bound.Bool(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
 		}
 		if ok {
 			sat++
@@ -98,8 +168,24 @@ func evalCorpus(out io.Writer, c *hyperbench.Corpus, maxWidth int) error {
 			unsat++
 		}
 	}
-	fmt.Fprintf(out, "evaluated %d entries: %d satisfiable, %d unsatisfiable, %d via naive fallback\n",
-		len(c.Entries), sat, unsat, naive)
-	fmt.Fprintf(out, "engine: %s\n", eng.Stats())
-	return nil
+	evalMS := float64(time.Since(start).Microseconds()) / 1000
+	st := eng.Stats()
+	if human {
+		fmt.Fprintf(out, "evaluated %d entries: %d satisfiable, %d unsatisfiable, %d via naive fallback\n",
+			len(c.Entries), sat, unsat, naive)
+		fmt.Fprintf(out, "engine: %s\n", st)
+	}
+	return &evalReport{
+		MaxWidth:    maxWidth,
+		Sat:         sat,
+		Unsat:       unsat,
+		Naive:       naive,
+		EvalMS:      evalMS,
+		Prepares:    st.Prepares,
+		Decomps:     st.DecompsComputed,
+		DBCompiles:  st.DBCompiles,
+		Binds:       st.Binds,
+		CacheHits:   st.Cache.Hits,
+		CacheMisses: st.Cache.Misses,
+	}, nil
 }

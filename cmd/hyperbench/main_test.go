@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,6 +31,30 @@ func TestRunBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-per", "NaN"}, &out); err == nil {
 		t.Error("bad flag should error")
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-per", "2", "-maxk", "3", "-evalwidth", "3", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Entries == 0 || len(rep.Table1) != 3 || rep.GenMS <= 0 {
+		t.Errorf("report incomplete: %+v", rep)
+	}
+	if rep.Eval == nil || rep.Eval.Sat+rep.Eval.Unsat != rep.Entries {
+		t.Errorf("eval report incomplete: %+v", rep.Eval)
+	}
+	if rep.Eval != nil && (rep.Eval.Binds == 0 || rep.Eval.DBCompiles == 0) {
+		t.Errorf("bind counters missing: %+v", rep.Eval)
+	}
+	// The human tables must not leak into machine output.
+	if strings.Contains(out.String(), "===") {
+		t.Error("human tables in -json output")
 	}
 }
 

@@ -182,6 +182,17 @@ type Engine = engine.Engine
 // Bool / Count / Enumerate / Explain / CountProjection evaluation methods.
 type PreparedQuery = engine.PreparedQuery
 
+// CompiledDB is a database compiled once by Engine.CompileDB: constants
+// interned, relations laid out flat with integer-keyed indexes. Share one
+// CompiledDB across any number of concurrent Binds and evaluations.
+type CompiledDB = engine.CompiledDB
+
+// BoundQuery is a PreparedQuery bound to a CompiledDB: dictionary, atom
+// relations and decomposition node relations are built once at Bind time,
+// so Bool / Count / Enumerate / CountProjection run the per-call passes
+// only. Safe for concurrent use.
+type BoundQuery = engine.BoundQuery
+
 // EngineOption configures NewEngine.
 type EngineOption = engine.Option
 
@@ -207,6 +218,17 @@ func WithDecompCache(capacity int) EngineOption { return engine.WithDecompCache(
 // WithNaiveFallback degrades Prepare to a naive backtracking plan instead of
 // failing when no (bounded-width) decomposition exists.
 func WithNaiveFallback() EngineOption { return engine.WithNaiveFallback() }
+
+// WithParallelism evaluates decomposition nodes and independent subtrees on
+// a bounded pool of n workers (n < 0: one per CPU; n <= 1: sequential).
+func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
+
+// CompileDB compiles db once with the shared default engine. Pair with
+// PreparedQuery.Bind for the full compile-once / evaluate-many discipline on
+// both the query and the data side.
+func CompileDB(ctx context.Context, db Database) (*CompiledDB, error) {
+	return engine.Default().CompileDB(ctx, db)
+}
 
 // DefaultEngine returns the shared engine behind the deprecated free
 // evaluation functions (BCQ, Count, Explain, CountProjection).
@@ -239,6 +261,13 @@ func NaiveBCQ(q Query, db Database) (bool, error) { return engine.NaiveBCQ(q, db
 
 // NaiveCount counts solutions by exhaustive backtracking.
 func NaiveCount(q Query, db Database) (int64, error) { return engine.NaiveCount(q, db) }
+
+// NaiveEnumerate streams every solution from the naive backtracking
+// baseline (ground truth; no decomposition is computed). The Solution's
+// value slice is reused between yields; yield returns false to stop early.
+func NaiveEnumerate(q Query, db Database, yield func(Solution) bool) error {
+	return engine.NaiveSolutions(q, db, yield)
+}
 
 // --- reductions -----------------------------------------------------------------
 

@@ -1,7 +1,8 @@
 // Quickstart: parse a conjunctive query and a database, inspect the query's
 // structure (hypergraph, degree, semantic width), compile the query once
-// into a prepared plan, and evaluate it — decide, count, stream — with the
-// naive baseline as ground truth.
+// into a prepared plan, compile the database once into interned indexed
+// form, bind the two, and evaluate — decide, count, stream — with the naive
+// baseline as ground truth.
 package main
 
 import (
@@ -50,9 +51,9 @@ Lives(bob, vienna)
 	}
 	fmt.Println("ghw:       ", width)
 
-	// Compile once: parse → hypergraph → decomposition → node plan. The
-	// prepared query is immutable and safe to share across goroutines; every
-	// evaluation call below just binds a database.
+	// Compile the query once: parse → hypergraph → decomposition → node
+	// plan. The prepared query is immutable and safe to share across
+	// goroutines.
 	ctx := context.Background()
 	prep, err := d2cq.Prepare(ctx, q)
 	if err != nil {
@@ -60,21 +61,34 @@ Lives(bob, vienna)
 	}
 	fmt.Println("plan width:", prep.Plan().Width())
 
-	sat, err := prep.Bool(ctx, db)
+	// Compile the database once too — constants interned, relations laid
+	// out flat and indexed — and bind the prepared query to it. Binding
+	// fixes all shared evaluation state, so every call below runs only the
+	// per-call passes.
+	cdb, err := d2cq.CompileDB(ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sat, err := bound.Bool(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("satisfiable:", sat)
 
-	n, err := prep.Count(ctx, db)
+	n, err := bound.Count(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("answers:    ", n)
 
 	// Stream the answers without materialising the join.
-	fmt.Println("solutions ( " + strings.Join(prep.Vars(), " ") + " ):")
-	err = prep.Enumerate(ctx, db, func(s d2cq.Solution) bool {
+	fmt.Println("solutions ( " + strings.Join(bound.Vars(), " ") + " ):")
+	err = bound.Enumerate(ctx, func(s d2cq.Solution) bool {
 		fmt.Println("   ", strings.Join(s.Strings(), " "))
 		return true
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"d2cq/internal/cq"
+	"d2cq/internal/storage"
 )
 
 // Instance is a compiled query+database pair: constants interned, one
@@ -31,6 +32,125 @@ func Compile(q cq.Query, db cq.Database) (*Instance, error) {
 		inst.AtomRels = append(inst.AtomRels, rel)
 	}
 	return inst, nil
+}
+
+// BindCompile builds the per-atom relations of q over an already-compiled
+// database, reusing its interned dictionary and flat tables: no string is
+// hashed and no constant re-interned. The compiled database is only read, so
+// concurrent BindCompiles over one storage.DB are safe.
+func BindCompile(q cq.Query, sdb *storage.DB) (*Instance, error) {
+	inst := &Instance{Query: q, Dict: sdb.Dict}
+	for _, a := range q.Atoms {
+		rel, err := bindAtomRelation(a, sdb.Table(a.Rel), sdb.Dict)
+		if err != nil {
+			return nil, err
+		}
+		inst.AtomRels = append(inst.AtomRels, rel)
+	}
+	return inst, nil
+}
+
+// bindAtomRelation is atomRelation over a compiled table: selection on the
+// atom's constants and repeated variables, projection onto the distinct
+// variables, all on interned values. Constants are resolved with a read-only
+// dictionary lookup — a constant the dictionary has never seen cannot occur
+// in the data, so the atom relation is empty. Atoms with constants probe the
+// table's cached per-column-set index instead of scanning; the index is
+// shared by every bind against the same compiled database.
+func bindAtomRelation(a cq.Atom, t *storage.Table, dict *Dict) (*Relation, error) {
+	vars := a.VarSet()
+	out := NewRelation(vars...)
+	if t == nil {
+		return out, nil // relation absent from the database: empty
+	}
+	if t.Arity != len(a.Args) {
+		return nil, fmt.Errorf("engine: arity mismatch in %s", a.Rel)
+	}
+	pos := make(map[string]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	// Resolve the atom's terms once: each argument position is either a
+	// projection target (variable) or an indexable constant selection.
+	type argPlan struct {
+		varPos int   // ≥ 0: distinct-variable slot to write
+		want   Value // varPos < 0: constant the column must equal
+	}
+	plans := make([]argPlan, len(a.Args))
+	varArgs := 0
+	var constCols []int
+	var constVals []Value
+	for i, term := range a.Args {
+		if term.Var {
+			plans[i] = argPlan{varPos: pos[term.Name]}
+			varArgs++
+			continue
+		}
+		v, ok := dict.Lookup(term.Name)
+		if !ok {
+			return out, nil
+		}
+		plans[i] = argPlan{varPos: -1, want: v}
+		constCols = append(constCols, i)
+		constVals = append(constVals, v)
+	}
+	// Without repeated variables every buffer slot is written exactly once
+	// per row, so the reset and the mismatch check are skipped.
+	hasRepeat := varArgs > len(vars)
+	buf := make([]Value, len(vars))
+	match := func(row []Value) bool {
+		if hasRepeat {
+			for j := range buf {
+				buf[j] = -1
+			}
+		}
+		for j, p := range plans {
+			if p.varPos < 0 {
+				if row[j] != p.want {
+					return false
+				}
+				continue
+			}
+			if hasRepeat && buf[p.varPos] >= 0 && buf[p.varPos] != row[j] {
+				return false // repeated variable mismatch
+			}
+			buf[p.varPos] = row[j]
+		}
+		return true
+	}
+	emit := func(row []Value) {
+		if match(row) {
+			if len(vars) == 0 {
+				out.AddEmpty()
+			} else {
+				out.Add(buf...)
+			}
+		}
+	}
+	if len(constCols) > 0 && t.Arity > 0 {
+		// Probe the table's cached index on the most selective constant
+		// column (highest distinct count → smallest expected bucket); match
+		// re-checks the remaining constants. Indexing single columns keeps
+		// the shared cache small and maximally reusable across queries.
+		best := 0
+		if len(constCols) > 1 {
+			st := t.Stats()
+			for i := 1; i < len(constCols); i++ {
+				if st.Distinct[constCols[i]] > st.Distinct[constCols[best]] {
+					best = i
+				}
+			}
+		}
+		for _, ri := range t.Index(constCols[best]).Lookup(constVals[best : best+1]) {
+			emit(t.Row(int(ri)))
+		}
+	} else {
+		for i := 0; i < t.Rows(); i++ {
+			emit(t.Row(i))
+		}
+	}
+	out.Dedup()
+	return out, nil
 }
 
 // atomRelation materialises the set of variable bindings of one atom:

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/storage"
+)
+
+// CompiledDB is a database compiled once by Engine.CompileDB: constants
+// interned through one dictionary, relations laid out flat with lazily built
+// integer-keyed indexes. A CompiledDB is read-only after compilation and
+// safe to share between any number of concurrent Binds and evaluations.
+type CompiledDB struct {
+	sdb *storage.DB
+}
+
+// CompileDB interns db once into a reusable compiled form. Pair it with
+// PreparedQuery.Bind to also fix the data-dependent evaluation state:
+// Prepare × CompileDB × Bind is the full compile-once / evaluate-many
+// discipline for repeated traffic over a mostly-stable database.
+func (e *Engine) CompileDB(ctx context.Context, db cq.Database) (*CompiledDB, error) {
+	e.dbCompiles.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sdb, err := storage.Compile(db)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledDB{sdb: sdb}, nil
+}
+
+// Stats summarises the compiled database (relations, tuples, interned
+// constants).
+func (c *CompiledDB) Stats() storage.DBStats { return c.sdb.Stats() }
+
+// BoundQuery is a prepared query bound to a compiled database: the interned
+// dictionary, the per-atom relations, and the materialised decomposition
+// node relations are all built once at Bind time and reused by every
+// evaluation call. The full Yannakakis reduction and the enumeration indexes
+// are built lazily on the first Enumerate and then shared. A BoundQuery is
+// immutable after Bind and safe for concurrent use.
+type BoundQuery struct {
+	prep     *PreparedQuery
+	cdb      *CompiledDB
+	inst     *Instance
+	nodeRels []*Relation // nil for naive and ground plans
+
+	reduceMu sync.Mutex
+	enumSt   *enumState
+}
+
+// Bind fixes the data-dependent half of the evaluation: it builds the
+// per-atom relations over the compiled database and materialises the
+// decomposition node relations (λ-edge joins ordered smallest-first,
+// projected to the bags, filtered by the assigned atoms). The work Bool,
+// Count and Enumerate previously repeated per call is paid once here.
+func (p *PreparedQuery) Bind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, error) {
+	p.eng.binds.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	inst, err := BindCompile(p.plan.query, cdb.sdb)
+	if err != nil {
+		return nil, err
+	}
+	b := &BoundQuery{prep: p, cdb: cdb, inst: inst}
+	if p.plan.Naive() || p.plan.d.Nodes() == 0 {
+		return b, nil
+	}
+	r, err := newRun(ctx, p.plan, inst, p.eng.par())
+	if err != nil {
+		return nil, err
+	}
+	b.nodeRels = r.nodeRels
+	return b, nil
+}
+
+// Query returns the bound query.
+func (b *BoundQuery) Query() cq.Query { return b.prep.Query() }
+
+// ExplainDB renders the plan together with the node relation sizes already
+// materialised at Bind time — unlike PreparedQuery.ExplainDB it does no
+// work beyond formatting.
+func (b *BoundQuery) ExplainDB() string {
+	plan := b.prep.plan
+	if plan.Naive() || plan.d.Nodes() == 0 {
+		return plan.Explain()
+	}
+	var sb strings.Builder
+	sb.WriteString(plan.Explain())
+	for u, rel := range b.nodeRels {
+		fmt.Fprintf(&sb, "node %d materialised: |rel|=%d\n", u, rel.Len())
+	}
+	return sb.String()
+}
+
+// Vars returns the query's variables in enumeration output order (sorted).
+func (b *BoundQuery) Vars() []string { return b.prep.Vars() }
+
+// run clones the per-evaluation view of the bound node relations: the slice
+// is copied so semijoin passes can reassign slots, while the relations
+// themselves are shared read-only.
+func (b *BoundQuery) run() *run {
+	return &run{
+		plan:     b.prep.plan,
+		inst:     b.inst,
+		nodeRels: append([]*Relation(nil), b.nodeRels...),
+		par:      b.prep.eng.par(),
+	}
+}
+
+// Bool decides q(D) ≠ ∅ over the bound database (Proposition 2.2). Only the
+// bottom-up semijoin pass runs per call; interning, atom relations and node
+// materialisation were paid at Bind time.
+func (b *BoundQuery) Bool(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if b.prep.plan.Naive() {
+		return naiveBool(ctx, b.inst)
+	}
+	if b.prep.plan.d.Nodes() == 0 {
+		return groundSat(b.inst), nil
+	}
+	return b.run().bool_(ctx)
+}
+
+// Count computes |q(D)| for a full CQ over the bound database
+// (Proposition 4.14).
+func (b *BoundQuery) Count(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if b.prep.plan.Naive() {
+		return naiveCount(ctx, b.inst)
+	}
+	if b.prep.plan.d.Nodes() == 0 {
+		if groundSat(b.inst) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return b.run().count(ctx)
+}
+
+// ensureReduced runs the Yannakakis full reduction once and builds the
+// shared enumeration indexes over the reduced relations. Concurrent callers
+// wait for the single construction; a failed attempt (typically: a
+// cancelled context) is not cached, so the next caller retries.
+func (b *BoundQuery) ensureReduced(ctx context.Context) (*enumState, error) {
+	b.reduceMu.Lock()
+	defer b.reduceMu.Unlock()
+	if b.enumSt != nil {
+		return b.enumSt, nil
+	}
+	r := b.run()
+	if err := r.fullReduce(ctx); err != nil {
+		return nil, err
+	}
+	b.enumSt = buildEnumState(b.prep.plan, r.nodeRels)
+	return b.enumSt, nil
+}
+
+// Enumerate streams every solution of the full CQ over the bound database.
+// The first call pays for the full reduction and the per-node enumeration
+// indexes; later calls — including concurrent ones — reuse them and stream
+// with bounded delay. See PreparedQuery.Enumerate for the yield contract.
+func (b *BoundQuery) Enumerate(ctx context.Context, yield func(Solution) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := b.prep.plan
+	sol := Solution{vars: p.qvars, dict: b.inst.Dict}
+	if p.Naive() {
+		return naiveEnumerate(ctx, b.inst, p.qvars, func(row []Value) bool {
+			sol.row = row
+			return yield(sol)
+		})
+	}
+	if p.d.Nodes() == 0 {
+		if groundSat(b.inst) {
+			sol.row = nil
+			yield(sol)
+		}
+		return nil
+	}
+	es, err := b.ensureReduced(ctx)
+	if err != nil {
+		return err
+	}
+	return es.enumerate(ctx, func(row []Value) bool {
+		sol.row = row
+		return yield(sol)
+	})
+}
+
+// EnumerateAll materialises every solution as a sorted relation (a
+// convenience over Enumerate for tests and small result sets).
+func (b *BoundQuery) EnumerateAll(ctx context.Context) (*Relation, *Dict, error) {
+	out := NewRelation(b.prep.plan.qvars...)
+	err := b.Enumerate(ctx, func(s Solution) bool {
+		if len(s.row) == 0 {
+			out.AddEmpty()
+		} else {
+			out.Add(append([]Value(nil), s.row...)...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out.SortForDisplay()
+	return out, b.inst.Dict, nil
+}
+
+// CountProjection counts the distinct projections of the solutions onto the
+// free variables (§4.4) over the bound database.
+func (b *BoundQuery) CountProjection(ctx context.Context, free []string) (int64, error) {
+	return countProjection(b.prep.plan.qvars, free, func(yield func(Solution) bool) error {
+		return b.Enumerate(ctx, yield)
+	})
+}

@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+// TestBoundMatchesUnbound cross-checks every evaluation mode of the bound
+// API against the per-call compilation path on random instances.
+func TestBoundMatchesUnbound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	eng := NewEngine()
+	for trial := 0; trial < 30; trial++ {
+		query, db := randomInstance(r)
+		prep, err := eng.Prepare(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdb, err := eng.CompileDB(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := prep.Bind(ctx, cdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK, err := prep.Bool(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOK, err := bound.Bool(ctx)
+		if err != nil || gotOK != wantOK {
+			t.Fatalf("trial %d: bound Bool=%v want %v err=%v\nq=%s", trial, gotOK, wantOK, err, query)
+		}
+		wantN, err := prep.Count(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := bound.Count(ctx)
+		if err != nil || gotN != wantN {
+			t.Fatalf("trial %d: bound Count=%d want %d err=%v\nq=%s", trial, gotN, wantN, err, query)
+		}
+		wantRel, wantDict, err := prep.EnumerateAll(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRel, gotDict, err := bound.EnumerateAll(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualRelations(gotRel, gotDict, wantRel, wantDict) {
+			t.Fatalf("trial %d: bound enumeration differs (%d vs %d)\nq=%s",
+				trial, gotRel.Len(), wantRel.Len(), query)
+		}
+	}
+}
+
+// TestBoundConcurrent hammers several BoundQueries sharing one CompiledDB
+// from many goroutines; run with -race. The first enumerations also race on
+// the lazily built reduction state.
+func TestBoundConcurrent(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithParallelism(4))
+	cdbSrc := cq.Database{}
+	queries := make([]*BoundQuery, 0, 2)
+	q1, db := cycleQuery(5, 3)
+	for rel, tuples := range db {
+		for _, tuple := range tuples {
+			cdbSrc.Add(rel, tuple...)
+		}
+	}
+	q2, _ := cycleQuery(5, 3) // same shape: exercises the decomp cache too
+	cdb, err := eng.CompileDB(ctx, cdbSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []cq.Query{q1, q2} {
+		prep, err := eng.Prepare(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := prep.Bind(ctx, cdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, bound)
+	}
+	want, err := queries[0].Count(ctx)
+	if err != nil || want == 0 {
+		t.Fatalf("fixture should have solutions (n=%d err=%v)", want, err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10; i++ {
+				b := queries[r.Intn(len(queries))]
+				switch r.Intn(4) {
+				case 0:
+					if ok, err := b.Bool(ctx); err != nil || !ok {
+						errs <- fmt.Errorf("Bool: ok=%v err=%v", ok, err)
+						return
+					}
+				case 1:
+					if n, err := b.Count(ctx); err != nil || n != want {
+						errs <- fmt.Errorf("Count: n=%d want=%d err=%v", n, want, err)
+						return
+					}
+				case 2:
+					var n int64
+					if err := b.Enumerate(ctx, func(Solution) bool { n++; return true }); err != nil || n != want {
+						errs <- fmt.Errorf("Enumerate: n=%d want=%d err=%v", n, want, err)
+						return
+					}
+				default:
+					if _, err := b.CountProjection(ctx, []string{"x0", "x2"}); err != nil {
+						errs <- fmt.Errorf("CountProjection: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := eng.Stats(); st.DBCompiles != 1 || st.Binds != 2 {
+		t.Errorf("stats = %s, want 1 db-compile and 2 binds", st)
+	}
+}
+
+// TestBoundParallelismEquivalence checks that worker-pool evaluation returns
+// exactly the sequential results.
+func TestBoundParallelismEquivalence(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(21))
+	seq := NewEngine()
+	par := NewEngine(WithParallelism(8))
+	for trial := 0; trial < 15; trial++ {
+		query, db := randomInstance(r)
+		sPrep, err := seq.Prepare(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pPrep, err := par.Prepare(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pCdb, err := par.CompileDB(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pBound, err := pPrep.Bind(ctx, pCdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN, err := sPrep.Count(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := pBound.Count(ctx)
+		if err != nil || gotN != wantN {
+			t.Fatalf("trial %d: parallel Count=%d want %d err=%v\nq=%s", trial, gotN, wantN, err, query)
+		}
+		wantOK, err := sPrep.Bool(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOK, err := pPrep.Bool(ctx, db) // unbound parallel path too
+		if err != nil || gotOK != wantOK {
+			t.Fatalf("trial %d: parallel Bool=%v want %v err=%v", trial, gotOK, wantOK, err)
+		}
+	}
+}
+
+// TestBoundNaiveAndGround covers Bind under a naive-fallback plan and a
+// ground (edgeless) query.
+func TestBoundNaiveAndGround(t *testing.T) {
+	ctx := context.Background()
+	q, db := cycleQuery(4, 2)
+	eng := NewEngine(WithMaxWidth(1), WithNaiveFallback())
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Plan().Naive() {
+		t.Fatal("fixture should fall back to a naive plan")
+	}
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN, err := NaiveCount(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := bound.Count(ctx); err != nil || n != wantN {
+		t.Fatalf("naive bound Count=%d want %d err=%v", n, wantN, err)
+	}
+	var streamed int64
+	if err := bound.Enumerate(ctx, func(Solution) bool { streamed++; return true }); err != nil || streamed != wantN {
+		t.Fatalf("naive bound Enumerate=%d want %d err=%v", streamed, wantN, err)
+	}
+
+	// Ground query: all atoms constant.
+	gq, err := cq.ParseQuery("R('a','b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdb := cq.Database{}
+	gdb.Add("R", "a", "b")
+	gPrep, err := NewEngine().Prepare(ctx, gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gCdb, err := NewEngine().CompileDB(ctx, gdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBound, err := gPrep.Bind(ctx, gCdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := gBound.Bool(ctx); err != nil || !ok {
+		t.Fatalf("ground bound Bool=%v err=%v", ok, err)
+	}
+	if n, err := gBound.Count(ctx); err != nil || n != 1 {
+		t.Fatalf("ground bound Count=%d err=%v", n, err)
+	}
+}
+
+// TestBoundCancellation cancels mid-enumeration and checks that the bound
+// state is not poisoned: the next call with a live context succeeds.
+func TestBoundCancellation(t *testing.T) {
+	q, db := cycleQuery(6, 3)
+	eng := NewEngine()
+	prep, err := eng.Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := eng.CompileDB(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := prep.Bind(context.Background(), cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-cancelled context: the lazy reduction must fail but not stick.
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := bound.Enumerate(done, func(Solution) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enumerate on cancelled ctx: %v", err)
+	}
+	if _, err := bound.Bool(done); !errors.Is(err, context.Canceled) {
+		t.Errorf("Bool on cancelled ctx: %v", err)
+	}
+	ctx, cancelMid := context.WithCancel(context.Background())
+	var n int
+	err = bound.Enumerate(ctx, func(Solution) bool {
+		n++
+		if n == 100 {
+			cancelMid()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream cancel: err=%v after %d", err, n)
+	}
+	total, err := bound.Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m int64
+	if err := bound.Enumerate(context.Background(), func(Solution) bool { m++; return true }); err != nil || m != total {
+		t.Fatalf("post-cancel Enumerate=%d want %d err=%v", m, total, err)
+	}
+	// Bind itself honours cancelled contexts.
+	if _, err := prep.Bind(done, cdb); !errors.Is(err, context.Canceled) {
+		t.Errorf("Bind on cancelled ctx: %v", err)
+	}
+}
+
+// TestBoundConstantsAndRepeatedVars exercises the bind-time atom paths the
+// random instances miss: constant selection (served by the compiled table's
+// cached index), repeated variables, and constants unknown to the database.
+func TestBoundConstantsAndRepeatedVars(t *testing.T) {
+	ctx := context.Background()
+	db := cq.Database{}
+	db.Add("R", "a", "b")
+	db.Add("R", "a", "a")
+	db.Add("R", "c", "a")
+	db.Add("S", "a", "x")
+	db.Add("S", "b", "y")
+	eng := NewEngine()
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		query string
+		want  int64
+	}{
+		{"R('a',y), S(y,z)", 2},   // constant selection via table index
+		{"R(x,x), S(x,z)", 1},     // repeated variable: only (a,a)
+		{"R('zzz',y), S(y,z)", 0}, // constant the dictionary never saw
+		{"R('a','b'), S(x,z)", 2}, // two constants: most selective column probed
+		{"R('c','b'), S(x,z)", 0}, // two constants, no matching tuple
+		{"R('a',x), S(x,'y')", 1}, // constants in two atoms: only (a,b)·(b,y)
+	} {
+		q, err := cq.ParseQuery(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := eng.Prepare(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := prep.Bind(ctx, cdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bound.Count(ctx)
+		if err != nil || got != tc.want {
+			t.Errorf("%s: bound Count=%d want %d err=%v", tc.query, got, tc.want, err)
+		}
+		wantN, err := NaiveCount(q, db)
+		if err != nil || got != wantN {
+			t.Errorf("%s: naive ground truth %d, bound %d (err=%v)", tc.query, wantN, got, err)
+		}
+	}
+	// Arity mismatch must surface as a Bind error.
+	bad, err := cq.ParseQuery("R(x,y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := NewEngine(WithNaiveFallback()).Prepare(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Bind(ctx, cdb); err == nil {
+		t.Error("arity mismatch must fail Bind")
+	}
+}
+
+// TestBoundCountProjection mirrors the prepared-query projection test over
+// the bound path.
+func TestBoundCountProjection(t *testing.T) {
+	ctx := context.Background()
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("R", "1", "3")
+	db.Add("S", "2", "4")
+	db.Add("S", "3", "4")
+	query, err := cq.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	prep, err := eng.Prepare(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bound.CountProjection(ctx, []string{"x", "z"})
+	if err != nil || n != 1 {
+		t.Fatalf("CountProjection = %d err=%v, want 1", n, err)
+	}
+	if _, err := bound.CountProjection(ctx, []string{"nope"}); err == nil {
+		t.Error("unknown free variable must error")
+	}
+}

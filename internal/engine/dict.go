@@ -6,53 +6,16 @@
 // algorithms are benchmarked.
 package engine
 
-import "fmt"
+import "d2cq/internal/storage"
 
-// Value is an interned database constant.
-type Value int32
+// Value is an interned database constant. The interning machinery lives in
+// the storage layer, which owns the compiled-database representation; the
+// engine aliases it so evaluation code and the storage kernel share one
+// value space.
+type Value = storage.Value
 
 // Dict interns string constants to dense Values.
-type Dict struct {
-	byName map[string]Value
-	names  []string
-	fresh  int
-}
+type Dict = storage.Dict
 
 // NewDict returns an empty dictionary.
-func NewDict() *Dict {
-	return &Dict{byName: map[string]Value{}}
-}
-
-// Intern returns the Value of the constant, creating it if needed.
-func (d *Dict) Intern(name string) Value {
-	if v, ok := d.byName[name]; ok {
-		return v
-	}
-	v := Value(len(d.names))
-	d.names = append(d.names, name)
-	d.byName[name] = v
-	return v
-}
-
-// Name returns the string of an interned value.
-func (d *Dict) Name(v Value) string {
-	if int(v) < 0 || int(v) >= len(d.names) {
-		return fmt.Sprintf("<bad:%d>", v)
-	}
-	return d.names[v]
-}
-
-// Fresh interns a brand-new constant that does not occur in the database —
-// the ★ constants of the Theorem 3.4 reduction.
-func (d *Dict) Fresh(prefix string) Value {
-	for {
-		name := fmt.Sprintf("%s%d", prefix, d.fresh)
-		d.fresh++
-		if _, exists := d.byName[name]; !exists {
-			return d.Intern(name)
-		}
-	}
-}
-
-// Len returns the number of interned constants.
-func (d *Dict) Len() int { return len(d.names) }
+func NewDict() *Dict { return storage.NewDict() }

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"d2cq/internal/cq"
 	"d2cq/internal/decomp"
 	"d2cq/internal/hypergraph"
+	"d2cq/internal/storage"
 )
 
 // Engine owns the policy and the shared caches of query compilation: how
@@ -23,6 +25,7 @@ type Engine struct {
 	cache         *decomp.Cache
 	maxWidth      int
 	naiveFallback bool
+	parallelism   int
 
 	// Singleflight for the decomposition search: concurrent first-time
 	// prepares of the same shape wait for one computation instead of each
@@ -32,6 +35,8 @@ type Engine struct {
 
 	prepares       atomic.Uint64
 	decompComputed atomic.Uint64
+	dbCompiles     atomic.Uint64
+	binds          atomic.Uint64
 }
 
 type flight struct {
@@ -62,6 +67,25 @@ func WithNaiveFallback() Option {
 	return func(e *Engine) { e.naiveFallback = true }
 }
 
+// WithParallelism runs the node-materialisation loop and the semijoin
+// passes over independent decomposition subtrees on a bounded pool of n
+// workers. Values of 1 or less evaluate sequentially (the default); n < 0
+// uses one worker per CPU.
+func WithParallelism(n int) Option {
+	if n < 0 {
+		n = runtime.NumCPU()
+	}
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// par returns the engine's worker bound for evaluation passes.
+func (e *Engine) par() int {
+	if e == nil {
+		return 1
+	}
+	return e.parallelism
+}
+
 // DefaultCacheCapacity is the decomposition-cache bound of NewEngine unless
 // overridden by WithDecompCache.
 const DefaultCacheCapacity = 256
@@ -80,10 +104,13 @@ func NewEngine(opts ...Option) *Engine {
 
 // Stats is a snapshot of engine traffic: how many queries were prepared,
 // how many decompositions were actually computed (cache misses do the work;
-// hits reuse it), and the cache counters.
+// hits reuse it), how many databases were compiled and bound, and the cache
+// counters.
 type Stats struct {
 	Prepares        uint64
 	DecompsComputed uint64
+	DBCompiles      uint64
+	Binds           uint64
 	Cache           decomp.CacheStats
 }
 
@@ -92,13 +119,15 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Prepares:        e.prepares.Load(),
 		DecompsComputed: e.decompComputed.Load(),
+		DBCompiles:      e.dbCompiles.Load(),
+		Binds:           e.binds.Load(),
 		Cache:           e.cache.Stats(),
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("prepares=%d decomps-computed=%d cache(hits=%d misses=%d evictions=%d len=%d/%d)",
-		s.Prepares, s.DecompsComputed, s.Cache.Hits, s.Cache.Misses,
+	return fmt.Sprintf("prepares=%d decomps-computed=%d db-compiles=%d binds=%d cache(hits=%d misses=%d evictions=%d len=%d/%d)",
+		s.Prepares, s.DecompsComputed, s.DBCompiles, s.Binds, s.Cache.Hits, s.Cache.Misses,
 		s.Cache.Evictions, s.Cache.Len, s.Cache.Capacity)
 }
 
@@ -222,7 +251,7 @@ func (p *PreparedQuery) Bool(ctx context.Context, db cq.Database) (bool, error) 
 	if p.plan.d.Nodes() == 0 {
 		return groundSat(inst), nil
 	}
-	r, err := newRun(ctx, p.plan, inst)
+	r, err := newRun(ctx, p.plan, inst, p.eng.par())
 	if err != nil {
 		return false, err
 	}
@@ -245,7 +274,7 @@ func (p *PreparedQuery) Count(ctx context.Context, db cq.Database) (int64, error
 		}
 		return 0, nil
 	}
-	r, err := newRun(ctx, p.plan, inst)
+	r, err := newRun(ctx, p.plan, inst, p.eng.par())
 	if err != nil {
 		return 0, err
 	}
@@ -312,7 +341,7 @@ func (p *PreparedQuery) Enumerate(ctx context.Context, db cq.Database, yield fun
 		}
 		return nil
 	}
-	r, err := newRun(ctx, p.plan, inst)
+	r, err := newRun(ctx, p.plan, inst, p.eng.par())
 	if err != nil {
 		return err
 	}
@@ -354,10 +383,18 @@ func (p *PreparedQuery) EnumerateAll(ctx context.Context, db cq.Database) (*Rela
 // #P-hard even for acyclic queries (Pichler & Skritek), so this enumerates;
 // it exists to make the paper's full-CQ restriction tangible.
 func (p *PreparedQuery) CountProjection(ctx context.Context, db cq.Database, free []string) (int64, error) {
+	return countProjection(p.plan.qvars, free, func(yield func(Solution) bool) error {
+		return p.Enumerate(ctx, db, yield)
+	})
+}
+
+// countProjection counts the distinct projections of a solution stream onto
+// the free variables; shared by the prepared and bound paths.
+func countProjection(qvars, free []string, enumerate func(yield func(Solution) bool) error) (int64, error) {
 	idx := make([]int, len(free))
 	for i, f := range free {
 		idx[i] = -1
-		for j, v := range p.plan.qvars {
+		for j, v := range qvars {
 			if v == f {
 				idx[i] = j
 				break
@@ -367,15 +404,15 @@ func (p *PreparedQuery) CountProjection(ctx context.Context, db cq.Database, fre
 			return 0, fmt.Errorf("engine: free variable %s not in query", f)
 		}
 	}
-	seen := map[string]bool{}
+	seen := storage.NewTupleMap(len(free), 0)
 	buf := make([]Value, len(free))
 	satisfied := false
-	err := p.Enumerate(ctx, db, func(s Solution) bool {
+	err := enumerate(func(s Solution) bool {
 		satisfied = true
 		for i, x := range idx {
 			buf[i] = s.row[x]
 		}
-		seen[key(buf)] = true
+		seen.Insert(buf)
 		return true
 	})
 	if err != nil {
@@ -387,7 +424,7 @@ func (p *PreparedQuery) CountProjection(ctx context.Context, db cq.Database, fre
 		}
 		return 0, nil
 	}
-	return int64(len(seen)), nil
+	return int64(seen.Len()), nil
 }
 
 // ExplainDB renders the plan together with the materialised per-node
@@ -400,7 +437,7 @@ func (p *PreparedQuery) ExplainDB(ctx context.Context, db cq.Database) (string, 
 	if p.plan.Naive() || p.plan.d.Nodes() == 0 {
 		return p.plan.Explain(), nil
 	}
-	r, err := newRun(ctx, p.plan, inst)
+	r, err := newRun(ctx, p.plan, inst, p.eng.par())
 	if err != nil {
 		return "", err
 	}

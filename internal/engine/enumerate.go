@@ -27,7 +27,7 @@ func EnumerateGHD(inst *Instance, d *decomp.GHD) (*Relation, error) {
 		return nil, err
 	}
 	ctx := context.Background()
-	r, err := newRun(ctx, p, inst)
+	r, err := newRun(ctx, p, inst, defaultEngine.par())
 	if err != nil {
 		return nil, err
 	}

@@ -58,7 +58,7 @@ func TestFullReduceRemovesDanglingTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := newRun(context.Background(), p, inst)
+	run, err := newRun(context.Background(), p, inst, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

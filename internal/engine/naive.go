@@ -53,6 +53,23 @@ func NaiveEnumerate(q cq.Query, db cq.Database) (*Relation, *Dict, error) {
 	return out, inst.Dict, nil
 }
 
+// NaiveSolutions streams every solution of q over db from the naive
+// backtracking baseline as Solutions — the plan-free counterpart of
+// PreparedQuery.Enumerate for ground truth and CLI fallbacks. The Solution's
+// value slice is reused between yields; yield returns false to stop early.
+func NaiveSolutions(q cq.Query, db cq.Database, yield func(Solution) bool) error {
+	inst, err := Compile(q, db)
+	if err != nil {
+		return err
+	}
+	vars := q.Vars()
+	sol := Solution{vars: vars, dict: inst.Dict}
+	return naiveEnumerate(context.Background(), inst, vars, func(row []Value) bool {
+		sol.row = row
+		return yield(sol)
+	})
+}
+
 // naiveBool finds the first solution of the compiled instance.
 func naiveBool(ctx context.Context, inst *Instance) (bool, error) {
 	found := false

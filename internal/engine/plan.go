@@ -33,6 +33,26 @@ type Plan struct {
 	children   [][]int
 	order      []int      // topological order, leaves before parents
 	shared     [][]string // node → bag vars shared with the parent's bag
+
+	// Precomputed join-column sets. Node relations always carry their bag
+	// variables in sorted order (newRun projects onto bagVars and semijoins
+	// preserve columns), so column positions are fixed at plan time and the
+	// per-evaluation passes never touch column names again.
+	childJoins [][]childJoin // node → per-child semijoin/count key positions
+	sharedPos  [][]int       // node → positions of shared[u] within bagVars[u]
+	bagVids    [][]int       // node → hypergraph vertex id of each bag column
+	sharedVids [][]int       // node → vertex id of each shared column
+	levels     [][]int       // bottom-up levels: children strictly before parents
+}
+
+// childJoin is the precomputed key of the join between a node's relation and
+// one child's relation: the shared bag variables and their column positions
+// on both sides.
+type childJoin struct {
+	child  int
+	shared []string
+	uPos   []int // positions in the node's bag columns
+	cPos   []int // positions in the child's bag columns
 }
 
 // NewPlan compiles q against the decomposition d: assigns every atom to a
@@ -119,6 +139,62 @@ func NewPlan(q cq.Query, d *decomp.GHD) (*Plan, error) {
 	}
 	if len(p.order) != d.Nodes() {
 		return nil, fmt.Errorf("engine: decomposition tree is not connected")
+	}
+	// Column positions of every join the evaluation passes will run, fixed
+	// now so indexes can be built straight off precomputed integer columns.
+	posIn := func(list []string, name string) int {
+		for i, c := range list {
+			if c == name {
+				return i
+			}
+		}
+		return -1
+	}
+	p.childJoins = make([][]childJoin, d.Nodes())
+	p.sharedPos = make([][]int, d.Nodes())
+	p.bagVids = make([][]int, d.Nodes())
+	p.sharedVids = make([][]int, d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		for _, c := range p.children[u] {
+			cj := childJoin{child: c}
+			for i, name := range p.bagVars[u] {
+				if j := posIn(p.bagVars[c], name); j >= 0 {
+					cj.shared = append(cj.shared, name)
+					cj.uPos = append(cj.uPos, i)
+					cj.cPos = append(cj.cPos, j)
+				}
+			}
+			p.childJoins[u] = append(p.childJoins[u], cj)
+		}
+		p.bagVids[u] = make([]int, len(p.bagVars[u]))
+		for i, name := range p.bagVars[u] {
+			p.bagVids[u][i] = h.VertexID(name)
+		}
+		p.sharedPos[u] = make([]int, len(p.shared[u]))
+		p.sharedVids[u] = make([]int, len(p.shared[u]))
+		for i, name := range p.shared[u] {
+			p.sharedPos[u][i] = posIn(p.bagVars[u], name)
+			p.sharedVids[u][i] = h.VertexID(name)
+		}
+	}
+	// Bottom-up levels by height: every node lands strictly after all of its
+	// children, so nodes within one level have disjoint subtrees and the
+	// semijoin passes may process a level in parallel.
+	height := make([]int, d.Nodes())
+	maxHeight := 0
+	for _, u := range p.order { // children precede parents here
+		for _, c := range p.children[u] {
+			if height[c]+1 > height[u] {
+				height[u] = height[c] + 1
+			}
+		}
+		if height[u] > maxHeight {
+			maxHeight = height[u]
+		}
+	}
+	p.levels = make([][]int, maxHeight+1)
+	for _, u := range p.order {
+		p.levels[height[u]] = append(p.levels[height[u]], u)
 	}
 	return p, nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -123,7 +124,7 @@ func TestQuickDedupIdempotent(t *testing.T) {
 		}
 		seen := map[string]bool{}
 		for i := 0; i < rel.Len(); i++ {
-			k := key(rel.Row(i))
+			k := fmt.Sprint(rel.Row(i))
 			if seen[k] {
 				return false
 			}

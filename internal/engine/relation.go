@@ -2,7 +2,8 @@ package engine
 
 import (
 	"sort"
-	"strings"
+
+	"d2cq/internal/storage"
 )
 
 // Relation is a set of tuples over named columns (query variables). Tuples
@@ -67,38 +68,21 @@ func (r *Relation) Clone() *Relation {
 	return &Relation{Cols: append([]string(nil), r.Cols...), Data: append([]Value(nil), r.Data...)}
 }
 
-// key renders a tuple slice as a hashable string.
-func key(vals []Value) string {
-	var b strings.Builder
-	b.Grow(len(vals) * 5)
-	for _, v := range vals {
-		b.WriteByte(byte(v))
-		b.WriteByte(byte(v >> 8))
-		b.WriteByte(byte(v >> 16))
-		b.WriteByte(byte(v >> 24))
-		b.WriteByte(0)
-	}
-	return b.String()
-}
-
 // Dedup removes duplicate tuples in place (order not preserved).
 func (r *Relation) Dedup() {
 	a := len(r.Cols)
 	if a == 0 || r.Len() <= 1 {
 		return
 	}
-	seen := make(map[string]bool, r.Len())
+	seen := storage.NewTupleMap(a, r.Len())
 	out := r.Data[:0]
 	for i := 0; i < r.Len(); i++ {
 		row := r.Row(i)
-		k := key(row)
-		if !seen[k] {
-			seen[k] = true
+		if _, isNew := seen.Insert(row); isNew {
 			out = append(out, row...)
 		}
 	}
 	r.Data = out
-	_ = a
 }
 
 // Project returns the relation projected (with dedup) onto the given columns,
@@ -118,23 +102,25 @@ func (r *Relation) Project(cols []string) *Relation {
 		}
 		return out
 	}
-	seen := map[string]bool{}
+	seen := storage.NewTupleMap(len(cols), r.Len())
 	buf := make([]Value, len(cols))
 	for i := 0; i < r.Len(); i++ {
 		row := r.Row(i)
 		for j, x := range idx {
 			buf[j] = row[x]
 		}
-		k := key(buf)
-		if !seen[k] {
-			seen[k] = true
+		if _, isNew := seen.Insert(buf); isNew {
 			out.Add(buf...)
 		}
 	}
 	return out
 }
 
-// Join returns the natural join r ⋈ s on their shared columns.
+// Join returns the natural join r ⋈ s on their shared columns. Both inputs
+// are sets, so the natural join is duplicate-free by construction: each
+// output tuple determines the r-tuple (all of r's columns are present) and
+// the s-tuple (the shared columns plus s's extras), so distinct input pairs
+// yield distinct outputs and no dedup pass is needed.
 func Join(r, s *Relation) *Relation {
 	shared, rIdx, sIdx := sharedColumns(r, s)
 	// Output columns: r's columns then s's non-shared columns.
@@ -152,8 +138,7 @@ func Join(r, s *Relation) *Relation {
 			return out
 		}
 		// r is the nullary relation holding the empty tuple: join = s.
-		cp := s.Clone()
-		return cp
+		return s.Clone()
 	}
 	if len(s.Cols) == 0 {
 		if s.Len() == 0 {
@@ -161,36 +146,62 @@ func Join(r, s *Relation) *Relation {
 		}
 		return r.Clone()
 	}
-	// Hash s on the shared columns.
-	index := make(map[string][]int, s.Len())
-	bufS := make([]Value, len(shared))
-	for i := 0; i < s.Len(); i++ {
-		row := s.Row(i)
-		for j, x := range sIdx {
-			bufS[j] = row[x]
+	emit := func(rRow, sRow []Value) {
+		out.Data = append(out.Data, rRow...)
+		for _, x := range extraS {
+			out.Data = append(out.Data, sRow[x])
 		}
-		k := key(bufS)
-		index[k] = append(index[k], i)
 	}
+	if len(shared) == 0 {
+		// Cross product: no key to hash on.
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			for j := 0; j < s.Len(); j++ {
+				emit(row, s.Row(j))
+			}
+		}
+		return out
+	}
+	if len(shared) == 1 {
+		// Single-column fast path: probe a direct value-keyed index.
+		index := make(map[Value][]int32, s.Len())
+		sc, rc := sIdx[0], rIdx[0]
+		for i := 0; i < s.Len(); i++ {
+			v := s.Row(i)[sc]
+			index[v] = append(index[v], int32(i))
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			for _, si := range index[row[rc]] {
+				emit(row, s.Row(int(si)))
+			}
+		}
+		return out
+	}
+	// Multi-column path: composite 64-bit hash with collision verification.
+	index := storage.BuildIndex(s.Data, len(s.Cols), sIdx)
 	bufR := make([]Value, len(shared))
 	for i := 0; i < r.Len(); i++ {
 		row := r.Row(i)
 		for j, x := range rIdx {
 			bufR[j] = row[x]
 		}
-		for _, si := range index[key(bufR)] {
-			srow := s.Row(si)
-			tuple := append(append([]Value(nil), row...), pick(srow, extraS)...)
-			out.Add(tuple...)
+		for _, si := range index.Lookup(bufR) {
+			emit(row, s.Row(int(si)))
 		}
 	}
-	out.Dedup()
 	return out
 }
 
 // Semijoin returns r ⋉ s: the tuples of r that join with some tuple of s.
 func Semijoin(r, s *Relation) *Relation {
 	shared, rIdx, sIdx := sharedColumns(r, s)
+	return semijoinOn(r, s, shared, rIdx, sIdx)
+}
+
+// semijoinOn is Semijoin with the shared columns precomputed — evaluation
+// passes over a plan use it with positions fixed at plan time.
+func semijoinOn(r, s *Relation, shared []string, rIdx, sIdx []int) *Relation {
 	out := NewRelation(r.Cols...)
 	if len(shared) == 0 {
 		if s.Len() > 0 {
@@ -198,14 +209,29 @@ func Semijoin(r, s *Relation) *Relation {
 		}
 		return out
 	}
-	index := make(map[string]bool, s.Len())
+	if len(shared) == 1 {
+		// Single-column fast path: membership on a direct value set.
+		member := make(map[Value]struct{}, s.Len())
+		sc, rc := sIdx[0], rIdx[0]
+		for i := 0; i < s.Len(); i++ {
+			member[s.Row(i)[sc]] = struct{}{}
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			if _, ok := member[row[rc]]; ok {
+				out.Data = append(out.Data, row...)
+			}
+		}
+		return out
+	}
+	member := storage.NewTupleMap(len(shared), s.Len())
 	bufS := make([]Value, len(shared))
 	for i := 0; i < s.Len(); i++ {
 		row := s.Row(i)
 		for j, x := range sIdx {
 			bufS[j] = row[x]
 		}
-		index[key(bufS)] = true
+		member.Insert(bufS)
 	}
 	bufR := make([]Value, len(shared))
 	for i := 0; i < r.Len(); i++ {
@@ -213,8 +239,8 @@ func Semijoin(r, s *Relation) *Relation {
 		for j, x := range rIdx {
 			bufR[j] = row[x]
 		}
-		if index[key(bufR)] {
-			out.Add(row...)
+		if member.Find(bufR) >= 0 {
+			out.Data = append(out.Data, row...)
 		}
 	}
 	return out
@@ -229,14 +255,6 @@ func sharedColumns(r, s *Relation) (shared []string, rIdx, sIdx []int) {
 		}
 	}
 	return
-}
-
-func pick(row []Value, idx []int) []Value {
-	out := make([]Value, len(idx))
-	for i, x := range idx {
-		out[i] = row[x]
-	}
-	return out
 }
 
 // SortForDisplay orders tuples lexicographically (for deterministic test

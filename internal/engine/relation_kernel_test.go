@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+// nullaryWithEmptyTuple returns the zero-column relation holding the empty
+// tuple (the unit of the natural join).
+func nullaryWithEmptyTuple() *Relation {
+	r := NewRelation()
+	r.AddEmpty()
+	return r
+}
+
+func TestJoinNullary(t *testing.T) {
+	ab := NewRelation("a", "b")
+	ab.Add(1, 2)
+	ab.Add(3, 4)
+
+	// Unit ⋈ r = r (both orders).
+	if j := Join(nullaryWithEmptyTuple(), ab); j.Len() != 2 || j.Arity() != 2 {
+		t.Errorf("unit ⋈ r: len=%d arity=%d", j.Len(), j.Arity())
+	}
+	if j := Join(ab, nullaryWithEmptyTuple()); j.Len() != 2 || j.Arity() != 2 {
+		t.Errorf("r ⋈ unit: len=%d arity=%d", j.Len(), j.Arity())
+	}
+	// Empty nullary ⋈ r = empty (both orders).
+	if j := Join(NewRelation(), ab); j.Len() != 0 {
+		t.Errorf("empty-nullary ⋈ r: len=%d", j.Len())
+	}
+	if j := Join(ab, NewRelation()); j.Len() != 0 {
+		t.Errorf("r ⋈ empty-nullary: len=%d", j.Len())
+	}
+	// Unit ⋈ unit = unit.
+	if j := Join(nullaryWithEmptyTuple(), nullaryWithEmptyTuple()); j.Len() != 1 || j.Arity() != 0 {
+		t.Errorf("unit ⋈ unit: len=%d arity=%d", j.Len(), j.Arity())
+	}
+}
+
+func TestSemijoinNullary(t *testing.T) {
+	ab := NewRelation("a", "b")
+	ab.Add(1, 2)
+	// No shared columns, non-empty s: keep everything.
+	if s := Semijoin(ab, nullaryWithEmptyTuple()); s.Len() != 1 {
+		t.Errorf("r ⋉ unit: len=%d", s.Len())
+	}
+	// No shared columns, empty s: drop everything.
+	if s := Semijoin(ab, NewRelation()); s.Len() != 0 {
+		t.Errorf("r ⋉ empty-nullary: len=%d", s.Len())
+	}
+	// Nullary r against non-empty s.
+	if s := Semijoin(nullaryWithEmptyTuple(), ab); s.Len() != 1 || s.Arity() != 0 {
+		t.Errorf("unit ⋉ r: len=%d arity=%d", s.Len(), s.Arity())
+	}
+}
+
+func TestProjectNullary(t *testing.T) {
+	ab := NewRelation("a", "b")
+	ab.Add(1, 2)
+	ab.Add(3, 4)
+	p := ab.Project(nil)
+	if p.Arity() != 0 || p.Len() != 1 {
+		t.Errorf("projection to no columns: len=%d arity=%d", p.Len(), p.Arity())
+	}
+	empty := NewRelation("a", "b")
+	if p := empty.Project(nil); p.Len() != 0 {
+		t.Errorf("projection of empty relation: len=%d", p.Len())
+	}
+	// Projecting the unit onto no columns keeps the empty tuple.
+	if p := nullaryWithEmptyTuple().Project(nil); p.Len() != 1 {
+		t.Errorf("unit projected: len=%d", p.Len())
+	}
+}
+
+// TestJoinProducesSet verifies the justification for dropping the dedup pass
+// at the end of Join: the natural join of two duplicate-free relations is
+// duplicate-free.
+func TestJoinProducesSet(t *testing.T) {
+	r := NewRelation("x", "y")
+	r.Add(1, 1)
+	r.Add(1, 2)
+	r.Add(2, 1)
+	s := NewRelation("y", "z")
+	s.Add(1, 5)
+	s.Add(1, 6)
+	s.Add(2, 5)
+	j := Join(r, s)
+	before := j.Len()
+	j.Dedup()
+	if j.Len() != before {
+		t.Fatalf("Join emitted duplicates: %d rows dedup to %d", before, j.Len())
+	}
+	if before != 5 { // (1,1)->{5,6}, (1,2)->{5}, (2,1)->{5,6}
+		t.Errorf("join size = %d, want 5", before)
+	}
+}
+
+// TestJoinMultiColumnKey exercises the composite-hash join path (two shared
+// columns) against a hand-checked result.
+func TestJoinMultiColumnKey(t *testing.T) {
+	r := NewRelation("x", "y", "z")
+	r.Add(1, 2, 3)
+	r.Add(1, 2, 4)
+	r.Add(9, 9, 9)
+	s := NewRelation("x", "y", "w")
+	s.Add(1, 2, 7)
+	s.Add(1, 3, 8)
+	j := Join(r, s)
+	if j.Len() != 2 { // (1,2,3,7) and (1,2,4,7)
+		t.Fatalf("multi-column join size = %d, want 2", j.Len())
+	}
+	for i := 0; i < j.Len(); i++ {
+		row := j.Row(i)
+		if row[0] != 1 || row[1] != 2 || row[3] != 7 {
+			t.Errorf("row %d = %v", i, row)
+		}
+	}
+}
+
+// TestNullaryQueryThroughEngine runs a query with a ground atom (nullary
+// hypergraph contribution) end to end through the prepared engine.
+func TestNullaryQueryThroughEngine(t *testing.T) {
+	q, err := cq.ParseQuery("R('a','b'), S(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	db.Add("R", "a", "b")
+	db.Add("S", "1", "2")
+	db.Add("S", "3", "4")
+	prep, err := NewEngine().Prepare(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := prep.Count(context.Background(), db)
+	if err != nil || n != 2 {
+		t.Fatalf("Count = %d, err=%v, want 2", n, err)
+	}
+	// Ground atom fails: whole query unsatisfiable.
+	db2 := cq.Database{}
+	db2.Add("R", "x", "y")
+	db2.Add("S", "1", "2")
+	ok, err := prep.Bool(context.Background(), db2)
+	if err != nil || ok {
+		t.Fatalf("Bool = %v, err=%v, want false", ok, err)
+	}
+}

@@ -2,30 +2,130 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"d2cq/internal/storage"
 )
 
 // run is the data-dependent state of one evaluation of a Plan over one
 // compiled Instance: the materialised node relations. A run belongs to a
 // single evaluation call and is never shared between goroutines; the Plan it
-// points at is immutable.
+// points at is immutable. par is the bounded worker count of the parallel
+// passes (<= 1 means sequential).
 type run struct {
 	plan     *Plan
 	inst     *Instance
 	nodeRels []*Relation
+	par      int
+}
+
+// errUnsat is the internal early-exit signal of the parallel bottom-up pass:
+// some node relation emptied out, so the query is unsatisfiable.
+var errUnsat = errors.New("engine: node relation emptied")
+
+// parForEach applies f to every item, using up to par workers when par > 1.
+// The first error stops the remaining work and is returned.
+func parForEach(ctx context.Context, par int, items []int, f func(int) error) error {
+	if par <= 1 || len(items) <= 1 {
+		for _, it := range items {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if par > len(items) {
+		par = len(items)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(items) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := f(items[i]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}
+
+// allNodes returns 0..n-1 (the work list of the materialisation pass).
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // newRun materialises the node relations of the plan over inst: for each
-// decomposition node, the join of its λ edge relations projected to the bag,
-// then filtered by every atom assigned to that node.
-func newRun(ctx context.Context, p *Plan, inst *Instance) (*run, error) {
-	r := &run{plan: p, inst: inst, nodeRels: make([]*Relation, p.d.Nodes())}
+// decomposition node, the join of its λ edge relations (smallest first, so
+// intermediates stay tight) projected to the bag, then filtered by every
+// atom assigned to that node. Distinct λ edge relations are built once and
+// shared read-only across nodes; with par > 1 the per-node work runs on a
+// bounded worker pool.
+func newRun(ctx context.Context, p *Plan, inst *Instance, par int) (*run, error) {
+	r := &run{plan: p, inst: inst, nodeRels: make([]*Relation, p.d.Nodes()), par: par}
+	// One edge relation per distinct λ variable set, shared across nodes.
+	edges := map[string]*Relation{}
+	edgeKey := func(names []string) string { return strings.Join(names, "\x00") }
 	for u := 0; u < p.d.Nodes(); u++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var acc *Relation
 		for _, names := range p.lambdaVars[u] {
-			er := inst.EdgeRelation(names)
+			k := edgeKey(names)
+			if _, ok := edges[k]; !ok {
+				edges[k] = inst.EdgeRelation(names)
+			}
+		}
+	}
+	materialise := func(u int) error {
+		rels := make([]*Relation, len(p.lambdaVars[u]))
+		for i, names := range p.lambdaVars[u] {
+			rels[i] = edges[edgeKey(names)]
+		}
+		// Smallest-first join order: cardinality is the one statistic that
+		// reliably tightens the intermediates.
+		sort.SliceStable(rels, func(i, j int) bool { return rels[i].Len() < rels[j].Len() })
+		var acc *Relation
+		for _, er := range rels {
 			if acc == nil {
 				acc = er
 			} else {
@@ -41,23 +141,39 @@ func newRun(ctx context.Context, p *Plan, inst *Instance) (*run, error) {
 			acc = Semijoin(acc, inst.AtomRels[ai])
 		}
 		r.nodeRels[u] = acc
+		return nil
+	}
+	if err := parForEach(ctx, par, allNodes(p.d.Nodes()), materialise); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
 
 // bool_ decides satisfiability by a bottom-up Yannakakis semijoin pass:
-// semijoin every parent with its children in topological order; satisfiable
-// iff no node relation empties out.
+// semijoin every parent with its children, children strictly first;
+// satisfiable iff no node relation empties out. Levels of the decomposition
+// tree are processed in parallel when the run has workers.
 func (r *run) bool_(ctx context.Context) (bool, error) {
-	for _, u := range r.plan.order {
-		if err := ctx.Err(); err != nil {
-			return false, err
-		}
-		for _, c := range r.plan.children[u] {
-			r.nodeRels[u] = Semijoin(r.nodeRels[u], r.nodeRels[c])
-		}
-		if r.nodeRels[u].Len() == 0 {
+	for _, level := range r.plan.levels {
+		err := parForEach(ctx, r.par, level, func(u int) error {
+			rel := r.nodeRels[u]
+			for _, cj := range r.plan.childJoins[u] {
+				rel = semijoinOn(rel, r.nodeRels[cj.child], cj.shared, cj.uPos, cj.cPos)
+				if rel.Len() == 0 {
+					return errUnsat
+				}
+			}
+			r.nodeRels[u] = rel
+			if rel.Len() == 0 {
+				return errUnsat
+			}
+			return nil
+		})
+		if errors.Is(err, errUnsat) {
 			return false, nil
+		}
+		if err != nil {
+			return false, err
 		}
 	}
 	return true, nil
@@ -67,7 +183,7 @@ func (r *run) bool_(ctx context.Context) (bool, error) {
 // decomposition (Pichler & Skritek, Proposition 4.14): every tuple of a node
 // carries the number of extensions to the variables introduced strictly
 // below it; counts multiply across children and sum across matching child
-// tuples.
+// tuples. Grouping runs on integer tuple keys with exact collision handling.
 func (r *run) count(ctx context.Context) (int64, error) {
 	d := r.plan.d
 	counts := make([][]int64, d.Nodes())
@@ -80,24 +196,23 @@ func (r *run) count(ctx context.Context) (int64, error) {
 		for i := range cnt {
 			cnt[i] = 1
 		}
-		for _, c := range r.plan.children[u] {
-			crel := r.nodeRels[c]
-			_, uIdx, cIdx := sharedColumns(rel, crel)
-			sum := map[string]int64{}
-			buf := make([]Value, len(uIdx))
+		for _, cj := range r.plan.childJoins[u] {
+			crel := r.nodeRels[cj.child]
+			sum := storage.NewTupleMap(len(cj.cPos), crel.Len())
+			buf := make([]Value, len(cj.cPos))
 			for i := 0; i < crel.Len(); i++ {
 				row := crel.Row(i)
-				for j, x := range cIdx {
+				for j, x := range cj.cPos {
 					buf[j] = row[x]
 				}
-				sum[key(buf)] += counts[c][i]
+				sum.Add(buf, counts[cj.child][i])
 			}
 			for i := 0; i < rel.Len(); i++ {
 				row := rel.Row(i)
-				for j, x := range uIdx {
+				for j, x := range cj.uPos {
 					buf[j] = row[x]
 				}
-				cnt[i] *= sum[key(buf)]
+				cnt[i] *= sum.Get(buf)
 			}
 		}
 		counts[u] = cnt
@@ -112,92 +227,103 @@ func (r *run) count(ctx context.Context) (int64, error) {
 // fullReduce performs the classic Yannakakis full reduction on the node
 // relations: a bottom-up semijoin pass followed by a top-down pass. After
 // it, every remaining tuple of every node participates in at least one
-// solution.
+// solution. Both passes run level-parallel when the run has workers: within
+// a level the touched relations are disjoint (bottom-up writes the level's
+// own nodes; top-down writes their children, and every child has one
+// parent).
 func (r *run) fullReduce(ctx context.Context) error {
-	for _, u := range r.plan.order {
-		if err := ctx.Err(); err != nil {
+	for _, level := range r.plan.levels {
+		err := parForEach(ctx, r.par, level, func(u int) error {
+			for _, cj := range r.plan.childJoins[u] {
+				r.nodeRels[u] = semijoinOn(r.nodeRels[u], r.nodeRels[cj.child], cj.shared, cj.uPos, cj.cPos)
+			}
+			return nil
+		})
+		if err != nil {
 			return err
-		}
-		for _, c := range r.plan.children[u] {
-			r.nodeRels[u] = Semijoin(r.nodeRels[u], r.nodeRels[c])
 		}
 	}
-	for i := len(r.plan.order) - 1; i >= 0; i-- {
-		if err := ctx.Err(); err != nil {
+	for l := len(r.plan.levels) - 1; l >= 0; l-- {
+		err := parForEach(ctx, r.par, r.plan.levels[l], func(u int) error {
+			for _, cj := range r.plan.childJoins[u] {
+				r.nodeRels[cj.child] = semijoinOn(r.nodeRels[cj.child], r.nodeRels[u], cj.shared, cj.cPos, cj.uPos)
+			}
+			return nil
+		})
+		if err != nil {
 			return err
-		}
-		u := r.plan.order[i]
-		for _, c := range r.plan.children[u] {
-			r.nodeRels[c] = Semijoin(r.nodeRels[c], r.nodeRels[u])
 		}
 	}
 	return nil
 }
 
-// enumerate streams every solution of the full CQ without materialising the
-// join. It assumes fullReduce has run: then every node tuple participates in
-// a solution and the backtracking search below never dead-ends, so the
-// delay between consecutive yields is bounded by the tree size. yield
-// receives the assignment as values indexed parallel to plan.Vars(); the
-// slice is reused between calls. Returning false from yield stops the
-// enumeration early (enumerate then returns nil).
-func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error {
-	p := r.plan
+// enumNode is the per-node enumeration state: the (fully reduced) relation,
+// the index on the columns shared with the parent bag, and the hypergraph
+// vertex ids to write each column to.
+type enumNode struct {
+	rel       *Relation
+	idx       *storage.Index // nil for nodes with no parent-shared columns
+	sharedVid []int          // vertex ids of the shared columns
+	write     []int          // vertex id of every relation column
+}
+
+// enumState is the immutable, shareable part of an enumeration over fully
+// reduced node relations: the pre-order traversal and the per-node indexes.
+// Building it is the per-evaluation cost the bound API caches away; the
+// enumerate method allocates its own cursors, so one enumState serves any
+// number of concurrent enumerations.
+type enumState struct {
+	plan      *Plan
+	pre       []int
+	nodes     []enumNode
+	maxShared int
+}
+
+// buildEnumState indexes every non-root node's relation on the columns
+// shared with its parent bag; by TD connectedness those are exactly the
+// columns constrained by the time the node is visited. rels must carry the
+// bag columns of the plan (the invariant of newRun).
+func buildEnumState(p *Plan, rels []*Relation) *enumState {
+	es := &enumState{plan: p, pre: make([]int, len(p.order)), nodes: make([]enumNode, p.d.Nodes())}
 	// Pre-order over the tree: reverse of the (post-order) topological
 	// order. Every node appears after all of its ancestors.
-	pre := make([]int, len(p.order))
 	for i, u := range p.order {
-		pre[len(p.order)-1-i] = u
+		es.pre[len(p.order)-1-i] = u
 	}
-	// For every non-root node, index its relation by the columns shared
-	// with the parent bag; by TD connectedness those are exactly the
-	// columns constrained by the time the node is visited.
-	type nodeIndex struct {
-		rel       *Relation
-		byKey     map[string][]int // shared-column key → row indices
-		sharedVid []int            // vertex ids of the shared columns
-		write     []int            // vertex id of every rel column
-	}
-	idx := make([]nodeIndex, p.d.Nodes())
-	for _, u := range pre {
-		rel := r.nodeRels[u]
-		ni := nodeIndex{rel: rel}
-		for _, c := range rel.Cols {
-			ni.write = append(ni.write, p.h.VertexID(c))
-		}
+	for _, u := range es.pre {
+		rel := rels[u]
+		en := enumNode{rel: rel, write: p.bagVids[u], sharedVid: p.sharedVids[u]}
 		if len(p.shared[u]) > 0 {
-			sharedAt := make([]int, len(p.shared[u]))
-			ni.sharedVid = make([]int, len(p.shared[u]))
-			for j, c := range p.shared[u] {
-				sharedAt[j] = rel.ColIndex(c)
-				ni.sharedVid[j] = p.h.VertexID(c)
-			}
-			ni.byKey = make(map[string][]int, rel.Len())
-			buf := make([]Value, len(sharedAt))
-			for i := 0; i < rel.Len(); i++ {
-				row := rel.Row(i)
-				for j, x := range sharedAt {
-					buf[j] = row[x]
-				}
-				ni.byKey[key(buf)] = append(ni.byKey[key(buf)], i)
+			en.idx = storage.BuildIndex(rel.Data, len(rel.Cols), p.sharedPos[u])
+			if len(p.shared[u]) > es.maxShared {
+				es.maxShared = len(p.shared[u])
 			}
 		}
-		idx[u] = ni
+		es.nodes[u] = en
 	}
-	maxShared := 0
-	for _, u := range pre {
-		if len(p.shared[u]) > maxShared {
-			maxShared = len(p.shared[u])
-		}
+	return es
+}
+
+// enumerate streams every solution of the full CQ without materialising the
+// join. It assumes the relations behind the state are fully reduced: then
+// every node tuple participates in a solution and the backtracking search
+// below never dead-ends, so the delay between consecutive yields is bounded
+// by the tree size. yield receives the assignment as values indexed parallel
+// to plan.Vars(); the slice is reused between calls. Returning false from
+// yield stops the enumeration early (enumerate then returns nil).
+func (es *enumState) enumerate(ctx context.Context, yield func(row []Value) bool) error {
+	p := es.plan
+	if p.d.Nodes() == 0 {
+		return nil
 	}
 	asg := make([]Value, p.h.NV())
 	out := make([]Value, len(p.qvars))
-	keyBuf := make([]Value, maxShared)
+	keyBuf := make([]Value, es.maxShared)
 	var yielded int
 	stop := false
 	var rec func(i int) error
 	rec = func(i int) error {
-		if i == len(pre) {
+		if i == len(es.pre) {
 			yielded++
 			if yielded&0x3f == 0 {
 				if err := ctx.Err(); err != nil {
@@ -212,16 +338,16 @@ func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error
 			}
 			return nil
 		}
-		u := pre[i]
-		ni := idx[u]
-		n := ni.rel.Len()
-		var rows []int
-		if ni.byKey != nil {
-			kb := keyBuf[:len(ni.sharedVid)]
-			for j, vid := range ni.sharedVid {
+		u := es.pre[i]
+		en := es.nodes[u]
+		n := en.rel.Len()
+		var rows []int32
+		if en.idx != nil {
+			kb := keyBuf[:len(en.sharedVid)]
+			for j, vid := range en.sharedVid {
 				kb[j] = asg[vid]
 			}
-			rows = ni.byKey[key(kb)]
+			rows = en.idx.Lookup(kb)
 			n = len(rows)
 		}
 		for ri := 0; ri < n; ri++ {
@@ -230,10 +356,10 @@ func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error
 			}
 			rowIdx := ri
 			if rows != nil {
-				rowIdx = rows[ri]
+				rowIdx = int(rows[ri])
 			}
-			row := ni.rel.Row(rowIdx)
-			for j, vid := range ni.write {
+			row := en.rel.Row(rowIdx)
+			for j, vid := range en.write {
 				asg[vid] = row[j]
 			}
 			if err := rec(i + 1); err != nil {
@@ -242,8 +368,15 @@ func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error
 		}
 		return nil
 	}
-	if p.d.Nodes() == 0 {
+	return rec(0)
+}
+
+// enumerate builds the enumeration state over this run's node relations and
+// streams the solutions (see enumState.enumerate). The bound API builds the
+// state once instead and reuses it across calls.
+func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error {
+	if r.plan.d.Nodes() == 0 {
 		return nil
 	}
-	return rec(0)
+	return buildEnumState(r.plan, r.nodeRels).enumerate(ctx, yield)
 }

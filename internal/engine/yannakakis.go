@@ -44,7 +44,7 @@ func BCQGHD(inst *Instance, d *decomp.GHD) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	r, err := newRun(context.Background(), p, inst)
+	r, err := newRun(context.Background(), p, inst, defaultEngine.par())
 	if err != nil {
 		return false, err
 	}
@@ -70,7 +70,7 @@ func CountGHD(inst *Instance, d *decomp.GHD) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	r, err := newRun(context.Background(), p, inst)
+	r, err := newRun(context.Background(), p, inst, defaultEngine.par())
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"d2cq/internal/cq"
+)
+
+// Table is one compiled relation: tuples interned and laid out flat, row i
+// occupying Data[i*Arity:(i+1)*Arity]. The tuple data is immutable after
+// Compile; the lazily built per-column-set indexes and statistics are
+// guarded by a mutex, so a Table is safe for concurrent use.
+type Table struct {
+	Name  string
+	Arity int
+	Data  []Value
+
+	mu      sync.Mutex
+	indexes map[string]*Index
+	stats   *TableStats
+}
+
+// Rows returns the number of tuples.
+func (t *Table) Rows() int {
+	if t.Arity == 0 {
+		return len(t.Data)
+	}
+	return len(t.Data) / t.Arity
+}
+
+// Row returns the i-th tuple as a slice view (do not mutate).
+func (t *Table) Row(i int) []Value {
+	return t.Data[i*t.Arity : (i+1)*t.Arity]
+}
+
+// colsKey renders a column set as a cache key.
+func colsKey(cols []int) string {
+	b := make([]byte, 0, 3*len(cols))
+	for _, c := range cols {
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// maxCachedIndexes bounds the per-table index cache: a long-lived shared
+// table serving ad-hoc traffic must not accumulate one O(rows) index per
+// column set ever queried. Past the cap, indexes are built per call and not
+// retained.
+const maxCachedIndexes = 16
+
+// Index returns the hash index of the table on the given column positions,
+// building it on first use and caching up to maxCachedIndexes of them.
+func (t *Table) Index(cols ...int) *Index {
+	key := colsKey(cols)
+	t.mu.Lock()
+	if ix, ok := t.indexes[key]; ok {
+		t.mu.Unlock()
+		return ix
+	}
+	t.mu.Unlock()
+	ix := BuildIndex(t.Data, t.Arity, cols)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cached, ok := t.indexes[key]; ok {
+		return cached // another goroutine built it meanwhile
+	}
+	if t.indexes == nil {
+		t.indexes = map[string]*Index{}
+	}
+	if len(t.indexes) < maxCachedIndexes {
+		t.indexes[key] = ix
+	}
+	return ix
+}
+
+// TableStats carries the basic statistics join ordering uses: cardinality
+// and the number of distinct values per column.
+type TableStats struct {
+	Rows     int
+	Distinct []int
+}
+
+// Stats returns the table statistics, computing and caching them on first
+// use.
+func (t *Table) Stats() TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats == nil {
+		st := &TableStats{Rows: t.Rows(), Distinct: make([]int, t.Arity)}
+		buf := make([]Value, 1)
+		for c := 0; c < t.Arity; c++ {
+			m := NewTupleMap(1, st.Rows)
+			for i := 0; i < st.Rows; i++ {
+				buf[0] = t.Data[i*t.Arity+c]
+				m.Insert(buf)
+			}
+			st.Distinct[c] = m.Len()
+		}
+		t.stats = st
+	}
+	return *t.stats
+}
+
+// DB is a compiled database: every constant interned through one shared
+// dictionary, every relation laid out as a flat Table. After Compile the
+// tuple data and the dictionary are never mutated, so one DB serves any
+// number of concurrent bound evaluations.
+type DB struct {
+	Dict   *Dict
+	tables map[string]*Table
+}
+
+// Compile interns an entire cq.Database once. It fails if a relation holds
+// tuples of differing arities — a compiled table needs one flat layout, and
+// such a relation could never validate against any query atom anyway.
+func Compile(db cq.Database) (*DB, error) {
+	out := &DB{Dict: NewDict(), tables: make(map[string]*Table, len(db))}
+	// Deterministic interning order: sorted relation names.
+	names := make([]string, 0, len(db))
+	for name := range db {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tuples := db[name]
+		if len(tuples) == 0 {
+			continue
+		}
+		t := &Table{Name: name, Arity: len(tuples[0])}
+		t.Data = make([]Value, 0, len(tuples)*t.Arity)
+		for _, tuple := range tuples {
+			if len(tuple) != t.Arity {
+				return nil, fmt.Errorf("storage: relation %s mixes arities %d and %d", name, t.Arity, len(tuple))
+			}
+			for _, c := range tuple {
+				t.Data = append(t.Data, out.Dict.Intern(c))
+			}
+			if t.Arity == 0 {
+				t.Data = append(t.Data, 0) // sentinel for the empty tuple
+			}
+		}
+		out.tables[name] = t
+	}
+	return out, nil
+}
+
+// Table returns the compiled relation of the given name, or nil when the
+// relation is absent (equivalently: empty).
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Relations returns the compiled relation names, sorted.
+func (db *DB) Relations() []string {
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DBStats summarises a compiled database.
+type DBStats struct {
+	Relations int
+	Tuples    int
+	Constants int
+}
+
+// Stats returns the compiled database summary.
+func (db *DB) Stats() DBStats {
+	st := DBStats{Relations: len(db.tables), Constants: db.Dict.Len()}
+	for _, t := range db.tables {
+		st.Tuples += t.Rows()
+	}
+	return st
+}

@@ -1,0 +1,72 @@
+// Package storage is the compiled-database layer of the engine: dictionary
+// interning of constants, immutable compiled relations, and integer-keyed
+// hash indexes over column sets. A cq.Database is compiled once — strings
+// interned to dense Values, tuples laid out flat — and the result is shared,
+// read-only, by any number of concurrent evaluations. This gives the data
+// side the same compile-once treatment the query side gets from preparation:
+// the Yannakakis-style evaluation bounds (Propositions 2.2 and 4.14 of the
+// paper) assume relations that can be scanned and probed in constant time
+// per tuple, which is exactly what the interned, indexed representation
+// provides.
+package storage
+
+import "fmt"
+
+// Value is an interned database constant.
+type Value int32
+
+// Dict interns string constants to dense Values. A Dict is not safe for
+// concurrent mutation; once a database is compiled, readers use Lookup and
+// Name only, which are safe to call concurrently as long as nobody interns.
+type Dict struct {
+	byName map[string]Value
+	names  []string
+	fresh  int
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: map[string]Value{}}
+}
+
+// Intern returns the Value of the constant, creating it if needed.
+func (d *Dict) Intern(name string) Value {
+	if v, ok := d.byName[name]; ok {
+		return v
+	}
+	v := Value(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = v
+	return v
+}
+
+// Lookup returns the Value of an already-interned constant without mutating
+// the dictionary. It is the read path for evaluation over a shared compiled
+// database: a constant absent from the dictionary cannot occur in the data.
+func (d *Dict) Lookup(name string) (Value, bool) {
+	v, ok := d.byName[name]
+	return v, ok
+}
+
+// Name returns the string of an interned value.
+func (d *Dict) Name(v Value) string {
+	if int(v) < 0 || int(v) >= len(d.names) {
+		return fmt.Sprintf("<bad:%d>", v)
+	}
+	return d.names[v]
+}
+
+// Fresh interns a brand-new constant that does not occur in the database —
+// the ★ constants of the Theorem 3.4 reduction.
+func (d *Dict) Fresh(prefix string) Value {
+	for {
+		name := fmt.Sprintf("%s%d", prefix, d.fresh)
+		d.fresh++
+		if _, exists := d.byName[name]; !exists {
+			return d.Intern(name)
+		}
+	}
+}
+
+// Len returns the number of interned constants.
+func (d *Dict) Len() int { return len(d.names) }

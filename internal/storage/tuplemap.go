@@ -1,0 +1,115 @@
+package storage
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// HashTuple returns the FNV-1a 64-bit hash of a value tuple.
+func HashTuple(vals []Value) uint64 {
+	h := fnv64Offset
+	for _, v := range vals {
+		u := uint32(v)
+		h = (h ^ uint64(u&0xff)) * fnv64Prime
+		h = (h ^ uint64((u>>8)&0xff)) * fnv64Prime
+		h = (h ^ uint64((u>>16)&0xff)) * fnv64Prime
+		h = (h ^ uint64(u>>24)) * fnv64Prime
+	}
+	return h
+}
+
+// TupleMap is a hash map from fixed-width value tuples to int64 payloads,
+// with exact collision handling: tuples are stored flat and compared on
+// every probe, so two distinct tuples never share a slot even when their
+// 64-bit hashes collide. It replaces the string-rendered map keys of the
+// old kernel on every grouping path (dedup, projection, count aggregation).
+type TupleMap struct {
+	k       int
+	hash    func([]Value) uint64
+	buckets map[uint64][]int32
+	keys    []Value // slot i occupies keys[i*k : (i+1)*k]
+	vals    []int64
+}
+
+// NewTupleMap returns an empty map over width-k tuples, sized for capHint
+// entries.
+func NewTupleMap(k, capHint int) *TupleMap {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &TupleMap{
+		k:       k,
+		hash:    HashTuple,
+		buckets: make(map[uint64][]int32, capHint),
+		keys:    make([]Value, 0, capHint*k),
+	}
+}
+
+// newTupleMapWithHash is the test seam for the collision path: a degenerate
+// hash forces every tuple into one bucket, exercising the exact comparison.
+func newTupleMapWithHash(k int, hash func([]Value) uint64) *TupleMap {
+	m := NewTupleMap(k, 0)
+	m.hash = hash
+	return m
+}
+
+// Len returns the number of distinct tuples inserted.
+func (m *TupleMap) Len() int { return len(m.vals) }
+
+// Key returns the tuple stored at a slot (do not mutate).
+func (m *TupleMap) Key(slot int32) []Value {
+	return m.keys[int(slot)*m.k : (int(slot)+1)*m.k]
+}
+
+func (m *TupleMap) equalAt(slot int32, key []Value) bool {
+	at := m.keys[int(slot)*m.k:]
+	for i, v := range key {
+		if at[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the slot of the tuple, or -1 if absent.
+func (m *TupleMap) Find(key []Value) int32 {
+	for _, slot := range m.buckets[m.hash(key)] {
+		if m.equalAt(slot, key) {
+			return slot
+		}
+	}
+	return -1
+}
+
+// Insert returns the slot of the tuple, creating it (with payload 0) if
+// absent; isNew reports whether this call created the slot.
+func (m *TupleMap) Insert(key []Value) (slot int32, isNew bool) {
+	h := m.hash(key)
+	for _, s := range m.buckets[h] {
+		if m.equalAt(s, key) {
+			return s, false
+		}
+	}
+	slot = int32(len(m.vals))
+	m.keys = append(m.keys, key...)
+	m.vals = append(m.vals, 0)
+	m.buckets[h] = append(m.buckets[h], slot)
+	return slot, true
+}
+
+// Add accumulates delta into the tuple's payload, creating the tuple if
+// absent.
+func (m *TupleMap) Add(key []Value, delta int64) {
+	slot, _ := m.Insert(key)
+	m.vals[slot] += delta
+}
+
+// Get returns the tuple's payload (0 if absent).
+func (m *TupleMap) Get(key []Value) int64 {
+	slot := m.Find(key)
+	if slot < 0 {
+		return 0
+	}
+	return m.vals[slot]
+}

@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	hyperbench [-seed 1] [-per 24] [-maxk 5] [-csv out.csv] [-evalwidth k] [-json]
+//	hyperbench [-seed 1] [-per 24] [-maxk 5] [-csv out.csv] [-evalwidth k] [-updates n] [-json]
 //
 // With -json the run emits one machine-readable report (generation and
 // evaluation timings, Table 1 rows, engine/cache statistics) instead of the
 // human tables, so benchmark trajectories can be recorded across runs.
+//
+// With -updates n the run additionally benchmarks incremental maintenance:
+// for a sample of corpus entries it binds the canonical BCQ over a larger
+// generated database and then, for n rounds of single-tuple deltas, times
+// BoundQuery.Update against a from-scratch CompileDB+Bind of the same
+// logical database, spot-checking that both agree.
 package main
 
 import (
@@ -42,6 +48,7 @@ type report struct {
 	GenMS     float64                `json:"generate_ms"`
 	Table1    []hyperbench.Table1Row `json:"table1"`
 	Eval      *evalReport            `json:"eval,omitempty"`
+	Updates   *updatesReport         `json:"updates,omitempty"`
 }
 
 type evalReport struct {
@@ -65,6 +72,7 @@ func run(args []string, out io.Writer) error {
 	maxk := fs.Int("maxk", 5, "largest k for the ghw > k table")
 	csv := fs.String("csv", "", "also write the per-instance census to this CSV file")
 	evalWidth := fs.Int("evalwidth", 0, "also prepare & evaluate the canonical BCQ of every corpus entry up to this plan width (0 = skip)")
+	updates := fs.Int("updates", 0, "also benchmark incremental maintenance: time this many single-tuple update rounds per sampled entry, Update vs CompileDB+Bind (0 = skip)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of the human tables")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +108,13 @@ func run(args []string, out io.Writer) error {
 			}
 			rep.Eval = ev
 		}
+		if *updates > 0 {
+			up, err := updatesBench(io.Discard, c, *updates, false)
+			if err != nil {
+				return err
+			}
+			rep.Updates = up
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
@@ -111,6 +126,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, c.FamilySummary())
 	if *evalWidth > 0 {
 		if _, err := evalCorpus(out, c, *evalWidth, true); err != nil {
+			return err
+		}
+	}
+	if *updates > 0 {
+		if _, err := updatesBench(out, c, *updates, true); err != nil {
 			return err
 		}
 	}
@@ -188,4 +208,140 @@ func evalCorpus(out io.Writer, c *hyperbench.Corpus, maxWidth int, human bool) (
 		CacheHits:   st.Cache.Hits,
 		CacheMisses: st.Cache.Misses,
 	}, nil
+}
+
+// updatesReport records the incremental-maintenance benchmark: total wall
+// time of BoundQuery.Update for single-tuple deltas against total wall time
+// of the CompileDB+Bind recompile the Update replaces.
+type updatesReport struct {
+	Entries       int     `json:"entries"`
+	Rounds        int     `json:"rounds"`
+	TuplesPerEdge int     `json:"tuples_per_edge"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	RecompileMS   float64 `json:"recompile_ms"`
+	Speedup       float64 `json:"speedup"`
+	Checked       int     `json:"checked"`
+}
+
+// updatesEntryCap bounds how many corpus entries the updates benchmark
+// samples, and updatesTuplesPerEdge how many tuples each edge relation gets
+// (large enough that recompiling dominates, small enough to stay quick).
+const (
+	updatesEntryCap      = 24
+	updatesTuplesPerEdge = 64
+	updatesConstantPool  = 16
+	updatesCheckEveryN   = 16
+	updatesBenchMaxWidth = 3
+)
+
+// updatesBench binds the canonical BCQ of a sample of corpus entries over a
+// generated database and, per round, applies one single-tuple delta two
+// ways: incrementally (BoundQuery.Update, copy-on-write snapshot) and by
+// recompiling the same logical database from scratch (CompileDB + Bind).
+// Both paths are timed end to end and spot-checked against each other.
+func updatesBench(out io.Writer, c *hyperbench.Corpus, rounds int, human bool) (*updatesReport, error) {
+	ctx := context.Background()
+	eng := d2cq.NewEngine(d2cq.WithMaxWidth(updatesBenchMaxWidth), d2cq.WithNaiveFallback())
+	entries := c.Entries
+	if len(entries) > updatesEntryCap {
+		sampled := make([]hyperbench.Entry, 0, updatesEntryCap)
+		for i := 0; i < updatesEntryCap; i++ {
+			sampled = append(sampled, entries[i*len(entries)/updatesEntryCap])
+		}
+		entries = sampled
+	}
+	if human {
+		fmt.Fprintf(out, "\n=== incremental updates (%d entries × %d rounds, %d tuples/edge) ===\n",
+			len(entries), rounds, updatesTuplesPerEdge)
+	}
+	rep := &updatesReport{Entries: len(entries), TuplesPerEdge: updatesTuplesPerEdge}
+	var incTotal, recTotal time.Duration
+	for ei, e := range entries {
+		inst := reduction.NewInstance(e.H)
+		for edge := 0; edge < e.H.NE(); edge++ {
+			cols := len(e.H.EdgeVertexNames(edge))
+			for t := 0; t < updatesTuplesPerEdge; t++ {
+				row := make([]string, cols)
+				for cix := range row {
+					row[cix] = fmt.Sprintf("c%d", (t*7+cix*13+edge)%updatesConstantPool)
+				}
+				inst.D.Add(e.H.EdgeName(edge), row...)
+			}
+		}
+		prep, err := eng.Prepare(ctx, inst.Q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		cdb, err := eng.CompileDB(ctx, inst.D)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		bound, err := prep.Bind(ctx, cdb)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		mirror := inst.D
+		for r := 0; r < rounds; r++ {
+			// Odd rounds delete the tuple the previous round inserted, so
+			// every round is a real single-tuple change (never a no-op) on
+			// the same relation the insert touched.
+			base := r - r%2
+			edge := base % e.H.NE()
+			rel := e.H.EdgeName(edge)
+			cols := len(e.H.EdgeVertexNames(edge))
+			tuple := make([]string, cols)
+			for cix := range tuple {
+				tuple[cix] = fmt.Sprintf("u%d", (base*5+cix*3)%updatesConstantPool)
+			}
+			delta := d2cq.NewDelta()
+			if r%2 == 0 {
+				delta.Add(rel, tuple...)
+			} else {
+				delta.Remove(rel, tuple...)
+			}
+			start := time.Now()
+			nb, err := bound.Update(ctx, delta)
+			incTotal += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d: Update: %w", e.Name, r, err)
+			}
+			bound = nb
+			delta.ApplyToDatabase(mirror)
+			start = time.Now()
+			c2, err := eng.CompileDB(ctx, mirror)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d: CompileDB: %w", e.Name, r, err)
+			}
+			b2, err := prep.Bind(ctx, c2)
+			recTotal += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s round %d: Bind: %w", e.Name, r, err)
+			}
+			rep.Rounds++
+			if (ei*rounds+r)%updatesCheckEveryN == 0 {
+				ok1, err := bound.Bool(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("%s round %d: incremental Bool: %w", e.Name, r, err)
+				}
+				ok2, err := b2.Bool(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("%s round %d: recompiled Bool: %w", e.Name, r, err)
+				}
+				if ok1 != ok2 {
+					return nil, fmt.Errorf("%s round %d: incremental Bool %v disagrees with recompiled %v", e.Name, r, ok1, ok2)
+				}
+				rep.Checked++
+			}
+		}
+	}
+	rep.IncrementalMS = float64(incTotal.Microseconds()) / 1000
+	rep.RecompileMS = float64(recTotal.Microseconds()) / 1000
+	if rep.IncrementalMS > 0 {
+		rep.Speedup = rep.RecompileMS / rep.IncrementalMS
+	}
+	if human {
+		fmt.Fprintf(out, "%d single-tuple updates: incremental %.1fms, recompile %.1fms — %.1f× speedup (%d spot checks passed)\n",
+			rep.Rounds, rep.IncrementalMS, rep.RecompileMS, rep.Speedup, rep.Checked)
+	}
+	return rep, nil
 }

@@ -68,3 +68,36 @@ func TestRunEvalCorpus(t *testing.T) {
 		t.Errorf("missing evaluation report:\n%s", s)
 	}
 }
+
+func TestRunUpdatesBench(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-per", "1", "-maxk", "3", "-updates", "4", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	up := rep.Updates
+	if up == nil {
+		t.Fatal("updates report missing")
+	}
+	if up.Entries == 0 || up.Rounds != up.Entries*4 {
+		t.Errorf("rounds = %d for %d entries, want %d", up.Rounds, up.Entries, up.Entries*4)
+	}
+	if up.Checked == 0 {
+		t.Error("no differential spot checks ran")
+	}
+	if up.IncrementalMS <= 0 || up.RecompileMS <= 0 || up.Speedup <= 0 {
+		t.Errorf("timings incomplete: %+v", up)
+	}
+
+	// Human mode prints the summary line.
+	out.Reset()
+	if err := run([]string{"-per", "1", "-maxk", "3", "-updates", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "incremental updates") || !strings.Contains(out.String(), "speedup") {
+		t.Errorf("missing updates summary:\n%s", out.String())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"d2cq/internal/hyperbench"
 	"d2cq/internal/hypergraph"
 	"d2cq/internal/reduction"
+	"d2cq/internal/storage"
 )
 
 // --- hypergraphs -------------------------------------------------------------
@@ -184,14 +185,31 @@ type PreparedQuery = engine.PreparedQuery
 
 // CompiledDB is a database compiled once by Engine.CompileDB: constants
 // interned, relations laid out flat with integer-keyed indexes. Share one
-// CompiledDB across any number of concurrent Binds and evaluations.
+// CompiledDB across any number of concurrent Binds and evaluations. A
+// CompiledDB is a snapshot: CompiledDB.Apply(ctx, delta) produces the next
+// snapshot copy-on-write, sharing every untouched relation (and the
+// append-friendly dictionary) with its parent, so an update stream costs
+// time proportional to the touched relations — not the database.
 type CompiledDB = engine.CompiledDB
 
 // BoundQuery is a PreparedQuery bound to a CompiledDB: dictionary, atom
 // relations and decomposition node relations are built once at Bind time,
 // so Bool / Count / Enumerate / CountProjection run the per-call passes
-// only. Safe for concurrent use.
+// only. Safe for concurrent use. BoundQuery.Update(ctx, delta) (or
+// CompiledDB.Apply + BoundQuery.Rebind, to share one new snapshot across
+// several bound queries) carries the bound state forward incrementally:
+// only the atoms, decomposition nodes and cached reduction/count subtrees a
+// delta actually reaches are recomputed, and the receiver keeps answering
+// over its own snapshot.
 type BoundQuery = engine.BoundQuery
+
+// Delta is a batch of tuple insertions and deletions against a CompiledDB.
+// Deletions apply first; both are set-semantics no-ops when they do not
+// change the relation. Build one with NewDelta().Add(...).Remove(...).
+type Delta = storage.Delta
+
+// NewDelta returns an empty Delta.
+func NewDelta() *Delta { return storage.NewDelta() }
 
 // EngineOption configures NewEngine.
 type EngineOption = engine.Option

@@ -173,3 +173,62 @@ E3(c, a)
 		t.Error("empty plan explanation")
 	}
 }
+
+func TestFacadeIncrementalUpdates(t *testing.T) {
+	q, err := ParseQuery("Follows(a,b), Follows(b,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ParseDatabase(`
+Follows(ann, bob)
+Follows(bob, cat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	eng := NewEngine()
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bound.Count(ctx)
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d (err=%v), want 1", n, err)
+	}
+	// Apply a delta through the bound query: the old snapshot stays live and
+	// the new one reflects the change.
+	next, err := bound.Update(ctx, NewDelta().Add("Follows", "cat", "dan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := next.Count(ctx)
+	if err != nil || n2 != 2 {
+		t.Fatalf("Count after insert = %d (err=%v), want 2", n2, err)
+	}
+	old, err := bound.Count(ctx)
+	if err != nil || old != 1 {
+		t.Fatalf("old snapshot Count = %d (err=%v), want 1", old, err)
+	}
+	// Share one applied snapshot across bound queries via Apply + Rebind.
+	cdb2, err := next.Database().Apply(ctx, NewDelta().Remove("Follows", "ann", "bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := next.Rebind(ctx, cdb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3, err := final.Count(ctx)
+	if err != nil || n3 != 1 { // bob-cat-dan remains
+		t.Fatalf("Count after delete = %d (err=%v), want 1", n3, err)
+	}
+}

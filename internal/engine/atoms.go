@@ -16,6 +16,22 @@ type Instance struct {
 	// AtomRels[i] is the relation for atom i, with columns = the atom's
 	// distinct variables (sorted).
 	AtomRels []*Relation
+	// atomKeys[i] caches edgeKey(atom i's variable set) so the hot
+	// EdgeRelation path compares strings instead of re-deriving variable
+	// sets (may be nil; derived lazily then).
+	atomKeys []string
+}
+
+// keys returns the per-atom variable-set keys, deriving and caching them on
+// first use.
+func (inst *Instance) keys() []string {
+	if inst.atomKeys == nil {
+		inst.atomKeys = make([]string, len(inst.Query.Atoms))
+		for i, a := range inst.Query.Atoms {
+			inst.atomKeys[i] = edgeKey(a.VarSet())
+		}
+	}
+	return inst.atomKeys
 }
 
 // Compile interns db and builds the per-atom relations for q.
@@ -31,6 +47,7 @@ func Compile(q cq.Query, db cq.Database) (*Instance, error) {
 		}
 		inst.AtomRels = append(inst.AtomRels, rel)
 	}
+	inst.keys()
 	return inst, nil
 }
 
@@ -47,6 +64,7 @@ func BindCompile(q cq.Query, sdb *storage.DB) (*Instance, error) {
 		}
 		inst.AtomRels = append(inst.AtomRels, rel)
 	}
+	inst.keys()
 	return inst, nil
 }
 
@@ -200,16 +218,19 @@ func atomRelation(a cq.Atom, db cq.Database, dict *Dict) (*Relation, error) {
 
 // EdgeRelation joins the atom relations of every atom whose variable set
 // equals the given variable set (several atoms can share one hypergraph
-// edge). vars must be sorted.
+// edge). vars must be sorted. When a single atom carries the edge, its
+// relation is returned directly — the result is read-only, like the atom
+// relations it may alias.
 func (inst *Instance) EdgeRelation(vars []string) *Relation {
+	key := edgeKey(vars)
+	keys := inst.keys()
 	var acc *Relation
-	for i, a := range inst.Query.Atoms {
-		avs := a.VarSet()
-		if !sameStrings(avs, vars) {
+	for i := range inst.Query.Atoms {
+		if keys[i] != key {
 			continue
 		}
 		if acc == nil {
-			acc = inst.AtomRels[i].Clone()
+			acc = inst.AtomRels[i]
 		} else {
 			acc = Join(acc, inst.AtomRels[i])
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"d2cq/internal/cq"
 	"d2cq/internal/storage"
@@ -14,6 +15,9 @@ import (
 // interned through one dictionary, relations laid out flat with lazily built
 // integer-keyed indexes. A CompiledDB is read-only after compilation and
 // safe to share between any number of concurrent Binds and evaluations.
+// Apply evolves it into a new snapshot without recompiling: the two
+// snapshots share every untouched table and the (append-friendly)
+// dictionary.
 type CompiledDB struct {
 	sdb *storage.DB
 }
@@ -34,6 +38,23 @@ func (e *Engine) CompileDB(ctx context.Context, db cq.Database) (*CompiledDB, er
 	return &CompiledDB{sdb: sdb}, nil
 }
 
+// Apply produces a new database snapshot with the delta applied —
+// copy-on-write at relation granularity, so the cost is proportional to the
+// touched relations plus the delta. Both snapshots stay live: the receiver
+// is unchanged and existing BoundQuerys over it keep answering consistently.
+// Pair with BoundQuery.Rebind (or use BoundQuery.Update, which does both) to
+// carry bound evaluation state forward incrementally.
+func (c *CompiledDB) Apply(ctx context.Context, delta *storage.Delta) (*CompiledDB, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sdb, err := c.sdb.Apply(delta)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledDB{sdb: sdb}, nil
+}
+
 // Stats summarises the compiled database (relations, tuples, interned
 // constants).
 func (c *CompiledDB) Stats() storage.DBStats { return c.sdb.Stats() }
@@ -41,17 +62,29 @@ func (c *CompiledDB) Stats() storage.DBStats { return c.sdb.Stats() }
 // BoundQuery is a prepared query bound to a compiled database: the interned
 // dictionary, the per-atom relations, and the materialised decomposition
 // node relations are all built once at Bind time and reused by every
-// evaluation call. The full Yannakakis reduction and the enumeration indexes
-// are built lazily on the first Enumerate and then shared. A BoundQuery is
-// immutable after Bind and safe for concurrent use.
+// evaluation call. The full Yannakakis reduction (with its enumeration
+// indexes) and the counting DP vectors are built lazily on the first
+// Enumerate/Count and then shared. A BoundQuery is immutable after Bind and
+// safe for concurrent use; Update/Rebind never mutate it — they return a new
+// BoundQuery sharing all state the delta did not touch.
 type BoundQuery struct {
 	prep     *PreparedQuery
 	cdb      *CompiledDB
 	inst     *Instance
 	nodeRels []*Relation // nil for naive and ground plans
 
-	reduceMu sync.Mutex
-	enumSt   *enumState
+	// nodeSupport carries, per node, the derivation count of every tuple of
+	// the unfiltered bag projection — the auxiliary state that lets Update
+	// maintain a node under a delta with a delta-join instead of re-running
+	// the full λ join. Built lazily: empty until the first Rebind, and nil
+	// per node until that node is first maintained, so bind-and-evaluate
+	// workloads that never update pay nothing.
+	nodeSupport []*storage.TupleMap
+
+	reduceMu sync.Mutex // serialises enumSt construction
+	enumSt   atomic.Pointer[enumState]
+	countMu  sync.Mutex // serialises countSt construction
+	countSt  atomic.Pointer[countState]
 }
 
 // Bind fixes the data-dependent half of the evaluation: it builds the
@@ -82,6 +115,9 @@ func (p *PreparedQuery) Bind(ctx context.Context, cdb *CompiledDB) (*BoundQuery,
 
 // Query returns the bound query.
 func (b *BoundQuery) Query() cq.Query { return b.prep.Query() }
+
+// Database returns the compiled database snapshot the query is bound to.
+func (b *BoundQuery) Database() *CompiledDB { return b.cdb }
 
 // ExplainDB renders the plan together with the node relation sizes already
 // materialised at Bind time — unlike PreparedQuery.ExplainDB it does no
@@ -116,7 +152,9 @@ func (b *BoundQuery) run() *run {
 
 // Bool decides q(D) ≠ ∅ over the bound database (Proposition 2.2). Only the
 // bottom-up semijoin pass runs per call; interning, atom relations and node
-// materialisation were paid at Bind time.
+// materialisation were paid at Bind time. When a full reduction is already
+// cached (a prior Enumerate, or carried forward by Update), the answer is
+// read off the reduced root relation without any pass at all.
 func (b *BoundQuery) Bool(ctx context.Context) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
@@ -127,11 +165,16 @@ func (b *BoundQuery) Bool(ctx context.Context) (bool, error) {
 	if b.prep.plan.d.Nodes() == 0 {
 		return groundSat(b.inst), nil
 	}
+	if es := b.enumSt.Load(); es != nil {
+		return es.nodes[b.prep.plan.d.Root()].rel.Len() > 0, nil
+	}
 	return b.run().bool_(ctx)
 }
 
 // Count computes |q(D)| for a full CQ over the bound database
-// (Proposition 4.14).
+// (Proposition 4.14). The per-node DP vectors are computed once and cached;
+// repeated Counts read the cached total, and Update maintains the vectors
+// incrementally on the affected subtrees only.
 func (b *BoundQuery) Count(ctx context.Context) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -145,25 +188,62 @@ func (b *BoundQuery) Count(ctx context.Context) (int64, error) {
 		}
 		return 0, nil
 	}
-	return b.run().count(ctx)
+	cs, err := b.ensureCounts(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return cs.total, nil
+}
+
+// ensureCounts runs the counting DP once over the bound node relations and
+// caches the per-node vectors (so Update can maintain them incrementally).
+// Concurrent callers wait for the single construction; a failed attempt
+// (typically: a cancelled context) is not cached, so the next caller
+// retries.
+func (b *BoundQuery) ensureCounts(ctx context.Context) (*countState, error) {
+	if cs := b.countSt.Load(); cs != nil {
+		return cs, nil
+	}
+	b.countMu.Lock()
+	defer b.countMu.Unlock()
+	if cs := b.countSt.Load(); cs != nil {
+		return cs, nil
+	}
+	cs, err := buildCountState(ctx, b.prep.plan, b.nodeRels)
+	if err != nil {
+		return nil, err
+	}
+	b.countSt.Store(cs)
+	return cs, nil
 }
 
 // ensureReduced runs the Yannakakis full reduction once and builds the
-// shared enumeration indexes over the reduced relations. Concurrent callers
+// shared enumeration indexes over the reduced relations. The bottom-up
+// intermediate relations are kept alongside so Update can re-run the
+// semijoin passes only where a delta actually propagates. Concurrent callers
 // wait for the single construction; a failed attempt (typically: a
 // cancelled context) is not cached, so the next caller retries.
 func (b *BoundQuery) ensureReduced(ctx context.Context) (*enumState, error) {
+	if es := b.enumSt.Load(); es != nil {
+		return es, nil
+	}
 	b.reduceMu.Lock()
 	defer b.reduceMu.Unlock()
-	if b.enumSt != nil {
-		return b.enumSt, nil
+	if es := b.enumSt.Load(); es != nil {
+		return es, nil
 	}
 	r := b.run()
-	if err := r.fullReduce(ctx); err != nil {
+	if err := r.reduceBottomUp(ctx); err != nil {
 		return nil, err
 	}
-	b.enumSt = buildEnumState(b.prep.plan, r.nodeRels)
-	return b.enumSt, nil
+	bu := append([]*Relation(nil), r.nodeRels...)
+	if err := r.reduceTopDown(ctx); err != nil {
+		return nil, err
+	}
+	es := buildEnumState(b.prep.plan, r.nodeRels)
+	es.buRels = bu
+	b.enumSt.Store(es)
+	return es, nil
 }
 
 // Enumerate streams every solution of the full CQ over the bound database.

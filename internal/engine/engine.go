@@ -37,6 +37,7 @@ type Engine struct {
 	decompComputed atomic.Uint64
 	dbCompiles     atomic.Uint64
 	binds          atomic.Uint64
+	rebinds        atomic.Uint64
 }
 
 type flight struct {
@@ -111,6 +112,7 @@ type Stats struct {
 	DecompsComputed uint64
 	DBCompiles      uint64
 	Binds           uint64
+	Rebinds         uint64
 	Cache           decomp.CacheStats
 }
 
@@ -121,13 +123,14 @@ func (e *Engine) Stats() Stats {
 		DecompsComputed: e.decompComputed.Load(),
 		DBCompiles:      e.dbCompiles.Load(),
 		Binds:           e.binds.Load(),
+		Rebinds:         e.rebinds.Load(),
 		Cache:           e.cache.Stats(),
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("prepares=%d decomps-computed=%d db-compiles=%d binds=%d cache(hits=%d misses=%d evictions=%d len=%d/%d)",
-		s.Prepares, s.DecompsComputed, s.DBCompiles, s.Binds, s.Cache.Hits, s.Cache.Misses,
+	return fmt.Sprintf("prepares=%d decomps-computed=%d db-compiles=%d binds=%d rebinds=%d cache(hits=%d misses=%d evictions=%d len=%d/%d)",
+		s.Prepares, s.DecompsComputed, s.DBCompiles, s.Binds, s.Rebinds, s.Cache.Hits, s.Cache.Misses,
 		s.Cache.Evictions, s.Cache.Len, s.Cache.Capacity)
 }
 

@@ -1,0 +1,757 @@
+package engine
+
+import (
+	"context"
+	"slices"
+	"sort"
+
+	"d2cq/internal/storage"
+)
+
+// This file is the incremental-maintenance half of the bound API. A
+// BoundQuery is never mutated; Update and Rebind return a new BoundQuery
+// over the new database snapshot that shares — atom relations, materialised
+// node relations, reduced relations, enumeration indexes and counting
+// vectors alike — everything the delta did not touch. Dirtiness is tracked
+// at three granularities:
+//
+//  1. atoms: an atom is dirty iff the compiled table behind its relation is
+//     a different pointer in the new snapshot (DB.Apply keeps the pointer of
+//     every untouched — and every touched-but-unchanged — relation);
+//  2. nodes: a decomposition node is dirty iff a dirty atom contributes to
+//     one of its λ edges or filters it, and only dirty nodes are
+//     re-materialised;
+//  3. subtrees: the cached full reduction and counting DP are re-run only
+//     along the paths the change actually propagates — a recomputed relation
+//     (or count vector) that comes out equal to the cached one stops the
+//     propagation there.
+//
+// Relation recomputation is deterministic (joins, semijoins and projections
+// preserve input row order), so the "came out equal" checks compare
+// elementwise and correctly detect absorbed changes.
+
+// relEqual reports whether two relations hold the same rows in the same
+// order (the columns are fixed per node by the plan, so only data is
+// compared).
+func relEqual(a, b *Relation) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return slices.Equal(a.Data, b.Data)
+}
+
+// Update applies a delta to the bound query's database snapshot and carries
+// the bound evaluation state forward incrementally: the new snapshot is
+// built by CompiledDB.Apply (copy-on-write) and the returned BoundQuery is
+// b.Rebind over it. The receiver stays valid and keeps answering over the
+// old snapshot; several bound queries over one database should instead share
+// one Apply and Rebind each.
+func (b *BoundQuery) Update(ctx context.Context, delta *storage.Delta) (*BoundQuery, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ncdb, err := b.cdb.Apply(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	return b.Rebind(ctx, ncdb)
+}
+
+// Rebind rebinds the query to a new database snapshot, reusing every piece
+// of bound state the change from the current snapshot does not touch: clean
+// atom relations, clean node relations, and — where a cached full reduction
+// or counting DP exists — the reduced relations, enumeration indexes and
+// count vectors of every subtree the change does not propagate into. The
+// snapshot must share the receiver's dictionary (i.e. descend from the same
+// CompileDB via Apply); otherwise Rebind falls back to a full Bind.
+func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.prep.eng.rebinds.Add(1)
+	if b.cdb.sdb.Dict != cdb.sdb.Dict {
+		// Unrelated snapshot: values are not comparable across dictionaries.
+		return b.prep.Bind(ctx, cdb)
+	}
+	plan := b.prep.plan
+	q := plan.query
+	dirtyAtom := make([]bool, len(q.Atoms))
+	anyDirty := false
+	for i, a := range q.Atoms {
+		if b.cdb.sdb.Table(a.Rel) != cdb.sdb.Table(a.Rel) {
+			dirtyAtom[i] = true
+			anyDirty = true
+		}
+	}
+	if !anyDirty {
+		// Nothing the query reads changed: share all bound state, caches
+		// included.
+		nb := &BoundQuery{prep: b.prep, cdb: cdb, inst: b.inst, nodeRels: b.nodeRels, nodeSupport: b.nodeSupport}
+		nb.enumSt.Store(b.enumSt.Load())
+		nb.countSt.Store(b.countSt.Load())
+		return nb, nil
+	}
+
+	// 1. Rebuild the dirty atom relations over the new snapshot.
+	inst := &Instance{Query: q, Dict: b.inst.Dict, AtomRels: append([]*Relation(nil), b.inst.AtomRels...), atomKeys: b.inst.keys()}
+	anyDirty = false
+	for i, a := range q.Atoms {
+		if !dirtyAtom[i] {
+			continue
+		}
+		rel, err := bindAtomRelation(a, cdb.sdb.Table(a.Rel), cdb.sdb.Dict)
+		if err != nil {
+			return nil, err
+		}
+		if relEqual(rel, b.inst.AtomRels[i]) {
+			// The change was invisible to this atom (e.g. filtered out by its
+			// constants): keep the old relation and stop the propagation.
+			dirtyAtom[i] = false
+			continue
+		}
+		inst.AtomRels[i] = rel
+		anyDirty = true
+	}
+	if !anyDirty {
+		// Every dirty atom absorbed: the delta is invisible to the query
+		// after all — share everything, caches included.
+		nb := &BoundQuery{prep: b.prep, cdb: cdb, inst: b.inst, nodeRels: b.nodeRels, nodeSupport: b.nodeSupport}
+		nb.enumSt.Store(b.enumSt.Load())
+		nb.countSt.Store(b.countSt.Load())
+		return nb, nil
+	}
+	nb := &BoundQuery{prep: b.prep, cdb: cdb, inst: inst}
+	if plan.Naive() || plan.d.Nodes() == 0 {
+		return nb, nil
+	}
+
+	// 2. Maintain the dirty nodes only: those with a dirty atom in a λ edge
+	// or among the assigned filters. Each node is updated by a delta-join
+	// against its cached derivation counts where the delta is small, and
+	// re-materialised from scratch otherwise.
+	dirtyVarset := map[string]bool{}
+	for i := range q.Atoms {
+		if dirtyAtom[i] {
+			dirtyVarset[inst.atomKeys[i]] = true
+		}
+	}
+	dirtyNode := make([]bool, plan.d.Nodes())
+	edges := map[string]*Relation{}
+	getEdge := func(names []string) *Relation {
+		k := edgeKey(names)
+		rel, ok := edges[k]
+		if !ok {
+			rel = inst.EdgeRelation(names)
+			edges[k] = rel
+		}
+		return rel
+	}
+	oldEdges := map[string]*Relation{}
+	getOldEdge := func(names []string) *Relation {
+		k := edgeKey(names)
+		rel, ok := oldEdges[k]
+		if !ok {
+			rel = b.inst.EdgeRelation(names)
+			oldEdges[k] = rel
+		}
+		return rel
+	}
+	edgeDeltas := map[string]*edgeDelta{}
+	deltaFor := func(names []string) *edgeDelta {
+		k := edgeKey(names)
+		d, ok := edgeDeltas[k]
+		if !ok {
+			d = &edgeDelta{old: getOldEdge(names), new: getEdge(names)}
+			d.plus, d.minus = relDiff(d.old, d.new)
+			edgeDeltas[k] = d
+		}
+		return d
+	}
+	atomDeltas := map[int]*edgeDelta{}
+	atomDeltaFor := func(ai int) *edgeDelta {
+		if !dirtyAtom[ai] {
+			return nil
+		}
+		d, ok := atomDeltas[ai]
+		if !ok {
+			d = &edgeDelta{old: b.inst.AtomRels[ai], new: inst.AtomRels[ai]}
+			d.plus, d.minus = relDiff(d.old, d.new)
+			atomDeltas[ai] = d
+		}
+		return d
+	}
+	nb.nodeRels = append([]*Relation(nil), b.nodeRels...)
+	// Support maps are lazy: absent until a node is first maintained (the
+	// updateNode fallback then builds them), so bind-and-evaluate
+	// workloads never pay for them.
+	if len(b.nodeSupport) == plan.d.Nodes() {
+		nb.nodeSupport = append([]*storage.TupleMap(nil), b.nodeSupport...)
+	} else {
+		nb.nodeSupport = make([]*storage.TupleMap, plan.d.Nodes())
+	}
+	// Classify the nodes needing maintenance and prewarm the shared edge
+	// state sequentially (the memoising closures write their maps); the
+	// per-node maintenance then runs on the engine's worker pool reading
+	// those maps only.
+	nodeLambdaDirty := make([]bool, plan.d.Nodes())
+	nodeFiltersDirty := make([]bool, plan.d.Nodes())
+	var maintain []int
+	for u := 0; u < plan.d.Nodes(); u++ {
+		for _, names := range plan.lambdaVars[u] {
+			if dirtyVarset[edgeKey(names)] {
+				nodeLambdaDirty[u] = true
+				break
+			}
+		}
+		for _, ai := range plan.filters[u] {
+			if dirtyAtom[ai] {
+				nodeFiltersDirty[u] = true
+				break
+			}
+		}
+		if !nodeLambdaDirty[u] && !nodeFiltersDirty[u] {
+			continue
+		}
+		maintain = append(maintain, u)
+		for _, names := range plan.lambdaVars[u] {
+			getEdge(names)
+			if dirtyVarset[edgeKey(names)] {
+				deltaFor(names)
+			}
+		}
+		for _, ai := range plan.filters[u] {
+			atomDeltaFor(ai)
+		}
+	}
+	err := parForEach(ctx, b.prep.eng.par(), maintain, func(u int) error {
+		rel, sup, fast := b.updateNode(u, inst, getEdge, deltaFor, atomDeltaFor, dirtyVarset, nodeLambdaDirty[u], nodeFiltersDirty[u])
+		if !fast {
+			rel, sup = materialiseNodeWithSupport(plan, inst, u, getEdge)
+		}
+		nb.nodeSupport[u] = sup
+		if relEqual(rel, b.nodeRels[u]) {
+			return nil // absorbed: node relation unchanged (supports may still move)
+		}
+		nb.nodeRels[u] = rel
+		dirtyNode[u] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Maintain the cached reduction/enumeration and counting states on the
+	// affected subtrees.
+	if es := b.enumSt.Load(); es != nil {
+		nes, err := es.update(ctx, nb.nodeRels, dirtyNode)
+		if err != nil {
+			return nil, err
+		}
+		nb.enumSt.Store(nes)
+	}
+	if cs := b.countSt.Load(); cs != nil {
+		ncs, err := cs.update(ctx, plan, nb.nodeRels, dirtyNode)
+		if err != nil {
+			return nil, err
+		}
+		nb.countSt.Store(ncs)
+	}
+	return nb, nil
+}
+
+// edgeDelta is the change of one λ-edge relation between two snapshots:
+// the old and new relations and the symmetric difference (both sides are
+// sets — atom relations are deduplicated).
+type edgeDelta struct {
+	old, new    *Relation
+	plus, minus *Relation
+}
+
+// relDiff computes new ∖ old (plus) and old ∖ new (minus) for two relations
+// over the same columns.
+func relDiff(old, new *Relation) (plus, minus *Relation) {
+	plus, minus = NewRelation(new.Cols...), NewRelation(old.Cols...)
+	arity := len(old.Cols)
+	if arity == 0 {
+		if new.Len() > 0 && old.Len() == 0 {
+			plus.AddEmpty()
+		}
+		if old.Len() > 0 && new.Len() == 0 {
+			minus.AddEmpty()
+		}
+		return plus, minus
+	}
+	om := storage.NewTupleMap(arity, old.Len())
+	for i := 0; i < old.Len(); i++ {
+		om.Insert(old.Row(i))
+	}
+	for i := 0; i < new.Len(); i++ {
+		row := new.Row(i)
+		if om.Find(row) < 0 {
+			plus.Add(row...)
+		}
+	}
+	// |minus| = |old| − |old ∩ new| = |old| − (|new| − |plus|); a pure
+	// insertion (the common delta) skips the second membership pass.
+	if om.Len()-(new.Len()-plus.Len()) == 0 {
+		return plus, minus
+	}
+	nm := storage.NewTupleMap(arity, new.Len())
+	for i := 0; i < new.Len(); i++ {
+		nm.Insert(new.Row(i))
+	}
+	for i := 0; i < old.Len(); i++ {
+		row := old.Row(i)
+		if nm.Find(row) < 0 {
+			minus.Add(row...)
+		}
+	}
+	return plus, minus
+}
+
+// deltaRebuildFactor is the size heuristic of updateNode: when the summed
+// λ-edge deltas of a node exceed 1/deltaRebuildFactor of the summed edge
+// sizes, re-materialising from scratch beats delta-joining.
+const deltaRebuildFactor = 4
+
+// updateNode maintains one decomposition node under changed λ edges and/or
+// changed filter atoms using the node's cached derivation counts: the delta
+// of each changed edge is joined against the other edges (new on the left
+// of the processing order, old on the right — the standard telescoping of
+// finite differences), projected to the bag, and applied as ±1 derivation
+// counts; the filtered relation is then patched with the tuples whose
+// support crossed zero. Returns ok=false when the fast path does not apply
+// (no cached supports, nullary bag, or a delta past the size heuristic) and
+// the caller should re-materialise.
+func (b *BoundQuery) updateNode(u int, inst *Instance, getEdge func([]string) *Relation, deltaFor func([]string) *edgeDelta, atomDeltaFor func(int) *edgeDelta, dirtyVarset map[string]bool, lambdaDirty, filtersDirty bool) (*Relation, *storage.TupleMap, bool) {
+	p := b.prep.plan
+	if u >= len(b.nodeSupport) {
+		return nil, nil, false
+	}
+	oldSup := b.nodeSupport[u]
+	bag := p.bagVars[u]
+	if oldSup == nil || len(bag) == 0 {
+		return nil, nil, false
+	}
+	if !lambdaDirty {
+		// Filters changed but the λ join did not: patch the filtered
+		// relation straight from the filter atoms' deltas, sharing the
+		// support map untouched. Falls back to a full re-filter of the
+		// unfiltered projection when the atom deltas are large.
+		if rel, ok := b.refilterDelta(u, inst, atomDeltaFor); ok {
+			return rel, oldSup, true
+		}
+		rel := relFromSupport(oldSup, bag)
+		for _, ai := range p.filters[u] {
+			rel = Semijoin(rel, inst.AtomRels[ai])
+		}
+		return rel, oldSup, true
+	}
+	var dirtyIdx []int
+	totalDelta, totalEdge := 0, 0
+	for i, names := range p.lambdaVars[u] {
+		totalEdge += getEdge(names).Len()
+		if dirtyVarset[edgeKey(names)] {
+			dirtyIdx = append(dirtyIdx, i)
+			d := deltaFor(names)
+			totalDelta += d.plus.Len() + d.minus.Len()
+		}
+	}
+	if totalDelta*deltaRebuildFactor > totalEdge {
+		return nil, nil, false
+	}
+	sup := oldSup.Clone()
+	// touched records, per bag tuple the delta reaches, its support before
+	// the delta (so crossings of zero can be classified afterwards).
+	touched := storage.NewTupleMap(len(bag), 16)
+	cur := make([]*Relation, len(p.lambdaVars[u]))
+	for i, names := range p.lambdaVars[u] {
+		if dirtyVarset[edgeKey(names)] {
+			cur[i] = deltaFor(names).old
+		} else {
+			cur[i] = getEdge(names)
+		}
+	}
+	buf := make([]Value, len(bag))
+	apply := func(drel *Relation, exclude int, sign int64) {
+		if drel.Len() == 0 {
+			return
+		}
+		acc := drel
+		others := make([]*Relation, 0, len(cur)-1)
+		for j, r := range cur {
+			if j != exclude {
+				others = append(others, r)
+			}
+		}
+		sort.SliceStable(others, func(a, b int) bool { return others[a].Len() < others[b].Len() })
+		for _, other := range others {
+			acc = Join(acc, other)
+			if acc.Len() == 0 {
+				return
+			}
+		}
+		idx := make([]int, len(bag))
+		for j, c := range bag {
+			idx[j] = acc.ColIndex(c)
+		}
+		for i := 0; i < acc.Len(); i++ {
+			row := acc.Row(i)
+			for j, x := range idx {
+				buf[j] = row[x]
+			}
+			if _, isNew := touched.Insert(buf); isNew {
+				touched.Add(buf, oldSup.Get(buf)) // record the pre-delta support
+			}
+			sup.Add(buf, sign)
+		}
+	}
+	for _, i := range dirtyIdx {
+		d := deltaFor(p.lambdaVars[u][i])
+		apply(d.plus, i, 1)
+		apply(d.minus, i, -1)
+		cur[i] = d.new
+	}
+	// Classify crossings and patch the filtered relation.
+	var added, removed *Relation
+	for slot := int32(0); int(slot) < touched.Len(); slot++ {
+		key := touched.Key(slot)
+		before := touched.Val(slot) > 0
+		after := sup.Get(key) > 0
+		if before == after {
+			continue
+		}
+		if after {
+			if added == nil {
+				added = NewRelation(bag...)
+			}
+			added.Add(key...)
+		} else {
+			if removed == nil {
+				removed = NewRelation(bag...)
+			}
+			removed.Add(key...)
+		}
+	}
+	if filtersDirty {
+		rel := relFromSupport(sup, bag)
+		for _, ai := range p.filters[u] {
+			rel = Semijoin(rel, inst.AtomRels[ai])
+		}
+		return rel, sup, true
+	}
+	if added == nil && removed == nil {
+		return b.nodeRels[u], sup, true // membership unchanged, counts moved
+	}
+	if added != nil {
+		// New tuples must still pass the node's (unchanged) filters.
+		for _, ai := range p.filters[u] {
+			added = Semijoin(added, inst.AtomRels[ai])
+		}
+	}
+	old := b.nodeRels[u]
+	rel := NewRelation(bag...)
+	if removed == nil {
+		rel.Data = make([]Value, len(old.Data), len(old.Data)+len(added.Data))
+		copy(rel.Data, old.Data)
+	} else {
+		removedSet := storage.NewTupleMap(len(bag), removed.Len())
+		for i := 0; i < removed.Len(); i++ {
+			removedSet.Insert(removed.Row(i))
+		}
+		rel.Data = make([]Value, 0, len(old.Data))
+		for i := 0; i < old.Len(); i++ {
+			row := old.Row(i)
+			if removedSet.Find(row) >= 0 {
+				continue
+			}
+			rel.Data = append(rel.Data, row...)
+		}
+	}
+	if added != nil {
+		rel.Data = append(rel.Data, added.Data...)
+	}
+	return rel, sup, true
+}
+
+// refilterDelta patches a node whose λ join is clean but whose effective
+// filter atoms changed. A row of the old relation survives unless its
+// projection onto a changed atom's variables is among that atom's deleted
+// bindings (it passed the old filter, so it fails the new one exactly
+// then). A row of the unfiltered projection is newly admitted iff it
+// matches an added binding of some changed filter (then it failed that old
+// filter, so it cannot already be present) and passes every new filter.
+// Both passes are single O(node) scans with small-map probes — cheaper than
+// the full re-filter's relation rebuild plus one semijoin per filter, but
+// not sublinear (an index over the projection columns would be, at the cost
+// of maintaining it). Deletion-only deltas skip the admission scan and
+// insertion-only deltas share the base relation outright. ok=false falls
+// back to a full re-filter (large atom delta).
+func (b *BoundQuery) refilterDelta(u int, inst *Instance, atomDeltaFor func(int) *edgeDelta) (*Relation, bool) {
+	p := b.prep.plan
+	bag := p.bagVars[u]
+	old := b.nodeRels[u]
+	sup := b.nodeSupport[u]
+	var changed []int
+	for _, ai := range p.filters[u] {
+		d := atomDeltaFor(ai)
+		if d == nil {
+			continue
+		}
+		if (d.plus.Len()+d.minus.Len())*deltaRebuildFactor > d.new.Len()+d.old.Len()+deltaRebuildFactor {
+			return nil, false
+		}
+		changed = append(changed, ai)
+	}
+	if len(changed) == 0 {
+		// The dirty filter atoms all absorbed (relEqual in Rebind): nothing
+		// to do.
+		return old, true
+	}
+	// Projection positions of each changed atom's variables within the bag,
+	// and membership sets over the deltas.
+	proj := make(map[int][]int, len(changed))
+	minusSet := make(map[int]*storage.TupleMap, len(changed))
+	plusSet := make(map[int]*storage.TupleMap, len(changed))
+	bagPos := func(name string) int {
+		for i, c := range bag {
+			if c == name {
+				return i
+			}
+		}
+		return -1
+	}
+	anyPlus, anyMinus := false, false
+	for _, ai := range changed {
+		d := atomDeltaFor(ai)
+		cols := d.new.Cols // the atom's distinct variables, sorted, ⊆ bag
+		idx := make([]int, len(cols))
+		for j, c := range cols {
+			idx[j] = bagPos(c)
+		}
+		proj[ai] = idx
+		toSet := func(rel *Relation) *storage.TupleMap {
+			m := storage.NewTupleMap(len(cols), rel.Len())
+			for i := 0; i < rel.Len(); i++ {
+				m.Insert(rel.Row(i))
+			}
+			return m
+		}
+		if d.minus.Len() > 0 {
+			minusSet[ai] = toSet(d.minus)
+			anyMinus = true
+		}
+		if d.plus.Len() > 0 {
+			plusSet[ai] = toSet(d.plus)
+			anyPlus = true
+		}
+	}
+	rel := old
+	k := len(bag)
+	buf := make([]Value, k)
+	project := func(row []Value, idx []int) []Value {
+		pb := buf[:len(idx)]
+		for j, x := range idx {
+			pb[j] = row[x]
+		}
+		return pb
+	}
+	if anyMinus {
+		out := NewRelation(bag...)
+		out.Data = make([]Value, 0, len(old.Data))
+		for i := 0; i < old.Len(); i++ {
+			row := old.Row(i)
+			drop := false
+			for ai, m := range minusSet {
+				if m.Find(project(row, proj[ai])) >= 0 {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				out.Data = append(out.Data, row...)
+			}
+		}
+		rel = out
+	}
+	if anyPlus {
+		// Membership sets of every new filter relation, built lazily — only
+		// once a candidate actually needs checking.
+		var newSets map[int]*storage.TupleMap
+		passAll := func(row []Value) bool {
+			if newSets == nil {
+				newSets = make(map[int]*storage.TupleMap, len(p.filters[u]))
+				for _, ai := range p.filters[u] {
+					ar := inst.AtomRels[ai]
+					m := storage.NewTupleMap(len(ar.Cols), ar.Len())
+					for i := 0; i < ar.Len(); i++ {
+						m.Insert(ar.Row(i))
+					}
+					newSets[ai] = m
+				}
+			}
+			for _, ai := range p.filters[u] {
+				idx := proj[ai]
+				if idx == nil {
+					cols := inst.AtomRels[ai].Cols
+					idx = make([]int, len(cols))
+					for j, c := range cols {
+						idx[j] = bagPos(c)
+					}
+					proj[ai] = idx
+				}
+				if newSets[ai].Find(project(row, idx)) < 0 {
+					return false
+				}
+			}
+			return true
+		}
+		var adds []Value
+		for slot := int32(0); int(slot) < sup.Len(); slot++ {
+			if sup.Val(slot) <= 0 {
+				continue
+			}
+			row := sup.Key(slot)
+			cand := false
+			for ai, m := range plusSet {
+				if m.Find(project(row, proj[ai])) >= 0 {
+					cand = true
+					break
+				}
+			}
+			if cand && passAll(row) {
+				adds = append(adds, row...)
+			}
+		}
+		if len(adds) > 0 {
+			if rel == old {
+				out := NewRelation(bag...)
+				out.Data = make([]Value, len(old.Data), len(old.Data)+len(adds))
+				copy(out.Data, old.Data)
+				rel = out
+			}
+			rel.Data = append(rel.Data, adds...)
+		}
+	}
+	return rel, true
+}
+
+// update maintains a cached full reduction under re-materialised node
+// relations. The bottom-up pass is re-run on dirty nodes and their ancestors
+// (a recomputation that reproduces the cached relation stops the upward
+// propagation); the top-down pass is re-run where the bottom-up result or
+// the parent's reduced relation changed (stopping, likewise, where the
+// recomputation is absorbed). Enumeration indexes are rebuilt only for nodes
+// whose reduced relation actually changed; everything else is shared with
+// the cached state.
+func (es *enumState) update(ctx context.Context, nodeRels []*Relation, dirtyNode []bool) (*enumState, error) {
+	p := es.plan
+	n := p.d.Nodes()
+	newBU := append([]*Relation(nil), es.buRels...)
+	changedBU := make([]bool, n)
+	for _, u := range p.order { // children strictly before parents
+		need := dirtyNode[u]
+		for _, cj := range p.childJoins[u] {
+			if changedBU[cj.child] {
+				need = true
+				break
+			}
+		}
+		if !need {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rel := nodeRels[u]
+		for _, cj := range p.childJoins[u] {
+			rel = semijoinOn(rel, newBU[cj.child], cj.shared, cj.uPos, cj.cPos)
+		}
+		if relEqual(rel, es.buRels[u]) {
+			continue // absorbed: ancestors see no change
+		}
+		newBU[u] = rel
+		changedBU[u] = true
+	}
+	nes := &enumState{
+		plan:      p,
+		pre:       es.pre,
+		nodes:     append([]enumNode(nil), es.nodes...),
+		maxShared: es.maxShared,
+		buRels:    newBU,
+	}
+	changedFinal := make([]bool, n)
+	for _, u := range es.pre { // parents strictly before children
+		parent := p.d.Parent[u]
+		if !changedBU[u] && (parent < 0 || !changedFinal[parent]) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		final := newBU[u]
+		if parent >= 0 {
+			for _, cj := range p.childJoins[parent] {
+				if cj.child == u {
+					final = semijoinOn(final, nes.nodes[parent].rel, cj.shared, cj.cPos, cj.uPos)
+					break
+				}
+			}
+		}
+		if relEqual(final, es.nodes[u].rel) {
+			continue // absorbed: keep the cached relation and its index
+		}
+		en := enumNode{rel: final, write: p.bagVids[u], sharedVid: p.sharedVids[u]}
+		if len(p.shared[u]) > 0 {
+			en.idx = storage.BuildIndex(final.Data, len(final.Cols), p.sharedPos[u])
+		}
+		nes.nodes[u] = en
+		changedFinal[u] = true
+	}
+	return nes, nil
+}
+
+// update maintains a cached counting DP under re-materialised node
+// relations: vectors are recomputed bottom-up for dirty nodes and for nodes
+// whose children changed, stopping where neither the child's relation nor
+// its vector moved. Note the node's DP groups the child's relation *rows*
+// (not just its vector), so a dirty child relation forces the parent's
+// recomputation even when the child's vector came out elementwise equal —
+// the same multiset of counts can be attached to different tuples.
+func (cs *countState) update(ctx context.Context, p *Plan, nodeRels []*Relation, dirtyNode []bool) (*countState, error) {
+	ncs := &countState{counts: append([][]int64(nil), cs.counts...), total: cs.total}
+	changed := make([]bool, p.d.Nodes())
+	anyChanged := false
+	for _, u := range p.order {
+		need := dirtyNode[u]
+		for _, cj := range p.childJoins[u] {
+			if changed[cj.child] || dirtyNode[cj.child] {
+				need = true
+				break
+			}
+		}
+		if !need {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cnt := nodeCountVector(p, nodeRels, ncs.counts, u)
+		if slices.Equal(cnt, cs.counts[u]) {
+			continue
+		}
+		ncs.counts[u] = cnt
+		changed[u] = true
+		anyChanged = true
+	}
+	if anyChanged {
+		ncs.total = 0
+		for _, c := range ncs.counts[p.d.Root()] {
+			ncs.total += c
+		}
+	}
+	return ncs, nil
+}

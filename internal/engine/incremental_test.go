@@ -1,0 +1,551 @@
+package engine
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/storage"
+)
+
+// The differential harness: a BoundQuery maintained by Update through a
+// random stream of insert/delete deltas must agree with a BoundQuery rebuilt
+// from scratch (CompileDB + Bind) after every step, on Bool, Count and
+// EnumerateAll alike. Failures shrink to a minimal failing delta script and
+// report the seed, so a divergence is reproducible and small.
+
+// diffOp is one tuple insertion or deletion in a delta script.
+type diffOp struct {
+	insert bool
+	rel    string
+	tuple  []string
+}
+
+func (o diffOp) String() string {
+	verb := "delete"
+	if o.insert {
+		verb = "insert"
+	}
+	return fmt.Sprintf("%s %s(%s)", verb, o.rel, strings.Join(o.tuple, ","))
+}
+
+// diffStep is one Update call: a delta of one or more ops.
+type diffStep []diffOp
+
+// diffShape is one query shape of the differential test, with the relation
+// schema the random stream draws from (a superset of the query's relations,
+// so some deltas are invisible to the query).
+type diffShape struct {
+	name  string
+	query string
+	rels  map[string]int // relation name → arity
+	opts  []Option       // engine options (e.g. force the naive plan)
+}
+
+var diffShapes = []diffShape{
+	{
+		name:  "path",
+		query: "R(a,b), S(b,c), T(c,d)",
+		rels:  map[string]int{"R": 2, "S": 2, "T": 2, "Zed": 2},
+	},
+	{
+		name:  "triangle",
+		query: "E(x,y), F(y,z), G(z,x)",
+		rels:  map[string]int{"E": 2, "F": 2, "G": 2, "Zed": 1},
+	},
+	{
+		name:  "selfjoin",
+		query: "E(x,y), E(y,z)",
+		rels:  map[string]int{"E": 2, "Zed": 2},
+	},
+	{
+		name:  "const-repeat",
+		query: "R(x,x), S(x,y), T(y,'c0')",
+		rels:  map[string]int{"R": 2, "S": 2, "T": 2},
+	},
+	{
+		name:  "star",
+		query: "R(x,y), S(x,z), T(x,w)",
+		rels:  map[string]int{"R": 2, "S": 2, "T": 2},
+	},
+	{
+		name:  "naive-triangle",
+		query: "E(x,y), F(y,z), G(z,x)",
+		rels:  map[string]int{"E": 2, "F": 2, "G": 2},
+		opts:  []Option{WithMaxWidth(1), WithNaiveFallback()},
+	},
+}
+
+// applyMirror applies one step to the plain cq.Database mirror with the
+// Delta semantics (deletes first, set-based inserts), via the shared
+// storage.Delta helper so the mirror can never drift from Apply.
+func applyMirror(db cq.Database, step diffStep) {
+	stepDelta(step).ApplyToDatabase(db)
+}
+
+func stepDelta(step diffStep) *storage.Delta {
+	d := storage.NewDelta()
+	for _, op := range step {
+		if op.insert {
+			d.Add(op.rel, op.tuple...)
+		} else {
+			d.Remove(op.rel, op.tuple...)
+		}
+	}
+	return d
+}
+
+// compareBound checks incremental against reference on all three evaluation
+// modes and returns a description of the first divergence ("" if none).
+func compareBound(ctx context.Context, inc, ref *BoundQuery) string {
+	ib, err := inc.Bool(ctx)
+	if err != nil {
+		return "incremental Bool: " + err.Error()
+	}
+	rb, err := ref.Bool(ctx)
+	if err != nil {
+		return "reference Bool: " + err.Error()
+	}
+	if ib != rb {
+		return fmt.Sprintf("Bool: incremental %v, reference %v", ib, rb)
+	}
+	ic, err := inc.Count(ctx)
+	if err != nil {
+		return "incremental Count: " + err.Error()
+	}
+	rc, err := ref.Count(ctx)
+	if err != nil {
+		return "reference Count: " + err.Error()
+	}
+	if ic != rc {
+		return fmt.Sprintf("Count: incremental %d, reference %d", ic, rc)
+	}
+	irel, idict, err := inc.EnumerateAll(ctx)
+	if err != nil {
+		return "incremental EnumerateAll: " + err.Error()
+	}
+	rrel, rdict, err := ref.EnumerateAll(ctx)
+	if err != nil {
+		return "reference EnumerateAll: " + err.Error()
+	}
+	if int64(irel.Len()) != ic {
+		return fmt.Sprintf("incremental EnumerateAll yields %d rows but Count says %d", irel.Len(), ic)
+	}
+	if !EqualRelations(irel, idict, rrel, rdict) {
+		return fmt.Sprintf("EnumerateAll: incremental %d rows differ from reference %d rows", irel.Len(), rrel.Len())
+	}
+	return ""
+}
+
+// runScript replays a delta script from scratch: it binds the query over the
+// initial database, then Updates step by step, comparing against a fresh
+// CompileDB+Bind after every step. It returns the index of the first
+// diverging step (-1 for none) with the divergence description.
+func runScript(t *testing.T, sh diffShape, q cq.Query, initial cq.Database, steps []diffStep) (int, string) {
+	t.Helper()
+	ctx := context.Background()
+	eng := NewEngine(sh.opts...)
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatalf("%s: Prepare: %v", sh.name, err)
+	}
+	mirror := initial.Clone()
+	cdb, err := eng.CompileDB(ctx, mirror)
+	if err != nil {
+		t.Fatalf("%s: CompileDB: %v", sh.name, err)
+	}
+	inc, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatalf("%s: Bind: %v", sh.name, err)
+	}
+	for i, step := range steps {
+		next, err := inc.Update(ctx, stepDelta(step))
+		if err != nil {
+			return i, "Update: " + err.Error()
+		}
+		inc = next
+		applyMirror(mirror, step)
+		refCDB, err := eng.CompileDB(ctx, mirror)
+		if err != nil {
+			return i, "reference CompileDB: " + err.Error()
+		}
+		ref, err := prep.Bind(ctx, refCDB)
+		if err != nil {
+			return i, "reference Bind: " + err.Error()
+		}
+		if desc := compareBound(ctx, inc, ref); desc != "" {
+			return i, desc
+		}
+	}
+	return -1, ""
+}
+
+// shrinkScript greedily removes steps while the script still diverges,
+// returning a (locally) minimal failing script.
+func shrinkScript(t *testing.T, sh diffShape, q cq.Query, initial cq.Database, steps []diffStep) []diffStep {
+	t.Helper()
+	cur := append([]diffStep(nil), steps...)
+	for pass := 0; pass < 8; pass++ {
+		removed := false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]diffStep(nil), cur[:i]...), cur[i+1:]...)
+			if at, _ := runScript(t, sh, q, initial, cand); at >= 0 {
+				cur = cand
+				removed = true
+				i--
+			}
+		}
+		// Then try thinning multi-op steps down to single ops.
+		for i := 0; i < len(cur); i++ {
+			for len(cur[i]) > 1 {
+				slim := append([]diffOp(nil), cur[i][1:]...)
+				cand := append([]diffStep(nil), cur...)
+				cand[i] = slim
+				if at, _ := runScript(t, sh, q, initial, cand); at < 0 {
+					break
+				}
+				cur = cand
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return cur
+}
+
+func formatScript(steps []diffStep) string {
+	var b strings.Builder
+	for i, step := range steps {
+		fmt.Fprintf(&b, "  step %d:", i)
+		for _, op := range step {
+			fmt.Fprintf(&b, " %s;", op)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// genStep draws one random delta: mostly single-op, sometimes a small batch,
+// with inserts slightly favoured so the database neither empties nor
+// explodes (the constant pool is small, so deletes hit real tuples often).
+func genStep(rng *rand.Rand, sh diffShape, relNames []string) diffStep {
+	nOps := 1
+	if rng.Intn(10) == 0 {
+		nOps = 2 + rng.Intn(2)
+	}
+	consts := []string{"c0", "c1", "c2", "c3", "c4"}
+	step := make(diffStep, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		rel := relNames[rng.Intn(len(relNames))]
+		tuple := make([]string, sh.rels[rel])
+		for j := range tuple {
+			tuple[j] = consts[rng.Intn(len(consts))]
+		}
+		step = append(step, diffOp{insert: rng.Intn(10) < 6, rel: rel, tuple: tuple})
+	}
+	return step
+}
+
+// TestIncrementalDifferential is the main property test: ≥1k random update
+// steps across the query shapes, incremental vs recompiled, zero divergence
+// allowed. Override the seed with -incseed to reproduce a report.
+func TestIncrementalDifferential(t *testing.T) {
+	stepsPerShape := 250
+	if testing.Short() {
+		stepsPerShape = 60
+	}
+	for _, sh := range diffShapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			t.Parallel()
+			q, err := cq.ParseQuery(sh.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relNames := make([]string, 0, len(sh.rels))
+			for r := range sh.rels {
+				relNames = append(relNames, r)
+			}
+			// Deterministic order for reproducibility (map iteration is not).
+			for i := 1; i < len(relNames); i++ {
+				for j := i; j > 0 && relNames[j] < relNames[j-1]; j-- {
+					relNames[j], relNames[j-1] = relNames[j-1], relNames[j]
+				}
+			}
+			for _, seed := range []int64{*incSeed, *incSeed + 1, *incSeed + 2, *incSeed + 3} {
+				rng := rand.New(rand.NewSource(seed))
+				// Random non-empty initial database.
+				initial := cq.Database{}
+				for _, pre := range genStep(rng, sh, relNames) {
+					if pre.insert {
+						initial.Add(pre.rel, pre.tuple...)
+					}
+				}
+				steps := make([]diffStep, stepsPerShape)
+				for i := range steps {
+					steps[i] = genStep(rng, sh, relNames)
+				}
+				at, desc := runScript(t, sh, q, initial, steps)
+				if at < 0 {
+					continue
+				}
+				minimal := shrinkScript(t, sh, q, initial, steps[:at+1])
+				t.Fatalf("%s (seed %d): divergence at step %d: %s\nminimal failing script (%d steps):\n%s",
+					sh.name, seed, at, desc, len(minimal), formatScript(minimal))
+			}
+		})
+	}
+}
+
+// incSeed reproduces a reported divergence: go test -run Differential -incseed N
+var incSeed = flag.Int64("incseed", 1, "base seed of the incremental differential test")
+
+// TestRebindSharesCleanState checks the copy-on-write contract: a delta
+// against a relation the query never reads shares everything, and a
+// single-relation delta keeps the other atoms' relations and the clean node
+// relations pointer-identical.
+func TestRebindSharesCleanState(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine()
+	q, err := cq.ParseQuery("R(a,b), S(b,c), T(c,d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("S", "2", "3")
+	db.Add("T", "3", "4")
+	db.Add("Unrelated", "x")
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate both caches.
+	if _, err := b.Count(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.EnumerateAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta invisible to the query: everything is shared, caches included.
+	nb, err := b.Update(ctx, storage.NewDelta().Add("Unrelated", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.inst != b.inst {
+		t.Error("invisible delta should share the whole instance")
+	}
+	if nb.enumSt.Load() != b.enumSt.Load() || nb.countSt.Load() != b.countSt.Load() {
+		t.Error("invisible delta should share the enum and count caches")
+	}
+	if nb.Database() == b.Database() {
+		t.Error("Update must still move to the new snapshot")
+	}
+
+	// Delta on T only: R and S atom relations stay pointer-identical.
+	nb2, err := b.Update(ctx, storage.NewDelta().Add("T", "3", "5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb2.inst.AtomRels[2] == b.inst.AtomRels[2] {
+		t.Error("dirty atom T should have a fresh relation")
+	}
+	if nb2.inst.AtomRels[0] != b.inst.AtomRels[0] || nb2.inst.AtomRels[1] != b.inst.AtomRels[1] {
+		t.Error("clean atoms R and S should share their relations")
+	}
+	got, err := nb2.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 { // 1-2-3-4 and 1-2-3-5
+		t.Errorf("Count after insert = %d, want 2", got)
+	}
+	// The old bound query still answers over the old snapshot.
+	old, err := b.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 1 {
+		t.Errorf("old snapshot Count = %d, want 1", old)
+	}
+}
+
+// TestUpdateForksFromOneSnapshot: two different Updates forked from the
+// same BoundQuery must not share mutable state — each fork patches its own
+// copy of the support counts, and both agree with recompiles of their own
+// logical databases.
+func TestUpdateForksFromOneSnapshot(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine()
+	q, err := cq.ParseQuery("R(a,b), S(b,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	for i := 0; i < 16; i++ {
+		db.Add("R", fmt.Sprint(i%4), fmt.Sprint((i+1)%4))
+		db.Add("S", fmt.Sprint(i%4), fmt.Sprint((i+2)%4))
+	}
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Count(ctx); err != nil { // populate caches on the base
+		t.Fatal(err)
+	}
+	// Fork twice from the same base with different deltas, then keep
+	// updating both forks so each patches its own cloned support state.
+	forkA, err := base.Update(ctx, storage.NewDelta().Add("R", "7", "8").Add("S", "8", "9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkB, err := base.Update(ctx, storage.NewDelta().Remove("R", "0", "1").Add("S", "5", "6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkA, err = forkA.Update(ctx, storage.NewDelta().Add("R", "8", "5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkB, err = forkB.Update(ctx, storage.NewDelta().Add("R", "5", "5").Add("S", "5", "5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrorA := db.Clone()
+	applyMirror(mirrorA, diffStep{
+		{insert: true, rel: "R", tuple: []string{"7", "8"}},
+		{insert: true, rel: "S", tuple: []string{"8", "9"}},
+		{insert: true, rel: "R", tuple: []string{"8", "5"}},
+	})
+	mirrorB := db.Clone()
+	applyMirror(mirrorB, diffStep{
+		{insert: false, rel: "R", tuple: []string{"0", "1"}},
+		{insert: true, rel: "S", tuple: []string{"5", "6"}},
+		{insert: true, rel: "R", tuple: []string{"5", "5"}},
+		{insert: true, rel: "S", tuple: []string{"5", "5"}},
+	})
+	for name, pair := range map[string]struct {
+		fork   *BoundQuery
+		mirror cq.Database
+	}{"A": {forkA, mirrorA}, "B": {forkB, mirrorB}} {
+		refCDB, err := eng.CompileDB(ctx, pair.mirror)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := prep.Bind(ctx, refCDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if desc := compareBound(ctx, pair.fork, ref); desc != "" {
+			t.Fatalf("fork %s diverged: %s", name, desc)
+		}
+	}
+}
+
+// TestRebindForeignSnapshot: a snapshot that does not share the dictionary
+// falls back to a full Bind and still answers correctly.
+func TestRebindForeignSnapshot(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine()
+	q, err := cq.ParseQuery("R(a,b), S(b,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1 := cq.Database{}
+	db1.Add("R", "1", "2")
+	db1.Add("S", "2", "3")
+	cdb1, err := eng.CompileDB(ctx, db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prep.Bind(ctx, cdb1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := cq.Database{}
+	db2.Add("R", "x", "y")
+	cdb2, err := eng.CompileDB(ctx, db2) // fresh dictionary
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Rebind(ctx, cdb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := nb.Bool(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("foreign snapshot without S should be unsatisfiable")
+	}
+}
+
+// TestUpdateCancelledContext: Update (and Rebind) with an already-cancelled
+// context fail fast and leave the receiver fully usable.
+func TestUpdateCancelledContext(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine()
+	q, err := cq.ParseQuery("R(a,b), S(b,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := cq.Database{}
+	db.Add("R", "1", "2")
+	db.Add("S", "2", "3")
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prep.Bind(ctx, cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := b.Update(cancelled, storage.NewDelta().Add("R", "9", "9")); err == nil {
+		t.Error("Update with cancelled context should fail")
+	}
+	if _, err := b.Rebind(cancelled, cdb); err == nil {
+		t.Error("Rebind with cancelled context should fail")
+	}
+	// Receiver unharmed.
+	n, err := b.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Count after cancelled Update = %d, want 1", n)
+	}
+}

@@ -28,6 +28,7 @@ type Plan struct {
 
 	// Per-node plan shape (empty for naive plans and ground queries).
 	assigned   [][]int    // node → indices of atoms filtered at that node
+	filters    [][]int    // assigned minus atoms redundant with a λ edge
 	bagVars    [][]string // node → sorted bag variable names
 	lambdaVars [][][]string
 	children   [][]int
@@ -108,6 +109,28 @@ func NewPlan(q cq.Query, d *decomp.GHD) (*Plan, error) {
 			})
 			sort.Strings(names)
 			p.lambdaVars[u] = append(p.lambdaVars[u], names)
+		}
+	}
+	// Effective filters: an assigned atom whose variable set equals one of
+	// the node's λ edges is redundant — the λ join already intersects with
+	// that edge relation (the join of every atom over the variable set), so
+	// each joined tuple's projection onto those variables is a binding of
+	// the atom. Dropping them here removes a full semijoin pass per node
+	// from materialisation and from incremental maintenance alike.
+	p.filters = make([][]int, d.Nodes())
+	for u := 0; u < d.Nodes(); u++ {
+		for _, ai := range p.assigned[u] {
+			vs := q.Atoms[ai].VarSet()
+			redundant := false
+			for _, names := range p.lambdaVars[u] {
+				if sameStrings(names, vs) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				p.filters[u] = append(p.filters[u], ai)
+			}
 		}
 	}
 	// Bag variables shared with the parent (the enumeration join keys).

@@ -94,17 +94,104 @@ func allNodes(n int) []int {
 	return out
 }
 
-// newRun materialises the node relations of the plan over inst: for each
-// decomposition node, the join of its λ edge relations (smallest first, so
-// intermediates stay tight) projected to the bag, then filtered by every
-// atom assigned to that node. Distinct λ edge relations are built once and
-// shared read-only across nodes; with par > 1 the per-node work runs on a
-// bounded worker pool.
+// edgeKey renders a sorted variable set as the cache key of its λ-edge
+// relation.
+func edgeKey(names []string) string { return strings.Join(names, "\x00") }
+
+// joinLambda builds the full (pre-projection) join of a node's λ edge
+// relations, smallest first so intermediates stay tight. edge supplies the
+// relation of a λ variable set (shared across nodes).
+func joinLambda(p *Plan, u int, edge func([]string) *Relation) *Relation {
+	rels := make([]*Relation, len(p.lambdaVars[u]))
+	for i, names := range p.lambdaVars[u] {
+		rels[i] = edge(names)
+	}
+	sort.SliceStable(rels, func(i, j int) bool { return rels[i].Len() < rels[j].Len() })
+	var acc *Relation
+	for _, er := range rels {
+		if acc == nil {
+			acc = er
+		} else {
+			acc = Join(acc, er)
+		}
+	}
+	if acc == nil {
+		acc = NewRelation()
+		acc.AddEmpty()
+	}
+	return acc
+}
+
+// materialiseNode builds the relation of one decomposition node: the λ join
+// projected to the bag, then filtered by every atom assigned to the node.
+func materialiseNode(p *Plan, inst *Instance, u int, edge func([]string) *Relation) *Relation {
+	acc := joinLambda(p, u, edge).Project(p.bagVars[u])
+	for _, ai := range p.filters[u] {
+		acc = Semijoin(acc, inst.AtomRels[ai])
+	}
+	return acc
+}
+
+// projectCounts projects a relation onto cols, returning the multiplicity
+// of every projected tuple — the derivation counts the incremental engine
+// maintains under deltas.
+func projectCounts(acc *Relation, cols []string) *storage.TupleMap {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = acc.ColIndex(c)
+		if idx[i] < 0 {
+			panic("engine: projection onto missing column " + c)
+		}
+	}
+	m := storage.NewTupleMap(len(cols), acc.Len())
+	buf := make([]Value, len(cols))
+	for i := 0; i < acc.Len(); i++ {
+		row := acc.Row(i)
+		for j, x := range idx {
+			buf[j] = row[x]
+		}
+		m.Add(buf, 1)
+	}
+	return m
+}
+
+// relFromSupport lists the tuples with positive support, in slot (first
+// derivation) order — the same order Relation.Project produces, so a node
+// materialised through its support map equals one materialised directly.
+func relFromSupport(sup *storage.TupleMap, cols []string) *Relation {
+	out := NewRelation(cols...)
+	for slot := int32(0); int(slot) < sup.Len(); slot++ {
+		if sup.Val(slot) <= 0 {
+			continue
+		}
+		if len(cols) == 0 {
+			out.AddEmpty()
+		} else {
+			out.Add(sup.Key(slot)...)
+		}
+	}
+	return out
+}
+
+// materialiseNodeWithSupport is materialiseNode keeping the derivation
+// counts of the unfiltered bag projection alongside, so later deltas can
+// maintain the node without re-running the λ join.
+func materialiseNodeWithSupport(p *Plan, inst *Instance, u int, edge func([]string) *Relation) (*Relation, *storage.TupleMap) {
+	sup := projectCounts(joinLambda(p, u, edge), p.bagVars[u])
+	rel := relFromSupport(sup, p.bagVars[u])
+	for _, ai := range p.filters[u] {
+		rel = Semijoin(rel, inst.AtomRels[ai])
+	}
+	return rel, sup
+}
+
+// newRun materialises the node relations of the plan over inst. Distinct λ
+// edge relations are built once and shared read-only across nodes; with
+// par > 1 the per-node work runs on a bounded worker pool.
 func newRun(ctx context.Context, p *Plan, inst *Instance, par int) (*run, error) {
 	r := &run{plan: p, inst: inst, nodeRels: make([]*Relation, p.d.Nodes()), par: par}
 	// One edge relation per distinct λ variable set, shared across nodes.
 	edges := map[string]*Relation{}
-	edgeKey := func(names []string) string { return strings.Join(names, "\x00") }
 	for u := 0; u < p.d.Nodes(); u++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -116,31 +203,9 @@ func newRun(ctx context.Context, p *Plan, inst *Instance, par int) (*run, error)
 			}
 		}
 	}
+	getEdge := func(names []string) *Relation { return edges[edgeKey(names)] }
 	materialise := func(u int) error {
-		rels := make([]*Relation, len(p.lambdaVars[u]))
-		for i, names := range p.lambdaVars[u] {
-			rels[i] = edges[edgeKey(names)]
-		}
-		// Smallest-first join order: cardinality is the one statistic that
-		// reliably tightens the intermediates.
-		sort.SliceStable(rels, func(i, j int) bool { return rels[i].Len() < rels[j].Len() })
-		var acc *Relation
-		for _, er := range rels {
-			if acc == nil {
-				acc = er
-			} else {
-				acc = Join(acc, er)
-			}
-		}
-		if acc == nil {
-			acc = NewRelation()
-			acc.AddEmpty()
-		}
-		acc = acc.Project(p.bagVars[u])
-		for _, ai := range p.assigned[u] {
-			acc = Semijoin(acc, inst.AtomRels[ai])
-		}
-		r.nodeRels[u] = acc
+		r.nodeRels[u] = materialiseNode(p, inst, u, getEdge)
 		return nil
 	}
 	if err := parForEach(ctx, par, allNodes(p.d.Nodes()), materialise); err != nil {
@@ -179,59 +244,78 @@ func (r *run) bool_(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
-// count computes |q(D)| for a full CQ by dynamic programming over the
-// decomposition (Pichler & Skritek, Proposition 4.14): every tuple of a node
-// carries the number of extensions to the variables introduced strictly
-// below it; counts multiply across children and sum across matching child
-// tuples. Grouping runs on integer tuple keys with exact collision handling.
-func (r *run) count(ctx context.Context) (int64, error) {
-	d := r.plan.d
-	counts := make([][]int64, d.Nodes())
-	for _, u := range r.plan.order {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		rel := r.nodeRels[u]
-		cnt := make([]int64, rel.Len())
-		for i := range cnt {
-			cnt[i] = 1
-		}
-		for _, cj := range r.plan.childJoins[u] {
-			crel := r.nodeRels[cj.child]
-			sum := storage.NewTupleMap(len(cj.cPos), crel.Len())
-			buf := make([]Value, len(cj.cPos))
-			for i := 0; i < crel.Len(); i++ {
-				row := crel.Row(i)
-				for j, x := range cj.cPos {
-					buf[j] = row[x]
-				}
-				sum.Add(buf, counts[cj.child][i])
-			}
-			for i := 0; i < rel.Len(); i++ {
-				row := rel.Row(i)
-				for j, x := range cj.uPos {
-					buf[j] = row[x]
-				}
-				cnt[i] *= sum.Get(buf)
-			}
-		}
-		counts[u] = cnt
+// nodeCountVector computes the counting-DP vector of one node (Pichler &
+// Skritek, Proposition 4.14): every tuple of the node's relation carries the
+// number of extensions to the variables introduced strictly below it; counts
+// multiply across children and sum across matching child tuples. Grouping
+// runs on integer tuple keys with exact collision handling. The vectors of
+// all children must already be present in counts.
+func nodeCountVector(p *Plan, nodeRels []*Relation, counts [][]int64, u int) []int64 {
+	rel := nodeRels[u]
+	cnt := make([]int64, rel.Len())
+	for i := range cnt {
+		cnt[i] = 1
 	}
-	var total int64
-	for _, c := range counts[d.Root()] {
-		total += c
+	for _, cj := range p.childJoins[u] {
+		crel := nodeRels[cj.child]
+		sum := storage.NewTupleMap(len(cj.cPos), crel.Len())
+		buf := make([]Value, len(cj.cPos))
+		for i := 0; i < crel.Len(); i++ {
+			row := crel.Row(i)
+			for j, x := range cj.cPos {
+				buf[j] = row[x]
+			}
+			sum.Add(buf, counts[cj.child][i])
+		}
+		for i := 0; i < rel.Len(); i++ {
+			row := rel.Row(i)
+			for j, x := range cj.uPos {
+				buf[j] = row[x]
+			}
+			cnt[i] *= sum.Get(buf)
+		}
 	}
-	return total, nil
+	return cnt
 }
 
-// fullReduce performs the classic Yannakakis full reduction on the node
-// relations: a bottom-up semijoin pass followed by a top-down pass. After
-// it, every remaining tuple of every node participates in at least one
-// solution. Both passes run level-parallel when the run has workers: within
-// a level the touched relations are disjoint (bottom-up writes the level's
-// own nodes; top-down writes their children, and every child has one
-// parent).
-func (r *run) fullReduce(ctx context.Context) error {
+// countState is the cached counting DP of a BoundQuery: the per-node vectors
+// (kept so Update can recompute only the subtrees a delta touches) and the
+// total at the root.
+type countState struct {
+	counts [][]int64
+	total  int64
+}
+
+// buildCountState runs the counting DP bottom-up over all nodes.
+func buildCountState(ctx context.Context, p *Plan, nodeRels []*Relation) (*countState, error) {
+	cs := &countState{counts: make([][]int64, p.d.Nodes())}
+	for _, u := range p.order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cs.counts[u] = nodeCountVector(p, nodeRels, cs.counts, u)
+	}
+	for _, c := range cs.counts[p.d.Root()] {
+		cs.total += c
+	}
+	return cs, nil
+}
+
+// count computes |q(D)| for a full CQ by dynamic programming over the
+// decomposition (Proposition 4.14).
+func (r *run) count(ctx context.Context) (int64, error) {
+	cs, err := buildCountState(ctx, r.plan, r.nodeRels)
+	if err != nil {
+		return 0, err
+	}
+	return cs.total, nil
+}
+
+// reduceBottomUp runs the bottom-up half of the Yannakakis full reduction:
+// every node is semijoined with its children, children strictly first. The
+// pass runs level-parallel when the run has workers: within a level the
+// touched relations are disjoint.
+func (r *run) reduceBottomUp(ctx context.Context) error {
 	for _, level := range r.plan.levels {
 		err := parForEach(ctx, r.par, level, func(u int) error {
 			for _, cj := range r.plan.childJoins[u] {
@@ -243,6 +327,14 @@ func (r *run) fullReduce(ctx context.Context) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// reduceTopDown runs the top-down half of the full reduction: every child is
+// semijoined with its (already reduced) parent, parents strictly first.
+// Level-parallel when the run has workers (top-down writes the level's
+// children, and every child has one parent).
+func (r *run) reduceTopDown(ctx context.Context) error {
 	for l := len(r.plan.levels) - 1; l >= 0; l-- {
 		err := parForEach(ctx, r.par, r.plan.levels[l], func(u int) error {
 			for _, cj := range r.plan.childJoins[u] {
@@ -255,6 +347,17 @@ func (r *run) fullReduce(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// fullReduce performs the classic Yannakakis full reduction on the node
+// relations: a bottom-up semijoin pass followed by a top-down pass. After
+// it, every remaining tuple of every node participates in at least one
+// solution.
+func (r *run) fullReduce(ctx context.Context) error {
+	if err := r.reduceBottomUp(ctx); err != nil {
+		return err
+	}
+	return r.reduceTopDown(ctx)
 }
 
 // enumNode is the per-node enumeration state: the (fully reduced) relation,
@@ -271,12 +374,15 @@ type enumNode struct {
 // reduced node relations: the pre-order traversal and the per-node indexes.
 // Building it is the per-evaluation cost the bound API caches away; the
 // enumerate method allocates its own cursors, so one enumState serves any
-// number of concurrent enumerations.
+// number of concurrent enumerations. buRels keeps the bottom-up pass
+// intermediates (set by the bound API only) so an Update can re-run the
+// semijoin passes just where a delta propagates.
 type enumState struct {
 	plan      *Plan
 	pre       []int
 	nodes     []enumNode
 	maxShared int
+	buRels    []*Relation
 }
 
 // buildEnumState indexes every non-root node's relation on the columns

@@ -13,11 +13,17 @@ var (
 )
 
 // smallCorpus generates one shared corpus for all tests (generation computes
-// ghw for every member, which dominates test time).
+// ghw for every member, which dominates test time — tens of seconds at
+// PerFamily 8). Under -short the corpus shrinks to a few seconds' worth;
+// the full-size corpus runs in the non-short CI job.
 func smallCorpus(t *testing.T) *Corpus {
 	t.Helper()
 	corpusOnce.Do(func() {
-		corpusVal, corpusErr = Generate(Options{Seed: 1, PerFamily: 8, MaxWidth: 5})
+		per := 8
+		if testing.Short() {
+			per = 2
+		}
+		corpusVal, corpusErr = Generate(Options{Seed: 1, PerFamily: per, MaxWidth: 5})
 	})
 	if corpusErr != nil {
 		t.Fatal(corpusErr)
@@ -27,7 +33,11 @@ func smallCorpus(t *testing.T) *Corpus {
 
 func TestGenerateDegreeInvariant(t *testing.T) {
 	c := smallCorpus(t)
-	if len(c.Entries) < 30 {
+	minEntries := 30
+	if testing.Short() {
+		minEntries = 8
+	}
+	if len(c.Entries) < minEntries {
 		t.Fatalf("corpus too small: %d", len(c.Entries))
 	}
 	for _, e := range c.Entries {
@@ -44,11 +54,15 @@ func TestGenerateDegreeInvariant(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a, err := Generate(Options{Seed: 7, PerFamily: 3})
+	per := 3
+	if testing.Short() {
+		per = 1
+	}
+	a, err := Generate(Options{Seed: 7, PerFamily: per})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(Options{Seed: 7, PerFamily: 3})
+	b, err := Generate(Options{Seed: 7, PerFamily: per})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,16 +132,24 @@ func Compile(db cq.Database) (*DB, error) {
 		}
 		t := &Table{Name: name, Arity: len(tuples[0])}
 		t.Data = make([]Value, 0, len(tuples)*t.Arity)
-		for _, tuple := range tuples {
-			if len(tuple) != t.Arity {
-				return nil, fmt.Errorf("storage: relation %s mixes arities %d and %d", name, t.Arity, len(tuple))
+		// Bulk-intern under one lock per relation: the dictionary has not
+		// escaped yet, so per-constant locking would buy nothing.
+		err := out.Dict.locked(func(d *Dict) error {
+			for _, tuple := range tuples {
+				if len(tuple) != t.Arity {
+					return fmt.Errorf("storage: relation %s mixes arities %d and %d", name, t.Arity, len(tuple))
+				}
+				for _, c := range tuple {
+					t.Data = append(t.Data, d.internLocked(c))
+				}
+				if t.Arity == 0 {
+					t.Data = append(t.Data, 0) // sentinel for the empty tuple
+				}
 			}
-			for _, c := range tuple {
-				t.Data = append(t.Data, out.Dict.Intern(c))
-			}
-			if t.Arity == 0 {
-				t.Data = append(t.Data, 0) // sentinel for the empty tuple
-			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		out.tables[name] = t
 	}

@@ -7,18 +7,29 @@
 // the Yannakakis-style evaluation bounds (Propositions 2.2 and 4.14 of the
 // paper) assume relations that can be scanned and probed in constant time
 // per tuple, which is exactly what the interned, indexed representation
-// provides.
+// provides. Databases evolve by Delta application: DB.Apply produces a new
+// snapshot sharing every untouched table with its parent, so a stream of
+// small updates costs time proportional to the touched relations, not the
+// whole database.
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Value is an interned database constant.
 type Value int32
 
-// Dict interns string constants to dense Values. A Dict is not safe for
-// concurrent mutation; once a database is compiled, readers use Lookup and
-// Name only, which are safe to call concurrently as long as nobody interns.
+// Dict interns string constants to dense Values. The dictionary is
+// append-friendly: interning a new constant never changes the Value of an
+// existing one, so database snapshots taken at different times can share one
+// dictionary — an older snapshot simply never stores the Values appended
+// after it. All methods are safe for concurrent use; readers of a live
+// snapshot may Lookup and Name while an Apply interns the constants of a
+// delta.
 type Dict struct {
+	mu     sync.RWMutex
 	byName map[string]Value
 	names  []string
 	fresh  int
@@ -31,6 +42,29 @@ func NewDict() *Dict {
 
 // Intern returns the Value of the constant, creating it if needed.
 func (d *Dict) Intern(name string) Value {
+	d.mu.RLock()
+	v, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.internLocked(name)
+}
+
+// locked runs f with the write lock held, for bulk interning through
+// internLocked (one lock per batch instead of two atomic operations per
+// constant).
+func (d *Dict) locked(f func(*Dict) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return f(d)
+}
+
+// internLocked appends a constant under the held write lock (shared by
+// Intern, Fresh and bulk interning via locked; the mutex is not reentrant).
+func (d *Dict) internLocked(name string) Value {
 	if v, ok := d.byName[name]; ok {
 		return v
 	}
@@ -44,12 +78,16 @@ func (d *Dict) Intern(name string) Value {
 // the dictionary. It is the read path for evaluation over a shared compiled
 // database: a constant absent from the dictionary cannot occur in the data.
 func (d *Dict) Lookup(name string) (Value, bool) {
+	d.mu.RLock()
 	v, ok := d.byName[name]
+	d.mu.RUnlock()
 	return v, ok
 }
 
 // Name returns the string of an interned value.
 func (d *Dict) Name(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(v) < 0 || int(v) >= len(d.names) {
 		return fmt.Sprintf("<bad:%d>", v)
 	}
@@ -59,14 +97,20 @@ func (d *Dict) Name(v Value) string {
 // Fresh interns a brand-new constant that does not occur in the database —
 // the ★ constants of the Theorem 3.4 reduction.
 func (d *Dict) Fresh(prefix string) Value {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for {
 		name := fmt.Sprintf("%s%d", prefix, d.fresh)
 		d.fresh++
 		if _, exists := d.byName[name]; !exists {
-			return d.Intern(name)
+			return d.internLocked(name)
 		}
 	}
 }
 
 // Len returns the number of interned constants.
-func (d *Dict) Len() int { return len(d.names) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}

@@ -1,5 +1,7 @@
 package storage
 
+import "slices"
+
 // fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
 const (
 	fnv64Offset uint64 = 14695981039346656037
@@ -23,14 +25,23 @@ func HashTuple(vals []Value) uint64 {
 // with exact collision handling: tuples are stored flat and compared on
 // every probe, so two distinct tuples never share a slot even when their
 // 64-bit hashes collide. It replaces the string-rendered map keys of the
-// old kernel on every grouping path (dedup, projection, count aggregation).
+// old kernel on every grouping path (dedup, projection, count aggregation,
+// incremental support counts). The layout is open-addressing over flat
+// slices — no per-bucket allocations, and Clone is three memcpys with no
+// aliasing between the copies (the incremental engine forks a snapshot's
+// support counts that way, and several forks of one snapshot must not share
+// mutable storage).
 type TupleMap struct {
-	k       int
-	hash    func([]Value) uint64
-	buckets map[uint64][]int32
-	keys    []Value // slot i occupies keys[i*k : (i+1)*k]
-	vals    []int64
+	k     int
+	hash  func([]Value) uint64
+	table []int32 // open-addressing probe table: slot+1, 0 = empty
+	mask  uint64
+	keys  []Value // slot i occupies keys[i*k : (i+1)*k]
+	vals  []int64
 }
+
+// minTableSize keeps the probe table a power of two.
+const minTableSize = 8
 
 // NewTupleMap returns an empty map over width-k tuples, sized for capHint
 // entries.
@@ -38,16 +49,22 @@ func NewTupleMap(k, capHint int) *TupleMap {
 	if capHint < 0 {
 		capHint = 0
 	}
+	size := minTableSize
+	for size*3 < capHint*4 { // initial load factor headroom of 3/4
+		size *= 2
+	}
 	return &TupleMap{
-		k:       k,
-		hash:    HashTuple,
-		buckets: make(map[uint64][]int32, capHint),
-		keys:    make([]Value, 0, capHint*k),
+		k:     k,
+		hash:  HashTuple,
+		table: make([]int32, size),
+		mask:  uint64(size - 1),
+		keys:  make([]Value, 0, capHint*k),
 	}
 }
 
 // newTupleMapWithHash is the test seam for the collision path: a degenerate
-// hash forces every tuple into one bucket, exercising the exact comparison.
+// hash forces every tuple onto one probe sequence, exercising the exact
+// comparison.
 func newTupleMapWithHash(k int, hash func([]Value) uint64) *TupleMap {
 	m := NewTupleMap(k, 0)
 	m.hash = hash
@@ -62,6 +79,22 @@ func (m *TupleMap) Key(slot int32) []Value {
 	return m.keys[int(slot)*m.k : (int(slot)+1)*m.k]
 }
 
+// Val returns the payload stored at a slot.
+func (m *TupleMap) Val(slot int32) int64 { return m.vals[slot] }
+
+// Clone returns an independent copy of the map. Forks of one snapshot share
+// nothing mutable: the flat slices are copied outright.
+func (m *TupleMap) Clone() *TupleMap {
+	return &TupleMap{
+		k:     m.k,
+		hash:  m.hash,
+		table: slices.Clone(m.table),
+		mask:  m.mask,
+		keys:  slices.Clone(m.keys),
+		vals:  slices.Clone(m.vals),
+	}
+}
+
 func (m *TupleMap) equalAt(slot int32, key []Value) bool {
 	at := m.keys[int(slot)*m.k:]
 	for i, v := range key {
@@ -72,30 +105,56 @@ func (m *TupleMap) equalAt(slot int32, key []Value) bool {
 	return true
 }
 
+// grow doubles the probe table and re-seats every slot.
+func (m *TupleMap) grow() {
+	size := len(m.table) * 2
+	m.table = make([]int32, size)
+	m.mask = uint64(size - 1)
+	for slot := int32(0); int(slot) < len(m.vals); slot++ {
+		i := m.hash(m.Key(slot)) & m.mask
+		for m.table[i] != 0 {
+			i = (i + 1) & m.mask
+		}
+		m.table[i] = slot + 1
+	}
+}
+
 // Find returns the slot of the tuple, or -1 if absent.
 func (m *TupleMap) Find(key []Value) int32 {
-	for _, slot := range m.buckets[m.hash(key)] {
-		if m.equalAt(slot, key) {
-			return slot
+	i := m.hash(key) & m.mask
+	for {
+		s := m.table[i]
+		if s == 0 {
+			return -1
 		}
+		if m.equalAt(s-1, key) {
+			return s - 1
+		}
+		i = (i + 1) & m.mask
 	}
-	return -1
 }
 
 // Insert returns the slot of the tuple, creating it (with payload 0) if
 // absent; isNew reports whether this call created the slot.
 func (m *TupleMap) Insert(key []Value) (slot int32, isNew bool) {
-	h := m.hash(key)
-	for _, s := range m.buckets[h] {
-		if m.equalAt(s, key) {
-			return s, false
-		}
+	if (len(m.vals)+1)*4 > len(m.table)*3 { // keep load below 3/4
+		m.grow()
 	}
-	slot = int32(len(m.vals))
-	m.keys = append(m.keys, key...)
-	m.vals = append(m.vals, 0)
-	m.buckets[h] = append(m.buckets[h], slot)
-	return slot, true
+	i := m.hash(key) & m.mask
+	for {
+		s := m.table[i]
+		if s == 0 {
+			slot = int32(len(m.vals))
+			m.keys = append(m.keys, key...)
+			m.vals = append(m.vals, 0)
+			m.table[i] = slot + 1
+			return slot, true
+		}
+		if m.equalAt(s-1, key) {
+			return s - 1, false
+		}
+		i = (i + 1) & m.mask
+	}
 }
 
 // Add accumulates delta into the tuple's payload, creating the tuple if

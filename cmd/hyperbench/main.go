@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hyperbench [-seed 1] [-per 24] [-maxk 5] [-csv out.csv] [-evalwidth k] [-updates n] [-json]
+//	hyperbench [-seed 1] [-per 24] [-maxk 5] [-csv out.csv] [-evalwidth k] [-updates n] [-parallel 1,2,4] [-json]
 //
 // With -json the run emits one machine-readable report (generation and
 // evaluation timings, Table 1 rows, engine/cache statistics) instead of the
@@ -15,6 +15,13 @@
 // generated database and then, for n rounds of single-tuple deltas, times
 // BoundQuery.Update against a from-scratch CompileDB+Bind of the same
 // logical database, spot-checking that both agree.
+//
+// With -parallel a,b,... the run sweeps WithParallelism over the given
+// worker counts on a sample of corpus entries, timing Bind, the counting DP
+// (first Count) and EnumerateAll per level and reporting speedups against
+// the sequential level. Results across levels are cross-checked against a
+// sequential scout pass. num_cpu/gomaxprocs are recorded alongside — on a
+// single-CPU host the sweep measures overhead, not speedup.
 package main
 
 import (
@@ -23,7 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"d2cq"
@@ -49,6 +60,7 @@ type report struct {
 	Table1    []hyperbench.Table1Row `json:"table1"`
 	Eval      *evalReport            `json:"eval,omitempty"`
 	Updates   *updatesReport         `json:"updates,omitempty"`
+	Parallel  *parallelReport        `json:"parallel,omitempty"`
 }
 
 type evalReport struct {
@@ -73,8 +85,13 @@ func run(args []string, out io.Writer) error {
 	csv := fs.String("csv", "", "also write the per-instance census to this CSV file")
 	evalWidth := fs.Int("evalwidth", 0, "also prepare & evaluate the canonical BCQ of every corpus entry up to this plan width (0 = skip)")
 	updates := fs.Int("updates", 0, "also benchmark incremental maintenance: time this many single-tuple update rounds per sampled entry, Update vs CompileDB+Bind (0 = skip)")
+	parallel := fs.String("parallel", "", "also sweep WithParallelism over these comma-separated worker counts (e.g. 1,2,4,8), timing Bind, Count and EnumerateAll per level (empty = skip)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of the human tables")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	levels, err := parseParallelLevels(*parallel)
+	if err != nil {
 		return err
 	}
 
@@ -115,6 +132,13 @@ func run(args []string, out io.Writer) error {
 			}
 			rep.Updates = up
 		}
+		if len(levels) > 0 {
+			pr, err := parallelBench(io.Discard, c, levels, false)
+			if err != nil {
+				return err
+			}
+			rep.Parallel = pr
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
@@ -134,7 +158,29 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if len(levels) > 0 {
+		if _, err := parallelBench(out, c, levels, true); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// parseParallelLevels parses the -parallel flag: a comma-separated list of
+// positive worker counts.
+func parseParallelLevels(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -parallel level %q (want positive integers, e.g. 1,2,4)", part)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
 }
 
 // evalCorpus prepares the canonical BCQ of every corpus entry with one
@@ -342,6 +388,250 @@ func updatesBench(out io.Writer, c *hyperbench.Corpus, rounds int, human bool) (
 	if human {
 		fmt.Fprintf(out, "%d single-tuple updates: incremental %.1fms, recompile %.1fms — %.1f× speedup (%d spot checks passed)\n",
 			rep.Rounds, rep.IncrementalMS, rep.RecompileMS, rep.Speedup, rep.Checked)
+	}
+	return rep, nil
+}
+
+// parallelReport records the WithParallelism sweep: per worker count, the
+// wall time of Bind (node materialisation), the counting DP (first Count on
+// a fresh BoundQuery) and EnumerateAll (full reduction + streaming + sort)
+// summed over the sampled entries, with speedups relative to the
+// parallelism-1 level. num_cpu and gomaxprocs give the hardware context the
+// numbers must be read against.
+type parallelReport struct {
+	Entries       int             `json:"entries"`
+	TuplesPerEdge int             `json:"tuples_per_edge"`
+	Answers       int64           `json:"answers"`
+	NumCPU        int             `json:"num_cpu"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Sweep         []parallelLevel `json:"sweep"`
+}
+
+type parallelLevel struct {
+	Parallelism      int     `json:"parallelism"`
+	BindMS           float64 `json:"bind_ms"`
+	CountMS          float64 `json:"count_ms"`
+	EnumerateAllMS   float64 `json:"enumerate_all_ms"`
+	CountSpeedup     float64 `json:"count_speedup,omitempty"`
+	EnumerateSpeedup float64 `json:"enumerate_speedup,omitempty"`
+}
+
+// parallelEntryCap bounds the sampled entries, parallelTuplesPerEdge sizes
+// each edge relation, and parallelCountCap skips entries whose answer sets
+// would dominate the run.
+const (
+	parallelEntryCap      = 16
+	parallelConstantPool  = 64
+	parallelCountCap      = 2000000
+	parallelJoinCap       = 4e6
+	parallelBenchMaxWidth = 3
+)
+
+// parallelTuplesPerEdge sizes each edge relation of the sweep databases. A
+// variable rather than a constant so the test suite can shrink the sweep to
+// seconds; real runs always use the default.
+var parallelTuplesPerEdge = 512
+
+// estimateMaterialisation bounds the expected intermediate size of binding
+// the entry: per decomposition node, the λ-edge relations are joined
+// smallest-first, and under the random-tuple model each already-constrained
+// shared variable divides the expected size by the constant pool. Entries
+// whose estimate blows past parallelJoinCap (λ edges sharing few variables
+// degenerate towards cross products) are skipped before the scout ever
+// binds them.
+func estimateMaterialisation(e hyperbench.Entry, d *d2cq.GHD, relSize map[string]int) float64 {
+	worst := 0.0
+	for u := 0; u < d.Nodes(); u++ {
+		est := 1.0
+		seen := map[int]bool{}
+		for _, eidx := range d.Lambdas[u] {
+			size := float64(relSize[e.H.EdgeName(eidx)])
+			shared := 0
+			e.H.EdgeSet(eidx).ForEach(func(v int) bool {
+				if seen[v] {
+					shared++
+				} else {
+					seen[v] = true
+				}
+				return true
+			})
+			est *= size
+			for i := 0; i < shared; i++ {
+				est /= parallelConstantPool
+			}
+			if est > worst {
+				worst = est
+			}
+		}
+	}
+	return worst
+}
+
+// parallelEntryDB generates the benchmark database of one corpus entry:
+// tuplesPerEdge pseudo-random tuples per edge relation over a moderate
+// constant pool, deterministic per entry. Unlike the structured pattern of
+// updatesBench (built for Bool, where a handful of distinct tuples
+// suffices), random tuples give the joins real fan-out, so the counting DP
+// and the enumeration have work to split across workers.
+func parallelEntryDB(e hyperbench.Entry, seed int64, tuplesPerEdge int) reduction.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := reduction.NewInstance(e.H)
+	for edge := 0; edge < e.H.NE(); edge++ {
+		cols := len(e.H.EdgeVertexNames(edge))
+		for t := 0; t < tuplesPerEdge; t++ {
+			row := make([]string, cols)
+			for cix := range row {
+				row[cix] = fmt.Sprintf("c%d", rng.Intn(parallelConstantPool))
+			}
+			inst.D.Add(e.H.EdgeName(edge), row...)
+		}
+	}
+	return inst
+}
+
+// parallelBench sweeps WithParallelism over the given worker counts. A
+// sequential scout pass first fixes the entry sample — decomposed plans with
+// a non-empty, bounded answer set — and its counts; every sweep level then
+// binds each entry fresh (so Bind, the counting DP and the full reduction
+// all run from scratch at that parallelism) and is cross-checked against
+// the scout's counts.
+func parallelBench(out io.Writer, c *hyperbench.Corpus, levels []int, human bool) (*parallelReport, error) {
+	ctx := context.Background()
+	entries := c.Entries
+	if len(entries) > parallelEntryCap {
+		sampled := make([]hyperbench.Entry, 0, parallelEntryCap)
+		for i := 0; i < parallelEntryCap; i++ {
+			sampled = append(sampled, entries[i*len(entries)/parallelEntryCap])
+		}
+		entries = sampled
+	}
+	scout := d2cq.NewEngine(d2cq.WithMaxWidth(parallelBenchMaxWidth), d2cq.WithNaiveFallback())
+	type pick struct {
+		entry hyperbench.Entry
+		seed  int64
+		count int64
+	}
+	var picks []pick
+	var answers int64
+	for ei, e := range entries {
+		seed := int64(ei) + 1
+		inst := parallelEntryDB(e, seed, parallelTuplesPerEdge)
+		prep, err := scout.Prepare(ctx, inst.Q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if prep.Plan().Naive() {
+			continue // no decomposition: nothing for the parallel passes to split
+		}
+		relSize := map[string]int{}
+		for rel, tuples := range inst.D {
+			seen := map[string]bool{}
+			for _, t := range tuples {
+				seen[strings.Join(t, "\x00")] = true
+			}
+			relSize[rel] = len(seen)
+		}
+		if estimateMaterialisation(e, prep.Plan().Decomp(), relSize) > parallelJoinCap {
+			continue // λ joins degenerate towards cross products: binding alone would dwarf the sweep
+		}
+		cdb, err := scout.CompileDB(ctx, inst.D)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		bound, err := prep.Bind(ctx, cdb)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		n, err := bound.Count(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: Count: %w", e.Name, err)
+		}
+		if n == 0 || n > parallelCountCap {
+			continue
+		}
+		picks = append(picks, pick{entry: e, seed: seed, count: n})
+		answers += n
+	}
+	rep := &parallelReport{
+		Entries:       len(picks),
+		TuplesPerEdge: parallelTuplesPerEdge,
+		Answers:       answers,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	if human {
+		fmt.Fprintf(out, "\n=== WithParallelism sweep (%d entries, %d tuples/edge, %d answers; %d CPUs, GOMAXPROCS %d) ===\n",
+			rep.Entries, rep.TuplesPerEdge, rep.Answers, rep.NumCPU, rep.GOMAXPROCS)
+	}
+	for _, n := range levels {
+		eng := d2cq.NewEngine(d2cq.WithMaxWidth(parallelBenchMaxWidth), d2cq.WithNaiveFallback(), d2cq.WithParallelism(n))
+		lvl := parallelLevel{Parallelism: n}
+		var bindT, countT, enumT time.Duration
+		for _, p := range picks {
+			inst := parallelEntryDB(p.entry, p.seed, parallelTuplesPerEdge)
+			prep, err := eng.Prepare(ctx, inst.Q)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.entry.Name, err)
+			}
+			cdb, err := eng.CompileDB(ctx, inst.D)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.entry.Name, err)
+			}
+			start := time.Now()
+			bound, err := prep.Bind(ctx, cdb)
+			bindT += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s: Bind: %w", p.entry.Name, err)
+			}
+			start = time.Now()
+			cnt, err := bound.Count(ctx)
+			countT += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s: Count: %w", p.entry.Name, err)
+			}
+			if cnt != p.count {
+				return nil, fmt.Errorf("%s: parallelism %d counts %d, sequential scout %d", p.entry.Name, n, cnt, p.count)
+			}
+			start = time.Now()
+			rel, _, err := bound.EnumerateAll(ctx)
+			enumT += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s: EnumerateAll: %w", p.entry.Name, err)
+			}
+			if int64(rel.Len()) != p.count {
+				return nil, fmt.Errorf("%s: parallelism %d enumerates %d rows, scout counted %d", p.entry.Name, n, rel.Len(), p.count)
+			}
+		}
+		lvl.BindMS = float64(bindT.Microseconds()) / 1000
+		lvl.CountMS = float64(countT.Microseconds()) / 1000
+		lvl.EnumerateAllMS = float64(enumT.Microseconds()) / 1000
+		rep.Sweep = append(rep.Sweep, lvl)
+	}
+	var base *parallelLevel
+	for i := range rep.Sweep {
+		if rep.Sweep[i].Parallelism == 1 {
+			base = &rep.Sweep[i]
+			break
+		}
+	}
+	for i := range rep.Sweep {
+		lvl := &rep.Sweep[i]
+		if base != nil && lvl.CountMS > 0 {
+			lvl.CountSpeedup = base.CountMS / lvl.CountMS
+		}
+		if base != nil && lvl.EnumerateAllMS > 0 {
+			lvl.EnumerateSpeedup = base.EnumerateAllMS / lvl.EnumerateAllMS
+		}
+		if human {
+			if base != nil {
+				fmt.Fprintf(out, "parallelism %d: bind %.1fms, count %.1fms (%.2f×), enumerate-all %.1fms (%.2f×)\n",
+					lvl.Parallelism, lvl.BindMS, lvl.CountMS, lvl.CountSpeedup, lvl.EnumerateAllMS, lvl.EnumerateSpeedup)
+			} else {
+				// No parallelism-1 level in the sweep: no baseline to compare to.
+				fmt.Fprintf(out, "parallelism %d: bind %.1fms, count %.1fms, enumerate-all %.1fms\n",
+					lvl.Parallelism, lvl.BindMS, lvl.CountMS, lvl.EnumerateAllMS)
+			}
+		}
 	}
 	return rep, nil
 }

@@ -69,6 +69,58 @@ func TestRunEvalCorpus(t *testing.T) {
 	}
 }
 
+func TestRunParallelSweep(t *testing.T) {
+	// Shrink the sweep databases: at the production 512 tuples/edge this
+	// test alone would take ~a minute under -race, which is exactly the
+	// fast-loop regression the -short split of the corpus tests exists to
+	// prevent. The flag plumbing and report shape are what's under test.
+	defer func(orig int) { parallelTuplesPerEdge = orig }(parallelTuplesPerEdge)
+	parallelTuplesPerEdge = 48
+
+	var out strings.Builder
+	if err := run([]string{"-per", "2", "-maxk", "3", "-parallel", "1,2", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	pr := rep.Parallel
+	if pr == nil {
+		t.Fatal("parallel report missing")
+	}
+	if pr.Entries == 0 || pr.Answers == 0 {
+		t.Errorf("sweep sampled nothing: %+v", pr)
+	}
+	if pr.NumCPU < 1 || pr.GOMAXPROCS < 1 {
+		t.Errorf("hardware context missing: %+v", pr)
+	}
+	if len(pr.Sweep) != 2 || pr.Sweep[0].Parallelism != 1 || pr.Sweep[1].Parallelism != 2 {
+		t.Fatalf("sweep levels wrong: %+v", pr.Sweep)
+	}
+	for _, lvl := range pr.Sweep {
+		if lvl.EnumerateAllMS <= 0 {
+			t.Errorf("parallelism %d: no enumeration timing", lvl.Parallelism)
+		}
+	}
+	// The sequential level carries 1.0 speedups by definition.
+	if s := pr.Sweep[0].EnumerateSpeedup; s < 0.99 || s > 1.01 {
+		t.Errorf("base enumerate speedup = %v, want 1.0", s)
+	}
+
+	// Human mode prints the sweep table; a bad level list errors.
+	out.Reset()
+	if err := run([]string{"-per", "1", "-maxk", "3", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WithParallelism sweep") {
+		t.Errorf("missing sweep table:\n%s", out.String())
+	}
+	if err := run([]string{"-per", "1", "-parallel", "0,x"}, &out); err == nil {
+		t.Error("bad -parallel levels should error")
+	}
+}
+
 func TestRunUpdatesBench(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-per", "1", "-maxk", "3", "-updates", "4", "-json"}, &out); err != nil {

@@ -237,9 +237,21 @@ func WithDecompCache(capacity int) EngineOption { return engine.WithDecompCache(
 // failing when no (bounded-width) decomposition exists.
 func WithNaiveFallback() EngineOption { return engine.WithNaiveFallback() }
 
-// WithParallelism evaluates decomposition nodes and independent subtrees on
-// a bounded pool of n workers (n < 0: one per CPU; n <= 1: sequential).
+// WithParallelism runs the data-dependent evaluation passes on a bounded
+// pool of n workers (n < 0: one per CPU; n <= 1: sequential): node
+// materialisation, the semijoin passes, the counting DP (groupings fan out
+// over parent-child pairs, vectors over sibling subtrees and row ranges),
+// enumeration (the root relation is range-partitioned into n chunks with one
+// bounded-delay producer each) and incremental maintenance. Partition state
+// lives in the immutable per-snapshot caches, so parallel readers may keep
+// streaming from an old snapshot while Update builds the next one.
 func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
+
+// WithDeterministicOrder makes parallel enumeration merge its chunk streams
+// in root-index order — exactly the order sequential enumeration yields.
+// Without it, parallel streams merge in arrival order (same solution
+// multiset, lower latency). Sequential evaluation is unaffected.
+func WithDeterministicOrder() EngineOption { return engine.WithDeterministicOrder() }
 
 // CompileDB compiles db once with the shared default engine. Pair with
 // PreparedQuery.Bind for the full compile-once / evaluate-many discipline on

@@ -209,7 +209,7 @@ func (b *BoundQuery) ensureCounts(ctx context.Context) (*countState, error) {
 	if cs := b.countSt.Load(); cs != nil {
 		return cs, nil
 	}
-	cs, err := buildCountState(ctx, b.prep.plan, b.nodeRels)
+	cs, err := buildCountState(ctx, b.prep.plan, b.nodeRels, b.prep.eng.par())
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +273,7 @@ func (b *BoundQuery) Enumerate(ctx context.Context, yield func(Solution) bool) e
 	if err != nil {
 		return err
 	}
-	return es.enumerate(ctx, func(row []Value) bool {
+	return es.enumerate(ctx, b.prep.eng.par(), b.prep.eng.ordered(), func(row []Value) bool {
 		sol.row = row
 		return yield(sol)
 	})
@@ -287,14 +287,16 @@ func (b *BoundQuery) EnumerateAll(ctx context.Context) (*Relation, *Dict, error)
 		if len(s.row) == 0 {
 			out.AddEmpty()
 		} else {
-			out.Add(append([]Value(nil), s.row...)...)
+			// Add copies into the backing array immediately, so the reused
+			// yield slice can be passed straight through.
+			out.Add(s.row...)
 		}
 		return true
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	out.SortForDisplay()
+	out.sortPar(b.prep.eng.par())
 	return out, b.inst.Dict, nil
 }
 

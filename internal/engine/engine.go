@@ -26,6 +26,7 @@ type Engine struct {
 	maxWidth      int
 	naiveFallback bool
 	parallelism   int
+	orderedEnum   bool
 
 	// Singleflight for the decomposition search: concurrent first-time
 	// prepares of the same shape wait for one computation instead of each
@@ -68,15 +69,28 @@ func WithNaiveFallback() Option {
 	return func(e *Engine) { e.naiveFallback = true }
 }
 
-// WithParallelism runs the node-materialisation loop and the semijoin
-// passes over independent decomposition subtrees on a bounded pool of n
-// workers. Values of 1 or less evaluate sequentially (the default); n < 0
-// uses one worker per CPU.
+// WithParallelism runs the data-dependent evaluation passes on a bounded
+// pool of n workers: node materialisation, the semijoin passes over
+// independent decomposition subtrees, the counting DP (grouping fans out
+// over parent-child pairs, vectors over sibling subtrees and row ranges),
+// solution enumeration (the root relation is range-partitioned into n
+// chunks, one bounded-delay producer each), and incremental maintenance of
+// dirty nodes and cached states. Values of 1 or less evaluate sequentially
+// (the default); n < 0 uses one worker per CPU.
 func WithParallelism(n int) Option {
 	if n < 0 {
 		n = runtime.NumCPU()
 	}
 	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithDeterministicOrder makes parallel enumeration merge its chunk streams
+// in root-index order, reproducing exactly the order the sequential
+// enumeration yields. Without it, parallel streams merge in arrival order
+// (the solution multiset is identical either way); sequential evaluation is
+// unaffected.
+func WithDeterministicOrder() Option {
+	return func(e *Engine) { e.orderedEnum = true }
 }
 
 // par returns the engine's worker bound for evaluation passes.
@@ -85,6 +99,15 @@ func (e *Engine) par() int {
 		return 1
 	}
 	return e.parallelism
+}
+
+// ordered reports whether parallel enumeration must preserve the sequential
+// yield order.
+func (e *Engine) ordered() bool {
+	if e == nil {
+		return false
+	}
+	return e.orderedEnum
 }
 
 // DefaultCacheCapacity is the decomposition-cache bound of NewEngine unless
@@ -351,7 +374,7 @@ func (p *PreparedQuery) Enumerate(ctx context.Context, db cq.Database, yield fun
 	if err := r.fullReduce(ctx); err != nil {
 		return err
 	}
-	return r.enumerate(ctx, func(row []Value) bool {
+	return r.enumerate(ctx, p.eng.ordered(), func(row []Value) bool {
 		sol.row = row
 		return yield(sol)
 	})
@@ -367,7 +390,9 @@ func (p *PreparedQuery) EnumerateAll(ctx context.Context, db cq.Database) (*Rela
 		if len(s.row) == 0 {
 			out.AddEmpty()
 		} else {
-			out.Add(append([]Value(nil), s.row...)...)
+			// Add copies into the backing array immediately, so the reused
+			// yield slice can be passed straight through.
+			out.Add(s.row...)
 		}
 		return true
 	})
@@ -377,7 +402,7 @@ func (p *PreparedQuery) EnumerateAll(ctx context.Context, db cq.Database) (*Rela
 	if dict == nil {
 		dict = NewDict()
 	}
-	out.SortForDisplay()
+	out.sortPar(p.eng.par())
 	return out, dict, nil
 }
 

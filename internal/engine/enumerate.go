@@ -35,8 +35,8 @@ func EnumerateGHD(inst *Instance, d *decomp.GHD) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(vars...)
-	err = r.enumerate(ctx, func(row []Value) bool {
-		out.Add(append([]Value(nil), row...)...)
+	err = r.enumerate(ctx, defaultEngine.ordered(), func(row []Value) bool {
+		out.Add(row...)
 		return true
 	})
 	if err != nil {

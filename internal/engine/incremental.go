@@ -4,6 +4,7 @@ import (
 	"context"
 	"slices"
 	"sort"
+	"sync/atomic"
 
 	"d2cq/internal/storage"
 )
@@ -244,16 +245,16 @@ func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, 
 	}
 
 	// 3. Maintain the cached reduction/enumeration and counting states on the
-	// affected subtrees.
+	// affected subtrees, level-parallel on the engine's worker pool.
 	if es := b.enumSt.Load(); es != nil {
-		nes, err := es.update(ctx, nb.nodeRels, dirtyNode)
+		nes, err := es.update(ctx, nb.nodeRels, dirtyNode, b.prep.eng.par())
 		if err != nil {
 			return nil, err
 		}
 		nb.enumSt.Store(nes)
 	}
 	if cs := b.countSt.Load(); cs != nil {
-		ncs, err := cs.update(ctx, plan, nb.nodeRels, dirtyNode)
+		ncs, err := cs.update(ctx, plan, nb.nodeRels, dirtyNode, b.prep.eng.par())
 		if err != nil {
 			return nil, err
 		}
@@ -316,6 +317,10 @@ func relDiff(old, new *Relation) (plus, minus *Relation) {
 // λ-edge deltas of a node exceed 1/deltaRebuildFactor of the summed edge
 // sizes, re-materialising from scratch beats delta-joining.
 const deltaRebuildFactor = 4
+
+// supportCompactMin is the smallest support map worth compacting — below it
+// the tombstone overhead is noise.
+const supportCompactMin = 16
 
 // updateNode maintains one decomposition node under changed λ edges and/or
 // changed filter atoms using the node's cached derivation counts: the delta
@@ -414,6 +419,14 @@ func (b *BoundQuery) updateNode(u int, inst *Instance, getEdge func([]string) *R
 		apply(d.plus, i, 1)
 		apply(d.minus, i, -1)
 		cur[i] = d.new
+	}
+	// Compact the support map once zero-count tombstones exceed half the
+	// entries, so a long delete-heavy stream keeps it proportional to the
+	// live tuples instead of every tuple ever derived. Compaction preserves
+	// the relative slot order of the survivors, so relations listed off the
+	// map are unchanged.
+	if sup.Len() >= supportCompactMin && sup.Tombstones()*2 > sup.Len() {
+		sup = sup.Compact()
 	}
 	// Classify crossings and patch the filtered relation.
 	var added, removed *Relation
@@ -646,35 +659,41 @@ func (b *BoundQuery) refilterDelta(u int, inst *Instance, atomDeltaFor func(int)
 // the parent's reduced relation changed (stopping, likewise, where the
 // recomputation is absorbed). Enumeration indexes are rebuilt only for nodes
 // whose reduced relation actually changed; everything else is shared with
-// the cached state.
-func (es *enumState) update(ctx context.Context, nodeRels []*Relation, dirtyNode []bool) (*enumState, error) {
+// the cached state. Both passes run level-parallel on up to par workers —
+// within a level, nodes read only strictly-lower (bottom-up) or
+// strictly-higher (top-down) levels and write disjoint slots, so the
+// absorption checks are unaffected by the schedule.
+func (es *enumState) update(ctx context.Context, nodeRels []*Relation, dirtyNode []bool, par int) (*enumState, error) {
 	p := es.plan
 	n := p.d.Nodes()
 	newBU := append([]*Relation(nil), es.buRels...)
 	changedBU := make([]bool, n)
-	for _, u := range p.order { // children strictly before parents
-		need := dirtyNode[u]
-		for _, cj := range p.childJoins[u] {
-			if changedBU[cj.child] {
-				need = true
-				break
+	for _, level := range p.levels { // children strictly before parents
+		err := parForEach(ctx, par, level, func(u int) error {
+			need := dirtyNode[u]
+			for _, cj := range p.childJoins[u] {
+				if changedBU[cj.child] {
+					need = true
+					break
+				}
 			}
-		}
-		if !need {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
+			if !need {
+				return nil
+			}
+			rel := nodeRels[u]
+			for _, cj := range p.childJoins[u] {
+				rel = semijoinOn(rel, newBU[cj.child], cj.shared, cj.uPos, cj.cPos)
+			}
+			if relEqual(rel, es.buRels[u]) {
+				return nil // absorbed: ancestors see no change
+			}
+			newBU[u] = rel
+			changedBU[u] = true
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		rel := nodeRels[u]
-		for _, cj := range p.childJoins[u] {
-			rel = semijoinOn(rel, newBU[cj.child], cj.shared, cj.uPos, cj.cPos)
-		}
-		if relEqual(rel, es.buRels[u]) {
-			continue // absorbed: ancestors see no change
-		}
-		newBU[u] = rel
-		changedBU[u] = true
 	}
 	nes := &enumState{
 		plan:      p,
@@ -684,70 +703,111 @@ func (es *enumState) update(ctx context.Context, nodeRels []*Relation, dirtyNode
 		buRels:    newBU,
 	}
 	changedFinal := make([]bool, n)
-	for _, u := range es.pre { // parents strictly before children
-		parent := p.d.Parent[u]
-		if !changedBU[u] && (parent < 0 || !changedFinal[parent]) {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		final := newBU[u]
-		if parent >= 0 {
-			for _, cj := range p.childJoins[parent] {
-				if cj.child == u {
-					final = semijoinOn(final, nes.nodes[parent].rel, cj.shared, cj.cPos, cj.uPos)
-					break
+	for l := len(p.levels) - 1; l >= 0; l-- { // parents strictly before children
+		err := parForEach(ctx, par, p.levels[l], func(u int) error {
+			parent := p.d.Parent[u]
+			if !changedBU[u] && (parent < 0 || !changedFinal[parent]) {
+				return nil
+			}
+			final := newBU[u]
+			if parent >= 0 {
+				for _, cj := range p.childJoins[parent] {
+					if cj.child == u {
+						final = semijoinOn(final, nes.nodes[parent].rel, cj.shared, cj.cPos, cj.uPos)
+						break
+					}
 				}
 			}
+			if relEqual(final, es.nodes[u].rel) {
+				return nil // absorbed: keep the cached relation and its index
+			}
+			en := enumNode{rel: final, write: p.bagVids[u], sharedVid: p.sharedVids[u]}
+			if len(p.shared[u]) > 0 {
+				en.idx = storage.BuildIndex(final.Data, len(final.Cols), p.sharedPos[u])
+			}
+			nes.nodes[u] = en
+			changedFinal[u] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		if relEqual(final, es.nodes[u].rel) {
-			continue // absorbed: keep the cached relation and its index
-		}
-		en := enumNode{rel: final, write: p.bagVids[u], sharedVid: p.sharedVids[u]}
-		if len(p.shared[u]) > 0 {
-			en.idx = storage.BuildIndex(final.Data, len(final.Cols), p.sharedPos[u])
-		}
-		nes.nodes[u] = en
-		changedFinal[u] = true
 	}
 	return nes, nil
 }
 
 // update maintains a cached counting DP under re-materialised node
-// relations: vectors are recomputed bottom-up for dirty nodes and for nodes
-// whose children changed, stopping where neither the child's relation nor
-// its vector moved. Note the node's DP groups the child's relation *rows*
-// (not just its vector), so a dirty child relation forces the parent's
-// recomputation even when the child's vector came out elementwise equal —
-// the same multiset of counts can be attached to different tuples.
-func (cs *countState) update(ctx context.Context, p *Plan, nodeRels []*Relation, dirtyNode []bool) (*countState, error) {
-	ncs := &countState{counts: append([][]int64(nil), cs.counts...), total: cs.total}
-	changed := make([]bool, p.d.Nodes())
-	anyChanged := false
-	for _, u := range p.order {
-		need := dirtyNode[u]
-		for _, cj := range p.childJoins[u] {
-			if changed[cj.child] || dirtyNode[cj.child] {
-				need = true
-				break
+// relations. Groupings whose relations were replaced are rebuilt first
+// (concurrently — they depend only on the relations); vectors are then
+// recomputed bottom-up for dirty nodes and for nodes whose children
+// changed, stopping where neither the child's relation nor its vector
+// moved, level-parallel across independent sibling subtrees. Note the
+// node's DP groups the child's relation *rows* (not just its vector), so a
+// dirty child relation forces the parent's recomputation even when the
+// child's vector came out elementwise equal — the same multiset of counts
+// can be attached to different tuples.
+func (cs *countState) update(ctx context.Context, p *Plan, nodeRels []*Relation, dirtyNode []bool, par int) (*countState, error) {
+	ncs := &countState{
+		counts: append([][]int64(nil), cs.counts...),
+		groups: append([][]pairGroup(nil), cs.groups...),
+		total:  cs.total,
+	}
+	// 1. Rebuild the stale groupings: a grouping is stale iff either of the
+	// relations it was built from was replaced in this rebind (unchanged
+	// relations keep their pointer, so pointer inequality is exact).
+	var stale []int
+	cloned := make([]bool, p.d.Nodes())
+	for i, pr := range p.countPairs {
+		g := &cs.groups[pr.u][pr.k]
+		child := p.childJoins[pr.u][pr.k].child
+		if g.uRel != nodeRels[pr.u] || g.cRel != nodeRels[child] {
+			stale = append(stale, i)
+			if !cloned[pr.u] {
+				ncs.groups[pr.u] = slices.Clone(cs.groups[pr.u])
+				cloned[pr.u] = true
 			}
 		}
-		if !need {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
+	}
+	rowPar := leftoverPar(par, len(stale))
+	err := parForEach(ctx, par, stale, func(i int) error {
+		pr := p.countPairs[i]
+		child := p.childJoins[pr.u][pr.k].child
+		ncs.groups[pr.u][pr.k] = buildPairGroup(p, pr.u, pr.k, nodeRels[pr.u], nodeRels[child], rowPar)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// 2. Re-run the DP where the change propagates.
+	changed := make([]bool, p.d.Nodes())
+	var anyChanged atomic.Bool
+	for _, level := range p.levels {
+		rp := leftoverPar(par, len(level))
+		err := parForEach(ctx, par, level, func(u int) error {
+			need := dirtyNode[u]
+			for _, cj := range p.childJoins[u] {
+				if changed[cj.child] || dirtyNode[cj.child] {
+					need = true
+					break
+				}
+			}
+			if !need {
+				return nil
+			}
+			cnt := nodeCountVector(p, u, nodeRels[u], ncs.groups[u], ncs.counts, rp)
+			if slices.Equal(cnt, cs.counts[u]) {
+				return nil
+			}
+			ncs.counts[u] = cnt
+			changed[u] = true
+			anyChanged.Store(true)
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		cnt := nodeCountVector(p, nodeRels, ncs.counts, u)
-		if slices.Equal(cnt, cs.counts[u]) {
-			continue
-		}
-		ncs.counts[u] = cnt
-		changed[u] = true
-		anyChanged = true
 	}
-	if anyChanged {
+	if anyChanged.Load() {
 		ncs.total = 0
 		for _, c := range ncs.counts[p.d.Root()] {
 			ncs.total += c

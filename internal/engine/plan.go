@@ -44,6 +44,16 @@ type Plan struct {
 	bagVids    [][]int       // node → hypergraph vertex id of each bag column
 	sharedVids [][]int       // node → vertex id of each shared column
 	levels     [][]int       // bottom-up levels: children strictly before parents
+	countPairs []countPair   // every (node, child-join) edge of the counting DP, flattened
+}
+
+// countPair addresses one parent-child edge of the counting DP: node u's
+// k-th child join. The flattened list is the work unit of the parallel
+// grouping pass — the groupings of distinct pairs are independent even when
+// the decomposition is a path, so the pass parallelises regardless of tree
+// shape.
+type countPair struct {
+	u, k int
 }
 
 // childJoin is the precomputed key of the join between a node's relation and
@@ -218,6 +228,11 @@ func NewPlan(q cq.Query, d *decomp.GHD) (*Plan, error) {
 	p.levels = make([][]int, maxHeight+1)
 	for _, u := range p.order {
 		p.levels[height[u]] = append(p.levels[height[u]], u)
+	}
+	for u := 0; u < d.Nodes(); u++ {
+		for k := range p.childJoins[u] {
+			p.countPairs = append(p.countPairs, countPair{u: u, k: k})
+		}
 	}
 	return p, nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"sync"
 
 	"d2cq/internal/storage"
 )
@@ -259,26 +260,74 @@ func sharedColumns(r, s *Relation) (shared []string, rIdx, sIdx []int) {
 
 // SortForDisplay orders tuples lexicographically (for deterministic test
 // output and golden comparisons).
-func (r *Relation) SortForDisplay() {
+func (r *Relation) SortForDisplay() { r.sortPar(1) }
+
+// sortPar is SortForDisplay on up to par workers: a permutation of row
+// indexes is sorted in contiguous runs concurrently and the runs are merged.
+// Ties are bitwise-identical rows, so the result is the same Data the
+// sequential sort produces for any par.
+func (r *Relation) sortPar(par int) {
 	a := len(r.Cols)
 	if a == 0 {
 		return
 	}
 	n := r.Len()
-	rows := make([][]Value, n)
-	for i := 0; i < n; i++ {
-		rows[i] = append([]Value(nil), r.Row(i)...)
-	}
-	sort.Slice(rows, func(i, j int) bool {
+	less := func(i, j int32) bool {
+		ri, rj := r.Row(int(i)), r.Row(int(j))
 		for k := 0; k < a; k++ {
-			if rows[i][k] != rows[j][k] {
-				return rows[i][k] < rows[j][k]
+			if ri[k] != rj[k] {
+				return ri[k] < rj[k]
 			}
 		}
 		return false
-	})
-	r.Data = r.Data[:0]
-	for _, row := range rows {
-		r.Data = append(r.Data, row...)
 	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if par <= 1 || n < 4096 {
+		sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	} else {
+		if par > n {
+			par = n
+		}
+		bounds := make([]int, par+1)
+		for w := 0; w <= par; w++ {
+			bounds[w] = w * n / par
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			seg := idx[bounds[w]:bounds[w+1]]
+			wg.Add(1)
+			go func(seg []int32) {
+				defer wg.Done()
+				sort.Slice(seg, func(i, j int) bool { return less(seg[i], seg[j]) })
+			}(seg)
+		}
+		wg.Wait()
+		// k-way merge of the par sorted runs (par is small: linear scan of
+		// the run heads per output row).
+		merged := make([]int32, 0, n)
+		heads := make([]int, par)
+		copy(heads, bounds[:par])
+		for len(merged) < n {
+			best := -1
+			for w := 0; w < par; w++ {
+				if heads[w] == bounds[w+1] {
+					continue
+				}
+				if best < 0 || less(idx[heads[w]], idx[heads[best]]) {
+					best = w
+				}
+			}
+			merged = append(merged, idx[heads[best]])
+			heads[best]++
+		}
+		idx = merged
+	}
+	out := make([]Value, 0, len(r.Data))
+	for _, i := range idx {
+		out = append(out, r.Row(int(i))...)
+	}
+	r.Data = out
 }

@@ -94,6 +94,47 @@ func allNodes(n int) []int {
 	return out
 }
 
+// parRangeMin is the row count below which range-splitting a loop is not
+// worth the goroutine overhead.
+const parRangeMin = 2048
+
+// leftoverPar divides a worker budget among width concurrent tasks: the
+// row-range parallelism each task may use on top without oversubscribing
+// the pool (at least 1).
+func leftoverPar(par, width int) int {
+	if width < 1 {
+		width = 1
+	}
+	if rp := par / width; rp > 1 {
+		return rp
+	}
+	return 1
+}
+
+// parRanges splits [0,n) into up to par contiguous ranges and runs f on them
+// concurrently. f must only touch state disjoint between ranges (and only
+// read shared state); there is no error path — callers needing cancellation
+// check their context around the call.
+func parRanges(par, n int, f func(lo, hi int)) {
+	if par <= 1 || n < parRangeMin {
+		f(0, n)
+		return
+	}
+	if par > n {
+		par = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		lo, hi := w*n/par, (w+1)*n/par
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
 // edgeKey renders a sorted variable set as the cache key of its λ-edge
 // relation.
 func edgeKey(names []string) string { return strings.Join(names, "\x00") }
@@ -244,56 +285,126 @@ func (r *run) bool_(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
+// pairGroup is the data-dependent grouping of one parent-child edge of the
+// counting DP: each side's rows mapped to dense key slots over the shared
+// columns. Building a grouping does all the hashing of the count-join once;
+// recomputing a DP vector afterwards is pure array arithmetic, so the
+// incremental re-run and the parallel sweep touch no hash tables. Groupings
+// depend only on the two relations (never on the DP values), which makes
+// them independent across ALL pairs — even a path-shaped decomposition
+// parallelises — and lets the incremental path detect staleness by pointer.
+type pairGroup struct {
+	uRel, cRel *Relation
+	slots      int
+	uSlot      []int32 // node row → key slot, -1 when no child row shares the key
+	cSlot      []int32 // child row → key slot
+}
+
+// buildPairGroup groups one (node, child) pair by the shared join columns.
+// The child side builds the key map; the node side probes it read-only, so
+// the probe scan splits over row ranges on up to rowPar workers.
+func buildPairGroup(p *Plan, u, k int, uRel, cRel *Relation, rowPar int) pairGroup {
+	cj := p.childJoins[u][k]
+	g := pairGroup{uRel: uRel, cRel: cRel}
+	m := storage.NewTupleMap(len(cj.cPos), cRel.Len())
+	buf := make([]Value, len(cj.cPos))
+	g.cSlot = make([]int32, cRel.Len())
+	for i := 0; i < cRel.Len(); i++ {
+		row := cRel.Row(i)
+		for j, x := range cj.cPos {
+			buf[j] = row[x]
+		}
+		slot, _ := m.Insert(buf)
+		g.cSlot[i] = slot
+	}
+	g.slots = m.Len()
+	g.uSlot = make([]int32, uRel.Len())
+	parRanges(rowPar, uRel.Len(), func(lo, hi int) {
+		pb := make([]Value, len(cj.uPos))
+		for i := lo; i < hi; i++ {
+			row := uRel.Row(i)
+			for j, x := range cj.uPos {
+				pb[j] = row[x]
+			}
+			g.uSlot[i] = m.Find(pb)
+		}
+	})
+	return g
+}
+
 // nodeCountVector computes the counting-DP vector of one node (Pichler &
 // Skritek, Proposition 4.14): every tuple of the node's relation carries the
 // number of extensions to the variables introduced strictly below it; counts
-// multiply across children and sum across matching child tuples. Grouping
-// runs on integer tuple keys with exact collision handling. The vectors of
-// all children must already be present in counts.
-func nodeCountVector(p *Plan, nodeRels []*Relation, counts [][]int64, u int) []int64 {
-	rel := nodeRels[u]
+// multiply across children and sum across matching child tuples. The
+// groupings must have been built for this node's relation; the vectors of
+// all children must already be present in counts. With rowPar > 1 the
+// multiply scan splits over row ranges.
+func nodeCountVector(p *Plan, u int, rel *Relation, groups []pairGroup, counts [][]int64, rowPar int) []int64 {
 	cnt := make([]int64, rel.Len())
 	for i := range cnt {
 		cnt[i] = 1
 	}
-	for _, cj := range p.childJoins[u] {
-		crel := nodeRels[cj.child]
-		sum := storage.NewTupleMap(len(cj.cPos), crel.Len())
-		buf := make([]Value, len(cj.cPos))
-		for i := 0; i < crel.Len(); i++ {
-			row := crel.Row(i)
-			for j, x := range cj.cPos {
-				buf[j] = row[x]
-			}
-			sum.Add(buf, counts[cj.child][i])
+	for k, cj := range p.childJoins[u] {
+		g := &groups[k]
+		sums := make([]int64, g.slots)
+		ccnt := counts[cj.child]
+		for i, s := range g.cSlot {
+			sums[s] += ccnt[i]
 		}
-		for i := 0; i < rel.Len(); i++ {
-			row := rel.Row(i)
-			for j, x := range cj.uPos {
-				buf[j] = row[x]
+		parRanges(rowPar, len(cnt), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if s := g.uSlot[i]; s < 0 {
+					cnt[i] = 0
+				} else {
+					cnt[i] *= sums[s]
+				}
 			}
-			cnt[i] *= sum.Get(buf)
-		}
+		})
 	}
 	return cnt
 }
 
 // countState is the cached counting DP of a BoundQuery: the per-node vectors
-// (kept so Update can recompute only the subtrees a delta touches) and the
-// total at the root.
+// and per-pair groupings (kept so Update can recompute only the subtrees a
+// delta touches, rebuilding only the groupings whose relations were
+// replaced) and the total at the root.
 type countState struct {
 	counts [][]int64
+	groups [][]pairGroup // indexed parallel to plan.childJoins
 	total  int64
 }
 
-// buildCountState runs the counting DP bottom-up over all nodes.
-func buildCountState(ctx context.Context, p *Plan, nodeRels []*Relation) (*countState, error) {
-	cs := &countState{counts: make([][]int64, p.d.Nodes())}
-	for _, u := range p.order {
-		if err := ctx.Err(); err != nil {
+// buildCountState runs the counting DP bottom-up over all nodes. With
+// par > 1, the hash-heavy grouping pass fans out over every parent-child
+// pair of the tree (pairs are independent regardless of tree shape) and the
+// cheap vector walk runs level-parallel across sibling subtrees, splitting
+// over row ranges when a level has a single node.
+func buildCountState(ctx context.Context, p *Plan, nodeRels []*Relation, par int) (*countState, error) {
+	cs := &countState{counts: make([][]int64, p.d.Nodes()), groups: make([][]pairGroup, p.d.Nodes())}
+	for u := range cs.groups {
+		if n := len(p.childJoins[u]); n > 0 {
+			cs.groups[u] = make([]pairGroup, n)
+		}
+	}
+	rowPar := leftoverPar(par, len(p.countPairs))
+	err := parForEach(ctx, par, allNodes(len(p.countPairs)), func(i int) error {
+		pr := p.countPairs[i]
+		child := p.childJoins[pr.u][pr.k].child
+		cs.groups[pr.u][pr.k] = buildPairGroup(p, pr.u, pr.k, nodeRels[pr.u], nodeRels[child], rowPar)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, level := range p.levels {
+		rp := leftoverPar(par, len(level))
+		err := parForEach(ctx, par, level, func(u int) error {
+			cs.counts[u] = nodeCountVector(p, u, nodeRels[u], cs.groups[u], cs.counts, rp)
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		cs.counts[u] = nodeCountVector(p, nodeRels, cs.counts, u)
 	}
 	for _, c := range cs.counts[p.d.Root()] {
 		cs.total += c
@@ -304,7 +415,7 @@ func buildCountState(ctx context.Context, p *Plan, nodeRels []*Relation) (*count
 // count computes |q(D)| for a full CQ by dynamic programming over the
 // decomposition (Proposition 4.14).
 func (r *run) count(ctx context.Context) (int64, error) {
-	cs, err := buildCountState(ctx, r.plan, r.nodeRels)
+	cs, err := buildCountState(ctx, r.plan, r.nodeRels, r.par)
 	if err != nil {
 		return 0, err
 	}
@@ -410,14 +521,16 @@ func buildEnumState(p *Plan, rels []*Relation) *enumState {
 	return es
 }
 
-// enumerate streams every solution of the full CQ without materialising the
-// join. It assumes the relations behind the state are fully reduced: then
-// every node tuple participates in a solution and the backtracking search
-// below never dead-ends, so the delay between consecutive yields is bounded
-// by the tree size. yield receives the assignment as values indexed parallel
-// to plan.Vars(); the slice is reused between calls. Returning false from
-// yield stops the enumeration early (enumerate then returns nil).
-func (es *enumState) enumerate(ctx context.Context, yield func(row []Value) bool) error {
+// enumerateRange streams the solutions whose root tuple index lies in
+// [rootLo, rootHi), in root-index order. It assumes the relations behind the
+// state are fully reduced: then every node tuple participates in a solution
+// and the backtracking search below never dead-ends, so the delay between
+// consecutive yields is bounded by the tree size. yield receives the
+// assignment as values indexed parallel to plan.Vars(); the slice is reused
+// between calls. Returning false from yield stops the enumeration early
+// (enumerateRange then returns nil). The state is never written, so any
+// number of ranges may run concurrently over one enumState.
+func (es *enumState) enumerateRange(ctx context.Context, rootLo, rootHi int, yield func(row []Value) bool) error {
 	p := es.plan
 	if p.d.Nodes() == 0 {
 		return nil
@@ -446,7 +559,7 @@ func (es *enumState) enumerate(ctx context.Context, yield func(row []Value) bool
 		}
 		u := es.pre[i]
 		en := es.nodes[u]
-		n := en.rel.Len()
+		start, n := 0, en.rel.Len()
 		var rows []int32
 		if en.idx != nil {
 			kb := keyBuf[:len(en.sharedVid)]
@@ -455,8 +568,12 @@ func (es *enumState) enumerate(ctx context.Context, yield func(row []Value) bool
 			}
 			rows = en.idx.Lookup(kb)
 			n = len(rows)
+		} else if i == 0 {
+			// The root has no parent-shared columns, so its scan is the full
+			// relation — exactly the loop the range partition bounds.
+			start, n = rootLo, rootHi
 		}
-		for ri := 0; ri < n; ri++ {
+		for ri := start; ri < n; ri++ {
 			if stop {
 				return nil
 			}
@@ -477,12 +594,188 @@ func (es *enumState) enumerate(ctx context.Context, yield func(row []Value) bool
 	return rec(0)
 }
 
+// enumerate streams every solution of the full CQ without materialising the
+// join. With par ≤ 1 (or a root too small to split) it is the classic
+// sequential bounded-delay enumeration. With par > 1 the root relation is
+// range-partitioned into par contiguous chunks, one bounded-delay producer
+// runs per chunk down the decomposition, and the streams merge back into the
+// single yield: in arrival order by default, or in root-index order — i.e.
+// exactly the sequential order — when ordered is set (WithDeterministicOrder).
+func (es *enumState) enumerate(ctx context.Context, par int, ordered bool, yield func(row []Value) bool) error {
+	if es.plan.d.Nodes() == 0 {
+		return nil
+	}
+	rootN := es.nodes[es.pre[0]].rel.Len()
+	if par <= 1 || rootN < 2 {
+		return es.enumerateRange(ctx, 0, rootN, yield)
+	}
+	return es.enumerateParallel(ctx, par, ordered, rootN, yield)
+}
+
+// enumBatch is one producer→merger handoff of the parallel enumeration: a
+// flat block of up to enumBatchRows output rows. rows is explicit because
+// solutions may be zero-width.
+type enumBatch struct {
+	rows int
+	data []Value
+}
+
+// enumBatchRows is the producer batch size: small enough to keep the delay
+// between yields bounded, large enough to amortise the channel handoff.
+const enumBatchRows = 64
+
+// enumerateParallel fans the root scan out over par chunk producers and
+// merges their batches into the caller's yield. All channels are bounded, an
+// early stop (yield returning false) or a context cancellation tears the
+// pool down, and the function returns only after every producer goroutine
+// has exited — nothing leaks, whichever way the enumeration ends.
+func (es *enumState) enumerateParallel(ctx context.Context, par int, ordered bool, rootN int, yield func(row []Value) bool) error {
+	if par > rootN {
+		par = rootN
+	}
+	width := len(es.plan.qvars)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	// produce streams one chunk into send, batching rows. send reports false
+	// when the pool is being torn down.
+	produce := func(lo, hi int, send func(enumBatch) bool) {
+		b := enumBatch{data: make([]Value, 0, enumBatchRows*width)}
+		flush := func() bool {
+			if b.rows == 0 {
+				return true
+			}
+			if !send(b) {
+				return false
+			}
+			b = enumBatch{data: make([]Value, 0, enumBatchRows*width)}
+			return true
+		}
+		err := es.enumerateRange(wctx, lo, hi, func(row []Value) bool {
+			b.data = append(b.data, row...)
+			b.rows++
+			if b.rows >= enumBatchRows {
+				return flush()
+			}
+			return true
+		})
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			cancel()
+			return
+		}
+		flush()
+	}
+	// drain hands one received batch to yield; it reports whether the merge
+	// should continue.
+	stopped := false
+	drain := func(b enumBatch) bool {
+		for r := 0; r < b.rows; r++ {
+			if !yield(b.data[r*width : r*width+width]) {
+				stopped = true
+				cancel()
+				return false
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			cancel()
+			return false
+		}
+		return true
+	}
+
+	if ordered {
+		// One bounded channel per chunk, closed by its producer; the merger
+		// consumes the chunks in root-index order, which reproduces the
+		// sequential order exactly. Producers of later chunks fill their
+		// buffers and block until their turn; cancellation unblocks them.
+		chans := make([]chan enumBatch, par)
+		for w := range chans {
+			chans[w] = make(chan enumBatch, 4)
+		}
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer close(chans[w])
+				produce(w*rootN/par, (w+1)*rootN/par, func(b enumBatch) bool {
+					select {
+					case chans[w] <- b:
+						return true
+					case <-wctx.Done():
+						return false
+					}
+				})
+			}(w)
+		}
+		merging := true
+		for w := 0; w < par && merging; w++ {
+			for b := range chans[w] {
+				if merging && !drain(b) {
+					merging = false
+				}
+			}
+		}
+		cancel()
+		wg.Wait()
+	} else {
+		// One shared bounded channel: batches merge in arrival order. The
+		// channel closes once every producer has exited, so the merge loop
+		// below always terminates and doubles as the teardown drain.
+		ch := make(chan enumBatch, par*2)
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				produce(w*rootN/par, (w+1)*rootN/par, func(b enumBatch) bool {
+					select {
+					case ch <- b:
+						return true
+					case <-wctx.Done():
+						return false
+					}
+				})
+			}(w)
+		}
+		go func() {
+			wg.Wait()
+			close(ch)
+		}()
+		merging := true
+		for b := range ch {
+			if merging && !drain(b) {
+				merging = false
+			}
+		}
+		wg.Wait()
+	}
+
+	if stopped {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}
+
 // enumerate builds the enumeration state over this run's node relations and
 // streams the solutions (see enumState.enumerate). The bound API builds the
 // state once instead and reuses it across calls.
-func (r *run) enumerate(ctx context.Context, yield func(row []Value) bool) error {
+func (r *run) enumerate(ctx context.Context, ordered bool, yield func(row []Value) bool) error {
 	if r.plan.d.Nodes() == 0 {
 		return nil
 	}
-	return buildEnumState(r.plan, r.nodeRels).enumerate(ctx, yield)
+	return buildEnumState(r.plan, r.nodeRels).enumerate(ctx, r.par, ordered, yield)
 }

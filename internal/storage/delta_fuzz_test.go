@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+// FuzzDeltaScript decodes arbitrary bytes into a script of insert/delete
+// deltas over a small fixed schema and applies it step by step, checking the
+// DB.Apply invariants after every delta:
+//
+//   - the snapshot agrees with a from-scratch Compile of a plain-database
+//     mirror maintained by Delta.ApplyToDatabase (set semantics and
+//     deletes-first, via the single source of truth);
+//   - a tuple listed in both Delete and Insert ends up present
+//     (deletes-first, checked directly);
+//   - no table ever holds a duplicate tuple (set semantics);
+//   - every relation the delta does not touch — and every touched relation
+//     whose content does not actually change — keeps its Table pointer
+//     (the dirtiness protocol of BoundQuery.Rebind depends on it);
+//   - the parent snapshot's tables are bit-identical afterwards
+//     (copy-on-write: Apply never mutates the receiver).
+func FuzzDeltaScript(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 1}) // one insert into R
+	f.Add([]byte{0x00, 1}) // one delete from R
+	// Insert and delete the same S tuple inside one delta (deletes-first).
+	f.Add([]byte{0x02, 3, 4, 0x43, 3, 4})
+	// Two deltas: T insert, then the same T tuple deleted.
+	f.Add([]byte{0x45, 0, 1, 2, 0x44, 0, 1, 2})
+	f.Add([]byte{0x01, 9, 0x41, 9, 0x03, 9, 9, 0x05, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		relNames := []string{"R", "S", "T"}
+		arity := map[string]int{"R": 1, "S": 2, "T": 3}
+		initial := cq.Database{}
+		initial.Add("R", "c0")
+		initial.Add("S", "c0", "c1")
+		initial.Add("S", "c1", "c2")
+		initial.Add("T", "c0", "c1", "c2")
+		cur, err := Compile(initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror := initial.Clone()
+
+		// Decode: each op is one tag byte (bit0 insert/delete, bits1-2 the
+		// relation, bit6 delta boundary) followed by arity constant bytes.
+		const maxOps = 48
+		delta := NewDelta()
+		ops := 0
+		for i := 0; i < len(script) && ops < maxOps; {
+			tag := script[i]
+			i++
+			rel := relNames[int(tag>>1)%len(relNames)]
+			k := arity[rel]
+			if i+k > len(script) {
+				break
+			}
+			tuple := make([]string, k)
+			for j := 0; j < k; j++ {
+				tuple[j] = fmt.Sprintf("c%d", script[i+j]%8)
+			}
+			i += k
+			if tag&1 == 1 {
+				delta.Add(rel, tuple...)
+			} else {
+				delta.Remove(rel, tuple...)
+			}
+			ops++
+			if tag&0x40 != 0 {
+				cur, mirror = applyAndCheck(t, cur, mirror, delta)
+				delta = NewDelta()
+			}
+		}
+		applyAndCheck(t, cur, mirror, delta)
+	})
+}
+
+// applyAndCheck applies one delta to the snapshot and the mirror and runs
+// every invariant check, returning the new pair.
+func applyAndCheck(t *testing.T, cur *DB, mirror cq.Database, delta *Delta) (*DB, cq.Database) {
+	t.Helper()
+	prevTuples := map[string]map[string]int{}
+	for _, name := range cur.Relations() {
+		prevTuples[name] = tableTuples(cur.Table(name), cur.Dict)
+	}
+	next, err := cur.Apply(delta)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	oldMirror := mirror.Clone()
+	delta.ApplyToDatabase(mirror)
+
+	// Copy-on-write: the parent snapshot is untouched.
+	for _, name := range cur.Relations() {
+		if got := tableTuples(cur.Table(name), cur.Dict); !tuplesEqual(got, prevTuples[name]) {
+			t.Fatalf("Apply mutated the parent snapshot's relation %s", name)
+		}
+	}
+
+	// Agreement with a from-scratch compile of the mirror, and set
+	// semantics (no duplicate rows anywhere).
+	rec, err := Compile(mirror)
+	if err != nil {
+		t.Fatalf("Compile(mirror): %v", err)
+	}
+	names := map[string]bool{}
+	for _, n := range next.Relations() {
+		names[n] = true
+	}
+	for _, n := range rec.Relations() {
+		names[n] = true
+	}
+	for name := range names {
+		got := tableTuples(next.Table(name), next.Dict)
+		want := tableTuples(rec.Table(name), rec.Dict)
+		if !tuplesEqual(got, want) {
+			t.Fatalf("relation %s: snapshot %v, recompiled mirror %v (delta %v/%v)",
+				name, keys(got), keys(want), delta.Insert, delta.Delete)
+		}
+		for tuple, n := range got {
+			if n > 1 {
+				t.Fatalf("relation %s holds tuple %q %d times — tables must be sets", name, tuple, n)
+			}
+		}
+	}
+
+	// Deletes-first: a tuple in both halves of the delta ends up present.
+	for rel, ins := range delta.Insert {
+		for _, tuple := range ins {
+			both := false
+			for _, del := range delta.Delete[rel] {
+				if slices.Equal(tuple, del) {
+					both = true
+					break
+				}
+			}
+			if !both {
+				continue
+			}
+			got := tableTuples(next.Table(rel), next.Dict)
+			if got[tupleKey(tuple)] == 0 {
+				t.Fatalf("tuple %v in both Delete and Insert of %s must survive (deletes apply first)", tuple, rel)
+			}
+		}
+	}
+
+	// Pointer stability: untouched relations always keep their Table, and
+	// touched relations the delta does not actually change (every delete
+	// absent, every insert already present) keep it too. A delete-and-
+	// reinsert of a present tuple counts as a change even though the net
+	// content is equal — the predicate mirrors applyToTable's exactly.
+	touched := map[string]bool{}
+	for _, rel := range delta.Relations() {
+		touched[rel] = true
+	}
+	for name := range names {
+		if !touched[name] {
+			if next.Table(name) != cur.Table(name) {
+				t.Fatalf("untouched relation %s got a new Table pointer", name)
+			}
+			continue
+		}
+		if !deltaChanges(oldMirror[name], delta.Insert[name], delta.Delete[name]) &&
+			next.Table(name) != cur.Table(name) {
+			t.Fatalf("relation %s was touched but unchanged, yet its Table pointer moved", name)
+		}
+	}
+	return next, mirror
+}
+
+// deltaChanges reports whether applying the inserts and deletes (deletes
+// first, set semantics) actually changes the relation: some delete hits a
+// present tuple or some insert lands on an absent one.
+func deltaChanges(old [][]string, inserts, deletes [][]string) bool {
+	present := map[string]bool{}
+	for _, t := range old {
+		present[tupleKey(t)] = true
+	}
+	changed := false
+	for _, t := range deletes {
+		if present[tupleKey(t)] {
+			changed = true
+			delete(present, tupleKey(t))
+		}
+	}
+	for _, t := range inserts {
+		if !present[tupleKey(t)] {
+			changed = true
+			present[tupleKey(t)] = true
+		}
+	}
+	return changed
+}
+
+// tableTuples renders a table's rows as a multiset of decoded tuples (nil
+// table = empty).
+func tableTuples(tb *Table, d *Dict) map[string]int {
+	out := map[string]int{}
+	if tb == nil {
+		return out
+	}
+	for i := 0; i < tb.Rows(); i++ {
+		row := tb.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = d.Name(v)
+		}
+		out[strings.Join(parts, "\x00")]++
+	}
+	return out
+}
+
+func tupleKey(tuple []string) string { return strings.Join(tuple, "\x00") }
+
+func tuplesEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, strings.ReplaceAll(k, "\x00", ","))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -38,6 +38,13 @@ type TupleMap struct {
 	mask  uint64
 	keys  []Value // slot i occupies keys[i*k : (i+1)*k]
 	vals  []int64
+
+	// nonpos counts the slots whose payload is ≤ 0. For support-count maps
+	// those slots are tombstones — tuples whose derivations all went away —
+	// and the counter lets Compact trigger without a scan. Maintained by
+	// Insert (a fresh slot starts at 0) and Add (sign crossings); membership
+	// uses that never call Add simply see it equal Len.
+	nonpos int
 }
 
 // minTableSize keeps the probe table a power of two.
@@ -86,13 +93,36 @@ func (m *TupleMap) Val(slot int32) int64 { return m.vals[slot] }
 // nothing mutable: the flat slices are copied outright.
 func (m *TupleMap) Clone() *TupleMap {
 	return &TupleMap{
-		k:     m.k,
-		hash:  m.hash,
-		table: slices.Clone(m.table),
-		mask:  m.mask,
-		keys:  slices.Clone(m.keys),
-		vals:  slices.Clone(m.vals),
+		k:      m.k,
+		hash:   m.hash,
+		table:  slices.Clone(m.table),
+		mask:   m.mask,
+		keys:   slices.Clone(m.keys),
+		vals:   slices.Clone(m.vals),
+		nonpos: m.nonpos,
 	}
+}
+
+// Tombstones returns the number of slots whose payload is ≤ 0 — for a
+// support-count map, the tuples that no longer have any derivation but still
+// occupy storage.
+func (m *TupleMap) Tombstones() int { return m.nonpos }
+
+// Compact returns a new map holding only the slots with positive payloads,
+// in slot order, so the relative order of surviving tuples — and therefore
+// any relation listed off the map — is unchanged. Long delete-heavy update
+// streams call it once tombstones dominate, bounding the map to the live
+// tuples instead of every tuple ever seen.
+func (m *TupleMap) Compact() *TupleMap {
+	out := NewTupleMap(m.k, m.Len()-m.nonpos)
+	out.hash = m.hash
+	for slot := int32(0); int(slot) < m.Len(); slot++ {
+		if m.vals[slot] <= 0 {
+			continue
+		}
+		out.Add(m.Key(slot), m.vals[slot])
+	}
+	return out
 }
 
 func (m *TupleMap) equalAt(slot int32, key []Value) bool {
@@ -147,6 +177,7 @@ func (m *TupleMap) Insert(key []Value) (slot int32, isNew bool) {
 			slot = int32(len(m.vals))
 			m.keys = append(m.keys, key...)
 			m.vals = append(m.vals, 0)
+			m.nonpos++
 			m.table[i] = slot + 1
 			return slot, true
 		}
@@ -161,7 +192,14 @@ func (m *TupleMap) Insert(key []Value) (slot int32, isNew bool) {
 // absent.
 func (m *TupleMap) Add(key []Value, delta int64) {
 	slot, _ := m.Insert(key)
-	m.vals[slot] += delta
+	old := m.vals[slot]
+	now := old + delta
+	m.vals[slot] = now
+	if old <= 0 && now > 0 {
+		m.nonpos--
+	} else if old > 0 && now <= 0 {
+		m.nonpos++
+	}
 }
 
 // Get returns the tuple's payload (0 if absent).

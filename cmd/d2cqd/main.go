@@ -1,0 +1,326 @@
+// Command d2cqd serves live conjunctive queries over HTTP/JSON: it owns an
+// evolving database behind a live.Store, registers queries on demand, absorbs
+// update streams through the coalescing ingestion pipeline, and pushes
+// result-change notifications to watchers over Server-Sent Events.
+//
+// Usage:
+//
+//	d2cqd [-addr 127.0.0.1:8344] [-db file] [-max-batch 256] [-max-latency 25ms] [-buffer 16] [-parallelism n]
+//
+// Endpoints:
+//
+//	POST /query   {"name":"paths","query":"R(x,y), S(y,z)","limit":10}
+//	              registers the named query (idempotent) and returns its
+//	              vars, count and — when limit is non-zero — up to limit
+//	              solution rows (limit < 0: all).
+//	POST /update  {"insert":{"R":[["a","b"]]},"delete":{"S":[["c","d"]]}}
+//	              submits one delta to the ingestion pipeline (coalesced,
+//	              applied within max-latency). With ?sync=1 the batch is
+//	              flushed before responding.
+//	GET  /watch?query=paths
+//	              an SSE stream: one "snapshot" event with the current
+//	              count, then one "change" event per flush that changed the
+//	              result, carrying the exact added/removed tuples.
+//	GET  /stats   store + engine counters as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/engine"
+	"d2cq/internal/live"
+	"d2cq/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "d2cqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("d2cqd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free one)")
+	dbPath := fs.String("db", "", "initial database file, one ground atom per line (empty: start with an empty database)")
+	maxBatch := fs.Int("max-batch", 0, "flush the coalesced batch at this many pending tuples (0: default 256)")
+	maxLatency := fs.Duration("max-latency", 0, "flush the coalesced batch at the latest this long after the first pending tuple (0: default 25ms)")
+	buffer := fs.Int("buffer", 0, "per-watcher notification buffer before drops (0: default 16)")
+	parallelism := fs.Int("parallelism", 0, "engine worker pool for evaluation passes (0/1: sequential, -1: one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db := cq.Database{}
+	if *dbPath != "" {
+		data, err := os.ReadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		if db, err = cq.ParseDatabaseString(string(data)); err != nil {
+			return err
+		}
+	}
+	var opts []engine.Option
+	if *parallelism != 0 {
+		opts = append(opts, engine.WithParallelism(*parallelism))
+	}
+	store, err := live.NewStore(context.Background(), engine.NewEngine(opts...),
+		db, live.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency, Buffer: *buffer})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "d2cqd listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: newServer(store)}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		store.Close()
+		return err
+	case <-stop:
+		fmt.Fprintln(out, "d2cqd shutting down")
+		// Close the store first: that closes every subscription channel,
+		// which is what makes the in-flight /watch handlers return —
+		// srv.Shutdown alone would wait its full timeout on them (it never
+		// cancels in-flight request contexts).
+		cerr := store.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err == nil {
+			err = cerr
+		}
+		return err
+	}
+}
+
+// server routes the HTTP API onto one live.Store.
+type server struct {
+	store *live.Store
+	mux   *http.ServeMux
+}
+
+// newServer returns the daemon's HTTP handler over the given store — the
+// seam the integration tests drive without a process boundary.
+func newServer(store *live.Store) http.Handler {
+	s := &server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/watch", s.handleWatch)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s.mux
+}
+
+// httpError renders an error as a JSON body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// Limit asks for solution rows too: > 0 caps them, < 0 returns all,
+	// 0 returns the count only.
+	Limit int `json:"limit"`
+}
+
+type queryResponse struct {
+	live.QueryInfo
+	Rows [][]string `json:"rows,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" || req.Query == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("name and query are required"))
+		return
+	}
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.Register(r.Context(), req.Name, q); err != nil {
+		status := http.StatusBadRequest // compilation/width failures
+		switch {
+		case errors.Is(err, live.ErrQueryConflict):
+			status = http.StatusConflict
+		case errors.Is(err, live.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	info, err := s.store.Info(req.Name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := queryResponse{QueryInfo: info}
+	if req.Limit != 0 {
+		rows, _, err := s.store.Solutions(r.Context(), req.Name, req.Limit)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Rows = rows
+	}
+	writeJSON(w, resp)
+}
+
+// updateRequest is the POST /update body — the JSON mirror of a
+// storage.Delta (deletes apply first, set semantics).
+type updateRequest struct {
+	Insert map[string][][]string `json:"insert"`
+	Delete map[string][][]string `json:"delete"`
+}
+
+type updateResponse struct {
+	Version       uint64 `json:"version"`
+	PendingTuples int    `json:"pending_tuples"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	delta := &storage.Delta{Insert: req.Insert, Delete: req.Delete}
+	if err := s.store.Submit(delta); err != nil {
+		status := http.StatusBadRequest // arity validation
+		if errors.Is(err, live.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	if r.URL.Query().Get("sync") != "" {
+		if err := s.store.Flush(r.Context()); err != nil {
+			// Not necessarily this caller's fault: the flushed batch may
+			// carry other submitters' tuples (this delta already passed
+			// Submit validation above).
+			status := http.StatusInternalServerError
+			if errors.Is(err, live.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err)
+			return
+		}
+	}
+	st := s.store.Stats()
+	writeJSON(w, updateResponse{Version: st.Version, PendingTuples: st.PendingTuples})
+}
+
+// snapshotEvent is the first SSE event of a watch stream: where the
+// subscriber starts from.
+type snapshotEvent struct {
+	Query   string   `json:"query"`
+	Version uint64   `json:"version"`
+	Count   int64    `json:"count"`
+	Vars    []string `json:"vars"`
+}
+
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	name := r.URL.Query().Get("query")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("query parameter is required"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	// Subscribe before reading the snapshot: a flush between the two at
+	// worst duplicates a change into the snapshot, never loses one.
+	sub, err := s.store.Watch(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer sub.Cancel()
+	info, err := s.store.Info(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	event := func(kind string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !event("snapshot", snapshotEvent{Query: info.Name, Version: info.Version, Count: info.Count, Vars: info.Vars}) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case n, ok := <-sub.C:
+			if !ok {
+				return // store closed
+			}
+			if !event("change", n) {
+				return
+			}
+		}
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.Stats())
+}

@@ -22,6 +22,12 @@
 // the sequential level. Results across levels are cross-checked against a
 // sequential scout pass. num_cpu/gomaxprocs are recorded alongside — on a
 // single-CPU host the sweep measures overhead, not speedup.
+//
+// With -coalesce k the run benchmarks batched ingestion: the same stream of
+// single-tuple deltas (as many rounds as -updates, default 64) is applied
+// once as one Update per delta and once as one Update per Delta.Merge batch
+// of k, timing both, reporting the engine Rebind counts, and cross-checking
+// that the two paths land on identical results.
 package main
 
 import (
@@ -61,6 +67,7 @@ type report struct {
 	Eval      *evalReport            `json:"eval,omitempty"`
 	Updates   *updatesReport         `json:"updates,omitempty"`
 	Parallel  *parallelReport        `json:"parallel,omitempty"`
+	Coalesce  *coalesceReport        `json:"coalesce,omitempty"`
 }
 
 type evalReport struct {
@@ -85,6 +92,7 @@ func run(args []string, out io.Writer) error {
 	csv := fs.String("csv", "", "also write the per-instance census to this CSV file")
 	evalWidth := fs.Int("evalwidth", 0, "also prepare & evaluate the canonical BCQ of every corpus entry up to this plan width (0 = skip)")
 	updates := fs.Int("updates", 0, "also benchmark incremental maintenance: time this many single-tuple update rounds per sampled entry, Update vs CompileDB+Bind (0 = skip)")
+	coalesce := fs.Int("coalesce", 0, "also benchmark coalesced ingestion: apply the single-tuple delta stream (as many rounds as -updates, default 64) once per delta and once per Delta.Merge batch of this size (0 = skip)")
 	parallel := fs.String("parallel", "", "also sweep WithParallelism over these comma-separated worker counts (e.g. 1,2,4,8), timing Bind, Count and EnumerateAll per level (empty = skip)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of the human tables")
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +147,13 @@ func run(args []string, out io.Writer) error {
 			}
 			rep.Parallel = pr
 		}
+		if *coalesce > 0 {
+			cr, err := coalesceBench(io.Discard, c, coalesceRounds(*updates), *coalesce, false)
+			if err != nil {
+				return err
+			}
+			rep.Coalesce = cr
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
@@ -163,7 +178,21 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *coalesce > 0 {
+		if _, err := coalesceBench(out, c, coalesceRounds(*updates), *coalesce, true); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// coalesceRounds derives the delta-stream length of the coalesce benchmark
+// from the -updates flag (its default when -updates is off).
+func coalesceRounds(updates int) int {
+	if updates > 0 {
+		return updates
+	}
+	return 64
 }
 
 // parseParallelLevels parses the -parallel flag: a comma-separated list of
@@ -388,6 +417,160 @@ func updatesBench(out io.Writer, c *hyperbench.Corpus, rounds int, human bool) (
 	if human {
 		fmt.Fprintf(out, "%d single-tuple updates: incremental %.1fms, recompile %.1fms — %.1f× speedup (%d spot checks passed)\n",
 			rep.Rounds, rep.IncrementalMS, rep.RecompileMS, rep.Speedup, rep.Checked)
+	}
+	return rep, nil
+}
+
+// coalesceReport records the batched-ingestion benchmark: the same
+// single-tuple delta stream applied one Update per delta versus one Update
+// per Delta.Merge batch, with the engine Rebind counters proving the batch
+// path pays one maintenance pass per batch instead of per delta.
+type coalesceReport struct {
+	Entries          int     `json:"entries"`
+	Rounds           int     `json:"rounds"`
+	Batch            int     `json:"batch"`
+	TuplesPerEdge    int     `json:"tuples_per_edge"`
+	PerDeltaMS       float64 `json:"per_delta_ms"`
+	PerDeltaRebinds  uint64  `json:"per_delta_rebinds"`
+	CoalescedMS      float64 `json:"coalesced_ms"`
+	CoalescedRebinds uint64  `json:"coalesced_rebinds"`
+	Speedup          float64 `json:"speedup"`
+	Checked          int     `json:"checked"`
+}
+
+// coalesceDeleteLag is how many rounds after its insertion a tuple is
+// deleted in the coalesce benchmark stream: odd (so the lagged round is an
+// insert round) and larger than the default batch of 8 (so the pair spans a
+// batch boundary instead of cancelling inside one).
+const coalesceDeleteLag = 9
+
+// coalesceBench replays one recorded stream of single-tuple deltas per
+// sampled entry through two engines: the per-delta path calls
+// BoundQuery.Update once per delta (one Apply + one Rebind each), the
+// coalesced path folds every `batch` consecutive deltas into one with
+// Delta.Merge and Updates once per batch. Both paths are timed end to end
+// and must land on identical solution counts per entry (checked outside the
+// timed windows).
+func coalesceBench(out io.Writer, c *hyperbench.Corpus, rounds, batch int, human bool) (*coalesceReport, error) {
+	ctx := context.Background()
+	perEng := d2cq.NewEngine(d2cq.WithMaxWidth(updatesBenchMaxWidth), d2cq.WithNaiveFallback())
+	batchEng := d2cq.NewEngine(d2cq.WithMaxWidth(updatesBenchMaxWidth), d2cq.WithNaiveFallback())
+	entries := c.Entries
+	if len(entries) > updatesEntryCap {
+		sampled := make([]hyperbench.Entry, 0, updatesEntryCap)
+		for i := 0; i < updatesEntryCap; i++ {
+			sampled = append(sampled, entries[i*len(entries)/updatesEntryCap])
+		}
+		entries = sampled
+	}
+	if human {
+		fmt.Fprintf(out, "\n=== coalesced ingestion (%d entries × %d single-tuple deltas, batches of %d, %d tuples/edge) ===\n",
+			len(entries), rounds, batch, updatesTuplesPerEdge)
+	}
+	rep := &coalesceReport{Entries: len(entries), Batch: batch, TuplesPerEdge: updatesTuplesPerEdge}
+	var perT, batchT time.Duration
+	for _, e := range entries {
+		inst := reduction.NewInstance(e.H)
+		for edge := 0; edge < e.H.NE(); edge++ {
+			cols := len(e.H.EdgeVertexNames(edge))
+			for t := 0; t < updatesTuplesPerEdge; t++ {
+				row := make([]string, cols)
+				for cix := range row {
+					row[cix] = fmt.Sprintf("c%d", (t*7+cix*13+edge)%updatesConstantPool)
+				}
+				inst.D.Add(e.H.EdgeName(edge), row...)
+			}
+		}
+		// Record the stream once so both paths replay the exact same deltas:
+		// even rounds insert a fresh distinct tuple, odd rounds delete the
+		// tuple inserted coalesceDeleteLag rounds earlier. The lag is odd (so
+		// it points at an insert round) and larger than the default batch, so
+		// an insert and its delete land in different Merge batches — the
+		// coalesced path must do real maintenance work per batch rather than
+		// watching insert/delete pairs cancel into no-ops. (In-batch
+		// cancellation is a legitimate coalescing win, but it is not what
+		// this benchmark measures.)
+		tupleFor := func(r int) (string, []string) {
+			edge := r % e.H.NE()
+			cols := len(e.H.EdgeVertexNames(edge))
+			tuple := make([]string, cols)
+			for cix := range tuple {
+				tuple[cix] = fmt.Sprintf("u%d_%d", r, cix)
+			}
+			return e.H.EdgeName(edge), tuple
+		}
+		deltas := make([]*d2cq.Delta, rounds)
+		for r := 0; r < rounds; r++ {
+			deltas[r] = d2cq.NewDelta()
+			if r%2 == 0 || r < coalesceDeleteLag {
+				rel, tuple := tupleFor(r - r%2) // warm-up odd rounds re-insert (a no-op with real maintenance cost)
+				deltas[r].Add(rel, tuple...)
+			} else {
+				rel, tuple := tupleFor(r - coalesceDeleteLag)
+				deltas[r].Remove(rel, tuple...)
+			}
+		}
+		bind := func(eng *d2cq.Engine) (*d2cq.BoundQuery, error) {
+			prep, err := eng.Prepare(ctx, inst.Q)
+			if err != nil {
+				return nil, err
+			}
+			cdb, err := eng.CompileDB(ctx, inst.D)
+			if err != nil {
+				return nil, err
+			}
+			return prep.Bind(ctx, cdb)
+		}
+		perBound, err := bind(perEng)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		batchBound, err := bind(batchEng)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		start := time.Now()
+		for r, delta := range deltas {
+			if perBound, err = perBound.Update(ctx, delta); err != nil {
+				return nil, fmt.Errorf("%s round %d: per-delta Update: %w", e.Name, r, err)
+			}
+		}
+		perT += time.Since(start)
+		start = time.Now()
+		for lo := 0; lo < len(deltas); lo += batch {
+			merged := d2cq.NewDelta()
+			for _, d := range deltas[lo:min(lo+batch, len(deltas))] {
+				merged.Merge(d)
+			}
+			if batchBound, err = batchBound.Update(ctx, merged); err != nil {
+				return nil, fmt.Errorf("%s batch at %d: coalesced Update: %w", e.Name, lo, err)
+			}
+		}
+		batchT += time.Since(start)
+		rep.Rounds += rounds
+		n1, err := perBound.Count(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: per-delta Count: %w", e.Name, err)
+		}
+		n2, err := batchBound.Count(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: coalesced Count: %w", e.Name, err)
+		}
+		if n1 != n2 {
+			return nil, fmt.Errorf("%s: per-delta Count %d disagrees with coalesced %d", e.Name, n1, n2)
+		}
+		rep.Checked++
+	}
+	rep.PerDeltaMS = float64(perT.Microseconds()) / 1000
+	rep.CoalescedMS = float64(batchT.Microseconds()) / 1000
+	rep.PerDeltaRebinds = perEng.Stats().Rebinds
+	rep.CoalescedRebinds = batchEng.Stats().Rebinds
+	if rep.CoalescedMS > 0 {
+		rep.Speedup = rep.PerDeltaMS / rep.CoalescedMS
+	}
+	if human {
+		fmt.Fprintf(out, "%d deltas: per-delta %.1fms (%d rebinds), coalesced ×%d %.1fms (%d rebinds) — %.1f× (%d entries cross-checked)\n",
+			rep.Rounds, rep.PerDeltaMS, rep.PerDeltaRebinds, batch, rep.CoalescedMS, rep.CoalescedRebinds, rep.Speedup, rep.Checked)
 	}
 	return rep, nil
 }

@@ -153,3 +153,40 @@ func TestRunUpdatesBench(t *testing.T) {
 		t.Errorf("missing updates summary:\n%s", out.String())
 	}
 }
+
+func TestRunCoalesceBench(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-per", "1", "-maxk", "3", "-updates", "16", "-coalesce", "4", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	cr := rep.Coalesce
+	if cr == nil {
+		t.Fatal("coalesce report missing")
+	}
+	if cr.Entries == 0 || cr.Rounds != cr.Entries*16 || cr.Batch != 4 {
+		t.Errorf("stream shape wrong: %+v", cr)
+	}
+	if cr.Checked != cr.Entries {
+		t.Errorf("cross-checked %d of %d entries", cr.Checked, cr.Entries)
+	}
+	// The whole point: one Rebind per batch instead of per delta.
+	if cr.PerDeltaRebinds != uint64(cr.Rounds) {
+		t.Errorf("per-delta rebinds = %d, want %d", cr.PerDeltaRebinds, cr.Rounds)
+	}
+	if cr.CoalescedRebinds != uint64(cr.Rounds/4) {
+		t.Errorf("coalesced rebinds = %d, want %d", cr.CoalescedRebinds, cr.Rounds/4)
+	}
+
+	// Human mode prints the summary line.
+	out.Reset()
+	if err := run([]string{"-per", "1", "-maxk", "3", "-coalesce", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "coalesced ingestion") || !strings.Contains(out.String(), "rebinds") {
+		t.Errorf("missing coalesce summary:\n%s", out.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"d2cq/internal/graph"
 	"d2cq/internal/hyperbench"
 	"d2cq/internal/hypergraph"
+	"d2cq/internal/live"
 	"d2cq/internal/reduction"
 	"d2cq/internal/storage"
 )
@@ -241,8 +242,9 @@ func WithNaiveFallback() EngineOption { return engine.WithNaiveFallback() }
 // pool of n workers (n < 0: one per CPU; n <= 1: sequential): node
 // materialisation, the semijoin passes, the counting DP (groupings fan out
 // over parent-child pairs, vectors over sibling subtrees and row ranges),
-// enumeration (the root relation is range-partitioned into n chunks with one
-// bounded-delay producer each) and incremental maintenance. Partition state
+// enumeration (the root relation is over-split into ~4n chunks the n
+// bounded-delay producers claim dynamically, so skew can't serialise a
+// worker) and incremental maintenance. Partition state
 // lives in the immutable per-snapshot caches, so parallel readers may keep
 // streaming from an old snapshot while Update builds the next one.
 func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
@@ -297,6 +299,41 @@ func NaiveCount(q Query, db Database) (int64, error) { return engine.NaiveCount(
 // value slice is reused between yields; yield returns false to stop early.
 func NaiveEnumerate(q Query, db Database, yield func(Solution) bool) error {
 	return engine.NaiveSolutions(q, db, yield)
+}
+
+// --- live serving ---------------------------------------------------------------
+
+// LiveStore is the serving layer over the incremental engine: it owns an
+// evolving CompiledDB snapshot plus a registry of named bound queries,
+// coalesces Submit-ted Deltas into batched snapshot steps (Delta.Merge →
+// one Apply → one Rebind per query), and pushes result-change notifications
+// to Watch subscribers. cmd/d2cqd serves one over HTTP/JSON with SSE.
+type LiveStore = live.Store
+
+// LiveConfig tunes the ingestion pipeline (MaxBatch/MaxLatency flush
+// triggers) and the per-subscription notification buffer.
+type LiveConfig = live.Config
+
+// LiveStats snapshots a LiveStore's traffic: snapshot version, coalescing
+// counters (TuplesSubmitted vs FlushedTuples), notification/drop counts and
+// the engine stats behind it.
+type LiveStats = live.Stats
+
+// Notification is one result-change event of a watched query: new/previous
+// counts and the exact added/removed solution tuples, with slow-consumer
+// loss surfaced as Lagged.
+type Notification = live.Notification
+
+// Subscription is one Watch registration; receive from C, Cancel to detach.
+type Subscription = live.Subscription
+
+// ErrLiveClosed is returned by operations on a closed LiveStore.
+var ErrLiveClosed = live.ErrClosed
+
+// NewLiveStore compiles db once and starts the store's background flusher.
+// A nil engine gets a fresh default one.
+func NewLiveStore(ctx context.Context, eng *Engine, db Database, cfg LiveConfig) (*LiveStore, error) {
+	return live.NewStore(ctx, eng, db, cfg)
 }
 
 // --- reductions -----------------------------------------------------------------

@@ -68,6 +68,82 @@ func BindCompile(q cq.Query, sdb *storage.DB) (*Instance, error) {
 	return inst, nil
 }
 
+// argPlan resolves one argument position of an atom: either a projection
+// target (a distinct-variable slot to write) or a constant selection.
+type argPlan struct {
+	varPos int   // ≥ 0: distinct-variable slot to write
+	want   Value // varPos < 0: constant the column must equal
+}
+
+// atomMatcher is one atom's term resolution against a dictionary, factored
+// out so both the full table scan of bindAtomRelation and the lineage-driven
+// incremental rebuild share it. The projection of matching rows onto the
+// atom's distinct variables is injective — the tuple plus the atom's
+// constants and repeated variables reconstruct the full row — which is what
+// lets the incremental path translate a table-row delta directly into an
+// atom-relation delta.
+type atomMatcher struct {
+	plans     []argPlan
+	hasRepeat bool
+	buf       []Value
+	ok        bool // false: a constant is unknown to the dictionary — nothing matches
+	constCols []int
+	constVals []Value
+}
+
+// newAtomMatcher resolves a's terms against dict. vars must be a.VarSet().
+func newAtomMatcher(a cq.Atom, vars []string, dict *Dict) *atomMatcher {
+	m := &atomMatcher{plans: make([]argPlan, len(a.Args)), buf: make([]Value, len(vars)), ok: true}
+	pos := make(map[string]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	varArgs := 0
+	for i, term := range a.Args {
+		if term.Var {
+			m.plans[i] = argPlan{varPos: pos[term.Name]}
+			varArgs++
+			continue
+		}
+		v, found := dict.Lookup(term.Name)
+		if !found {
+			m.ok = false
+			return m
+		}
+		m.plans[i] = argPlan{varPos: -1, want: v}
+		m.constCols = append(m.constCols, i)
+		m.constVals = append(m.constVals, v)
+	}
+	// Without repeated variables every buffer slot is written exactly once
+	// per row, so the reset and the mismatch check are skipped.
+	m.hasRepeat = varArgs > len(vars)
+	return m
+}
+
+// match reports whether a table row satisfies the atom's constants and
+// repeated variables; when it does, key is the row's projection onto the
+// distinct variables (a buffer reused between calls — copy to retain).
+func (m *atomMatcher) match(row []Value) (key []Value, _ bool) {
+	if m.hasRepeat {
+		for j := range m.buf {
+			m.buf[j] = -1
+		}
+	}
+	for j, p := range m.plans {
+		if p.varPos < 0 {
+			if row[j] != p.want {
+				return nil, false
+			}
+			continue
+		}
+		if m.hasRepeat && m.buf[p.varPos] >= 0 && m.buf[p.varPos] != row[j] {
+			return nil, false // repeated variable mismatch
+		}
+		m.buf[p.varPos] = row[j]
+	}
+	return m.buf, true
+}
+
 // bindAtomRelation is atomRelation over a compiled table: selection on the
 // atom's constants and repeated variables, projection onto the distinct
 // variables, all on interned values. Constants are resolved with a read-only
@@ -84,64 +160,17 @@ func bindAtomRelation(a cq.Atom, t *storage.Table, dict *Dict) (*Relation, error
 	if t.Arity != len(a.Args) {
 		return nil, fmt.Errorf("engine: arity mismatch in %s", a.Rel)
 	}
-	pos := make(map[string]int, len(vars))
-	for i, v := range vars {
-		pos[v] = i
+	m := newAtomMatcher(a, vars, dict)
+	if !m.ok {
+		return out, nil
 	}
-	// Resolve the atom's terms once: each argument position is either a
-	// projection target (variable) or an indexable constant selection.
-	type argPlan struct {
-		varPos int   // ≥ 0: distinct-variable slot to write
-		want   Value // varPos < 0: constant the column must equal
-	}
-	plans := make([]argPlan, len(a.Args))
-	varArgs := 0
-	var constCols []int
-	var constVals []Value
-	for i, term := range a.Args {
-		if term.Var {
-			plans[i] = argPlan{varPos: pos[term.Name]}
-			varArgs++
-			continue
-		}
-		v, ok := dict.Lookup(term.Name)
-		if !ok {
-			return out, nil
-		}
-		plans[i] = argPlan{varPos: -1, want: v}
-		constCols = append(constCols, i)
-		constVals = append(constVals, v)
-	}
-	// Without repeated variables every buffer slot is written exactly once
-	// per row, so the reset and the mismatch check are skipped.
-	hasRepeat := varArgs > len(vars)
-	buf := make([]Value, len(vars))
-	match := func(row []Value) bool {
-		if hasRepeat {
-			for j := range buf {
-				buf[j] = -1
-			}
-		}
-		for j, p := range plans {
-			if p.varPos < 0 {
-				if row[j] != p.want {
-					return false
-				}
-				continue
-			}
-			if hasRepeat && buf[p.varPos] >= 0 && buf[p.varPos] != row[j] {
-				return false // repeated variable mismatch
-			}
-			buf[p.varPos] = row[j]
-		}
-		return true
-	}
+	constCols, constVals := m.constCols, m.constVals
 	emit := func(row []Value) {
-		if match(row) {
+		if key, ok := m.match(row); ok {
 			if len(vars) == 0 {
 				out.AddEmpty()
 			} else {
-				out.Add(buf...)
+				out.Add(key...)
 			}
 		}
 	}

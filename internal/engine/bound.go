@@ -59,6 +59,17 @@ func (c *CompiledDB) Apply(ctx context.Context, delta *storage.Delta) (*Compiled
 // constants).
 func (c *CompiledDB) Stats() storage.DBStats { return c.sdb.Stats() }
 
+// RelationArity returns the arity of the named relation, or ok=false when
+// the relation is absent (equivalently: empty) in this snapshot. Ingestion
+// layers use it to reject arity-mismatched tuples before they reach Apply.
+func (c *CompiledDB) RelationArity(name string) (int, bool) {
+	t := c.sdb.Table(name)
+	if t == nil {
+		return 0, false
+	}
+	return t.Arity, true
+}
+
 // BoundQuery is a prepared query bound to a compiled database: the interned
 // dictionary, the per-atom relations, and the materialised decomposition
 // node relations are all built once at Bind time and reused by every
@@ -137,6 +148,10 @@ func (b *BoundQuery) ExplainDB() string {
 
 // Vars returns the query's variables in enumeration output order (sorted).
 func (b *BoundQuery) Vars() []string { return b.prep.Vars() }
+
+// Dict returns the interned dictionary of the bound database lineage — the
+// value space of the relations DiffFrom returns.
+func (b *BoundQuery) Dict() *Dict { return b.inst.Dict }
 
 // run clones the per-evaluation view of the bound node relations: the slice
 // is copied so semijoin passes can reassign slots, while the relations
@@ -306,4 +321,78 @@ func (b *BoundQuery) CountProjection(ctx context.Context, free []string) (int64,
 	return countProjection(b.prep.plan.qvars, free, func(yield func(Solution) bool) error {
 		return b.Enumerate(ctx, yield)
 	})
+}
+
+// materialise streams every solution into an (unsorted) relation over the
+// query's variables — EnumerateAll without the display sort.
+func (b *BoundQuery) materialise(ctx context.Context) (*Relation, error) {
+	out := NewRelation(b.prep.plan.qvars...)
+	err := b.Enumerate(ctx, func(s Solution) bool {
+		if len(s.row) == 0 {
+			out.AddEmpty()
+		} else {
+			out.Add(s.row...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiffFrom computes the tuple-level change of the query's result between a
+// previous bound snapshot and this one: added holds the solutions present
+// now but absent then, removed the converse, both over Vars() columns (in
+// the shared dictionary's value space). The receiver and prev must be binds
+// of the same PreparedQuery descending from one CompileDB lineage — interned
+// values are not comparable across dictionaries, so anything else is an
+// error. When the two snapshots share their cached evaluation state (the
+// delta never reached the query, or was absorbed before the reduced
+// relations) the diff is empty without enumerating anything; otherwise both
+// results are materialised through the incrementally maintained enumeration
+// caches and diffed as sets. This is the hook a live view-maintenance layer
+// turns into change notifications.
+func (b *BoundQuery) DiffFrom(ctx context.Context, prev *BoundQuery) (added, removed *Relation, err error) {
+	if prev == nil {
+		return nil, nil, fmt.Errorf("engine: DiffFrom against a nil snapshot")
+	}
+	if b.prep != prev.prep {
+		return nil, nil, fmt.Errorf("engine: DiffFrom across different prepared queries")
+	}
+	if b.inst.Dict != prev.inst.Dict {
+		return nil, nil, fmt.Errorf("engine: DiffFrom across unrelated database lineages")
+	}
+	empty := func() (*Relation, *Relation, error) {
+		qvars := b.prep.plan.qvars
+		return NewRelation(qvars...), NewRelation(qvars...), nil
+	}
+	if b == prev || b.inst == prev.inst {
+		return empty() // shared instance: the delta was invisible to the query
+	}
+	if bes, pes := b.enumSt.Load(), prev.enumSt.Load(); bes != nil && pes != nil {
+		if bes == pes {
+			return empty()
+		}
+		same := true
+		for u := range bes.nodes {
+			if bes.nodes[u].rel != pes.nodes[u].rel {
+				same = false
+				break
+			}
+		}
+		if same {
+			return empty() // every reduced relation absorbed: identical results
+		}
+	}
+	cur, err := b.materialise(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	old, err := prev.materialise(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	added, removed = relDiff(old, cur)
+	return added, removed, nil
 }

@@ -73,10 +73,11 @@ func WithNaiveFallback() Option {
 // pool of n workers: node materialisation, the semijoin passes over
 // independent decomposition subtrees, the counting DP (grouping fans out
 // over parent-child pairs, vectors over sibling subtrees and row ranges),
-// solution enumeration (the root relation is range-partitioned into n
-// chunks, one bounded-delay producer each), and incremental maintenance of
-// dirty nodes and cached states. Values of 1 or less evaluate sequentially
-// (the default); n < 0 uses one worker per CPU.
+// solution enumeration (the root relation is over-split into ~4n chunks the
+// n bounded-delay producers claim dynamically, so skewed ranges don't
+// serialise a worker), and incremental maintenance of dirty nodes and cached
+// states. Values of 1 or less evaluate sequentially (the default); n < 0
+// uses one worker per CPU.
 func WithParallelism(n int) Option {
 	if n < 0 {
 		n = runtime.NumCPU()

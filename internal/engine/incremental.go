@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"d2cq/internal/cq"
 	"d2cq/internal/storage"
 )
 
@@ -96,16 +97,22 @@ func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, 
 		return nb, nil
 	}
 
-	// 1. Rebuild the dirty atom relations over the new snapshot.
+	// 1. Rebuild the dirty atom relations over the new snapshot — from the
+	// snapshot's row-level lineage in O(delta) when the new snapshot is one
+	// Apply ahead of ours, re-scanning the table otherwise.
 	inst := &Instance{Query: q, Dict: b.inst.Dict, AtomRels: append([]*Relation(nil), b.inst.AtomRels...), atomKeys: b.inst.keys()}
 	anyDirty = false
 	for i, a := range q.Atoms {
 		if !dirtyAtom[i] {
 			continue
 		}
-		rel, err := bindAtomRelation(a, cdb.sdb.Table(a.Rel), cdb.sdb.Dict)
-		if err != nil {
-			return nil, err
+		rel, fast := rebindAtomDelta(a, b.inst.AtomRels[i], b.cdb.sdb.Table(a.Rel), cdb.sdb)
+		if !fast {
+			var err error
+			rel, err = bindAtomRelation(a, cdb.sdb.Table(a.Rel), cdb.sdb.Dict)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if relEqual(rel, b.inst.AtomRels[i]) {
 			// The change was invisible to this atom (e.g. filtered out by its
@@ -261,6 +268,77 @@ func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, 
 		nb.countSt.Store(ncs)
 	}
 	return nb, nil
+}
+
+// rebindAtomDelta maintains one dirty atom relation from the snapshot's
+// row-level lineage instead of re-scanning the table. The projection of
+// matching table rows onto the atom's distinct variables is injective (the
+// tuple plus the atom's constants and repeated variables reconstruct the
+// row), so removed table rows that match are exactly the tuples leaving the
+// relation, and added rows that match are exactly the tuples entering it —
+// no derivation counts needed. Pure appends cost O(delta); deltas with
+// removals add one filter scan of the old relation (no hashing, matching or
+// dictionary traffic). ok=false falls back to the full bindAtomRelation
+// scan: no usable lineage (the snapshot is several Applies ahead, or from a
+// fresh Compile), an arity mismatch (the scan path reports the error), a
+// nullary atom, or a delta past the size heuristic.
+func rebindAtomDelta(a cq.Atom, oldRel *Relation, oldTable *storage.Table, sdb *storage.DB) (*Relation, bool) {
+	vars := a.VarSet()
+	if len(vars) == 0 {
+		return nil, false
+	}
+	lin := sdb.Lineage(a.Rel)
+	if lin == nil || lin.Parent != oldTable || lin.Arity != len(a.Args) {
+		return nil, false
+	}
+	rows := 0
+	if t := sdb.Table(a.Rel); t != nil {
+		rows = t.Rows()
+	}
+	if (lin.AddedRows()+lin.RemovedRows())*deltaRebuildFactor > rows+deltaRebuildFactor {
+		return nil, false
+	}
+	m := newAtomMatcher(a, vars, sdb.Dict)
+	if !m.ok {
+		// A constant the dictionary has never seen matches nothing — and the
+		// dictionary only grows, so the old relation was already empty.
+		return oldRel, true
+	}
+	arity := len(a.Args)
+	var removed *storage.TupleMap
+	for i := 0; i+arity <= len(lin.Removed); i += arity {
+		if key, ok := m.match(lin.Removed[i : i+arity]); ok {
+			if removed == nil {
+				removed = storage.NewTupleMap(len(vars), lin.RemovedRows())
+			}
+			removed.Insert(key)
+		}
+	}
+	var added []Value
+	for i := 0; i+arity <= len(lin.Added); i += arity {
+		if key, ok := m.match(lin.Added[i : i+arity]); ok {
+			added = append(added, key...)
+		}
+	}
+	if removed == nil && added == nil {
+		return oldRel, true // the whole row delta was invisible to this atom
+	}
+	rel := NewRelation(vars...)
+	if removed == nil {
+		rel.Data = make([]Value, len(oldRel.Data), len(oldRel.Data)+len(added))
+		copy(rel.Data, oldRel.Data)
+	} else {
+		rel.Data = make([]Value, 0, len(oldRel.Data)+len(added))
+		for i := 0; i < oldRel.Len(); i++ {
+			row := oldRel.Row(i)
+			if removed.Find(row) >= 0 {
+				continue
+			}
+			rel.Data = append(rel.Data, row...)
+		}
+	}
+	rel.Data = append(rel.Data, added...)
+	return rel, true
 }
 
 // edgeDelta is the change of one λ-edge relation between two snapshots:

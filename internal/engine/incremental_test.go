@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 
@@ -547,5 +548,79 @@ func TestUpdateCancelledContext(t *testing.T) {
 	}
 	if n != 1 {
 		t.Errorf("Count after cancelled Update = %d, want 1", n)
+	}
+}
+
+// TestRebindAtomDeltaLineage pins the O(delta) atom-rebuild fast path: with
+// one-step lineage the patched relation is byte-identical to a full
+// bindAtomRelation scan (selection by constants and repeated variables
+// included), and the fast path declines snapshots more than one Apply ahead.
+func TestRebindAtomDeltaLineage(t *testing.T) {
+	atoms := []string{"R(x,y)", "R(x,x)", "R(x,'c1')", "R(x,y), Zed(x)"}
+	db := cq.Database{}
+	for i := 0; i < 12; i++ {
+		db.Add("R", fmt.Sprintf("c%d", i%4), fmt.Sprintf("c%d", (i*3)%5))
+	}
+	deltas := []*storage.Delta{
+		storage.NewDelta().Add("R", "c7", "c1"),                        // pure append
+		storage.NewDelta().Remove("R", "c0", "c0"),                     // pure delete
+		storage.NewDelta().Remove("R", "c1", "c1").Add("R", "c1", "x"), // mixed, new constant
+		storage.NewDelta().Remove("R", "zz", "zz"),                     // no-op delete (absent tuple)
+	}
+	for _, src := range atoms {
+		q, err := cq.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := q.Atoms[0]
+		cur, err := storage.Compile(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldRel, err := bindAtomRelation(a, cur.Table(a.Rel), cur.Dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for di, delta := range deltas {
+			next, err := cur.Apply(delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := bindAtomRelation(a, next.Table(a.Rel), next.Dict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, fast := rebindAtomDelta(a, oldRel, cur.Table(a.Rel), next)
+			if fast {
+				if !sameStrings(got.Cols, want.Cols) || !slices.Equal(got.Data, want.Data) {
+					t.Fatalf("%s delta %d: lineage rebuild %v/%v, scan %v/%v", src, di, got.Cols, got.Data, want.Cols, want.Data)
+				}
+			} else if next.Lineage(a.Rel) != nil && next.Lineage(a.Rel).Parent == cur.Table(a.Rel) {
+				// Declining valid one-step lineage is only allowed past the
+				// size heuristic.
+				lin := next.Lineage(a.Rel)
+				rows := 0
+				if tb := next.Table(a.Rel); tb != nil {
+					rows = tb.Rows()
+				}
+				if (lin.AddedRows()+lin.RemovedRows())*deltaRebuildFactor <= rows+deltaRebuildFactor {
+					t.Fatalf("%s delta %d: fast path declined a small one-step delta", src, di)
+				}
+			}
+			cur, oldRel = next, want
+		}
+		// Two Applies ahead: the lineage parent no longer matches, so the
+		// fast path must decline.
+		one, err := cur.Apply(storage.NewDelta().Add("R", "c8", "c1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := one.Apply(storage.NewDelta().Add("R", "c9", "c1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, fast := rebindAtomDelta(a, oldRel, cur.Table(a.Rel), two); fast {
+			t.Fatalf("%s: fast path accepted a snapshot two Applies ahead", src)
+		}
 	}
 }

@@ -597,10 +597,11 @@ func (es *enumState) enumerateRange(ctx context.Context, rootLo, rootHi int, yie
 // enumerate streams every solution of the full CQ without materialising the
 // join. With par ≤ 1 (or a root too small to split) it is the classic
 // sequential bounded-delay enumeration. With par > 1 the root relation is
-// range-partitioned into par contiguous chunks, one bounded-delay producer
-// runs per chunk down the decomposition, and the streams merge back into the
-// single yield: in arrival order by default, or in root-index order — i.e.
-// exactly the sequential order — when ordered is set (WithDeterministicOrder).
+// over-split into ~enumChunkFactor×par contiguous chunks that par
+// bounded-delay producers claim dynamically (work-stealing) and walk down
+// the decomposition, and the streams merge back into the single yield: in
+// arrival order by default, or in root-index order — i.e. exactly the
+// sequential order — when ordered is set (WithDeterministicOrder).
 func (es *enumState) enumerate(ctx context.Context, par int, ordered bool, yield func(row []Value) bool) error {
 	if es.plan.d.Nodes() == 0 {
 		return nil
@@ -624,14 +625,27 @@ type enumBatch struct {
 // between yields bounded, large enough to amortise the channel handoff.
 const enumBatchRows = 64
 
-// enumerateParallel fans the root scan out over par chunk producers and
-// merges their batches into the caller's yield. All channels are bounded, an
-// early stop (yield returning false) or a context cancellation tears the
-// pool down, and the function returns only after every producer goroutine
-// has exited — nothing leaks, whichever way the enumeration ends.
+// enumChunkFactor is the over-splitting of the parallel enumeration: the
+// root relation is cut into up to enumChunkFactor×par chunks that the par
+// workers claim dynamically, so one skewed contiguous range (a root tuple
+// with a huge subtree fan-out) occupies a single worker for one chunk
+// instead of serialising a par-th of the whole scan behind it.
+const enumChunkFactor = 4
+
+// enumerateParallel fans the root scan out over par workers that dynamically
+// claim ~enumChunkFactor×par root chunks (work-stealing: a worker stuck on a
+// skewed chunk no longer blocks the ranges behind it) and merges their
+// batches into the caller's yield. All channels are bounded, an early stop
+// (yield returning false) or a context cancellation tears the pool down, and
+// the function returns only after every producer goroutine has exited —
+// nothing leaks, whichever way the enumeration ends.
 func (es *enumState) enumerateParallel(ctx context.Context, par int, ordered bool, rootN int, yield func(row []Value) bool) error {
 	if par > rootN {
 		par = rootN
+	}
+	chunks := enumChunkFactor * par
+	if chunks > rootN {
+		chunks = rootN
 	}
 	width := len(es.plan.qvars)
 	wctx, cancel := context.WithCancel(ctx)
@@ -693,33 +707,66 @@ func (es *enumState) enumerateParallel(ctx context.Context, par int, ordered boo
 		return true
 	}
 
+	// Chunks are claimed in index order off one shared counter; a worker
+	// finishing a cheap chunk immediately steals the next unclaimed one.
+	var nextChunk atomic.Int64
+	claim := func() int {
+		return int(nextChunk.Add(1) - 1)
+	}
+
 	if ordered {
-		// One bounded channel per chunk, closed by its producer; the merger
-		// consumes the chunks in root-index order, which reproduces the
-		// sequential order exactly. Producers of later chunks fill their
-		// buffers and block until their turn; cancellation unblocks them.
-		chans := make([]chan enumBatch, par)
-		for w := range chans {
-			chans[w] = make(chan enumBatch, 4)
+		// One bounded channel per chunk, closed exactly once by the worker
+		// that claimed it (or, for chunks never claimed because the pool was
+		// torn down first, by the sweeper after every worker exited); the
+		// merger consumes the chunks in index order, which reproduces the
+		// sequential order exactly. Workers ahead of the merger fill their
+		// chunk buffers and block until its turn; cancellation unblocks them.
+		chans := make([]chan enumBatch, chunks)
+		for c := range chans {
+			chans[c] = make(chan enumBatch, 4)
 		}
 		for w := 0; w < par; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func() {
 				defer wg.Done()
-				defer close(chans[w])
-				produce(w*rootN/par, (w+1)*rootN/par, func(b enumBatch) bool {
-					select {
-					case chans[w] <- b:
-						return true
-					case <-wctx.Done():
-						return false
+				for {
+					c := claim()
+					if c >= chunks {
+						return
 					}
-				})
-			}(w)
+					produce(c*rootN/chunks, (c+1)*rootN/chunks, func(b enumBatch) bool {
+						select {
+						case chans[c] <- b:
+							return true
+						case <-wctx.Done():
+							return false
+						}
+					})
+					close(chans[c])
+					if wctx.Err() != nil {
+						return
+					}
+				}
+			}()
 		}
+		go func() {
+			// Sweeper: chunks no worker ever claimed (possible only after a
+			// cancellation emptied the pool early) still need their channels
+			// closed so the merger's drain below terminates. Claims hand out
+			// indexes in order, so after the last worker exits the unclaimed
+			// chunks are exactly [min(counter, chunks), chunks).
+			wg.Wait()
+			first := int(nextChunk.Load())
+			if first > chunks {
+				first = chunks
+			}
+			for c := first; c < chunks; c++ {
+				close(chans[c])
+			}
+		}()
 		merging := true
-		for w := 0; w < par && merging; w++ {
-			for b := range chans[w] {
+		for c := 0; c < chunks; c++ {
+			for b := range chans[c] {
 				if merging && !drain(b) {
 					merging = false
 				}
@@ -734,17 +781,23 @@ func (es *enumState) enumerateParallel(ctx context.Context, par int, ordered boo
 		ch := make(chan enumBatch, par*2)
 		for w := 0; w < par; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func() {
 				defer wg.Done()
-				produce(w*rootN/par, (w+1)*rootN/par, func(b enumBatch) bool {
-					select {
-					case ch <- b:
-						return true
-					case <-wctx.Done():
-						return false
+				for wctx.Err() == nil {
+					c := claim()
+					if c >= chunks {
+						return
 					}
-				})
-			}(w)
+					produce(c*rootN/chunks, (c+1)*rootN/chunks, func(b enumBatch) bool {
+						select {
+						case ch <- b:
+							return true
+						case <-wctx.Done():
+							return false
+						}
+					})
+				}
+			}()
 		}
 		go func() {
 			wg.Wait()

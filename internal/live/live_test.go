@@ -1,0 +1,658 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/engine"
+	"d2cq/internal/storage"
+)
+
+// The Watch differential harness: a Store driven through a random delta
+// stream must emit, per flush, exactly the EnumerateAll diff between the two
+// consecutive snapshots — for every query shape of the PR-3 incremental
+// harness — and stay silent on flushes its query absorbs. The shapes mirror
+// internal/engine/incremental_test.go (the schema is a superset of the
+// query's relations, so some deltas are invisible).
+
+type watchShape struct {
+	name  string
+	query string
+	rels  map[string]int
+	opts  []engine.Option
+}
+
+var watchShapes = []watchShape{
+	{name: "path", query: "R(a,b), S(b,c), T(c,d)", rels: map[string]int{"R": 2, "S": 2, "T": 2, "Zed": 2}},
+	{name: "triangle", query: "E(x,y), F(y,z), G(z,x)", rels: map[string]int{"E": 2, "F": 2, "G": 2, "Zed": 1}},
+	{name: "selfjoin", query: "E(x,y), E(y,z)", rels: map[string]int{"E": 2, "Zed": 2}},
+	{name: "const-repeat", query: "R(x,x), S(x,y), T(y,'c0')", rels: map[string]int{"R": 2, "S": 2, "T": 2}},
+	{name: "star", query: "R(x,y), S(x,z), T(x,w)", rels: map[string]int{"R": 2, "S": 2, "T": 2}},
+	{
+		name: "naive-triangle", query: "E(x,y), F(y,z), G(z,x)",
+		rels: map[string]int{"E": 2, "F": 2, "G": 2},
+		opts: []engine.Option{engine.WithMaxWidth(1), engine.WithNaiveFallback()},
+	},
+}
+
+// genDelta draws one random delta: mostly single-op, sometimes a small
+// batch, inserts slightly favoured (the constant pool is small, so deletes
+// hit real tuples often).
+func genDelta(rng *rand.Rand, sh watchShape, relNames []string) *storage.Delta {
+	nOps := 1
+	if rng.Intn(10) == 0 {
+		nOps = 2 + rng.Intn(2)
+	}
+	consts := []string{"c0", "c1", "c2", "c3", "c4"}
+	d := storage.NewDelta()
+	for i := 0; i < nOps; i++ {
+		rel := relNames[rng.Intn(len(relNames))]
+		tuple := make([]string, sh.rels[rel])
+		for j := range tuple {
+			tuple[j] = consts[rng.Intn(len(consts))]
+		}
+		if rng.Intn(10) < 6 {
+			d.Add(rel, tuple...)
+		} else {
+			d.Remove(rel, tuple...)
+		}
+	}
+	return d
+}
+
+// manualConfig disables both automatic flush triggers so tests control
+// snapshot boundaries exactly, with room for every notification.
+func manualConfig(buffer int) Config {
+	return Config{MaxBatch: 1 << 30, MaxLatency: time.Hour, Buffer: buffer}
+}
+
+// resultSet renders a query's full answer over a plain database as a set of
+// decoded row keys, via a reference engine that shares nothing with the
+// store under test.
+func resultSet(t *testing.T, prep *engine.PreparedQuery, db cq.Database) map[string]bool {
+	t.Helper()
+	rel, dict, err := prep.EnumerateAll(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		parts := make([]string, len(rel.Row(i)))
+		for j, v := range rel.Row(i) {
+			parts[j] = dict.Name(v)
+		}
+		out[strings.Join(parts, "\x00")] = true
+	}
+	return out
+}
+
+func rowKeys(rows [][]string) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x00")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestWatchDifferential replays a ≥100-step random delta stream per query
+// shape, one flush per delta, and asserts every notification carries exactly
+// the reference diff between the consecutive snapshots (and that absorbed
+// flushes are silent) — so the concatenated notification stream reconstructs
+// the full snapshot-to-snapshot evolution.
+func TestWatchDifferential(t *testing.T) {
+	const steps = 100
+	for _, sh := range watchShapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			t.Parallel()
+			ctx := context.Background()
+			q, err := cq.ParseQuery(sh.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relNames := make([]string, 0, len(sh.rels))
+			for r := range sh.rels {
+				relNames = append(relNames, r)
+			}
+			slices.Sort(relNames)
+			rng := rand.New(rand.NewSource(7))
+			mirror := cq.Database{}
+			for i := 0; i < 4; i++ {
+				rel := relNames[rng.Intn(len(relNames))]
+				tuple := make([]string, sh.rels[rel])
+				for j := range tuple {
+					tuple[j] = fmt.Sprintf("c%d", rng.Intn(5))
+				}
+				mirror.Add(rel, tuple...)
+			}
+			store, err := NewStore(ctx, engine.NewEngine(sh.opts...), mirror, manualConfig(steps+4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.Close()
+			if err := store.Register(ctx, "q", q); err != nil {
+				t.Fatal(err)
+			}
+			sub, err := store.Watch("q")
+			if err != nil {
+				t.Fatal(err)
+			}
+			refEng := engine.NewEngine(sh.opts...)
+			prep, err := refEng.Prepare(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := resultSet(t, prep, mirror)
+			version := uint64(1)
+			for s := 0; s < steps; s++ {
+				delta := genDelta(rng, sh, relNames)
+				if err := store.Submit(delta); err != nil {
+					t.Fatalf("step %d: Submit: %v", s, err)
+				}
+				if err := store.Flush(ctx); err != nil {
+					t.Fatalf("step %d: Flush: %v", s, err)
+				}
+				version++
+				delta.ApplyToDatabase(mirror)
+				cur := resultSet(t, prep, mirror)
+				var expAdd, expRem []string
+				for k := range cur {
+					if !prev[k] {
+						expAdd = append(expAdd, k)
+					}
+				}
+				for k := range prev {
+					if !cur[k] {
+						expRem = append(expRem, k)
+					}
+				}
+				sort.Strings(expAdd)
+				sort.Strings(expRem)
+				if len(expAdd) == 0 && len(expRem) == 0 {
+					select {
+					case n := <-sub.C:
+						t.Fatalf("step %d: unchanged result but notification %+v", s, n)
+					default:
+					}
+				} else {
+					var n Notification
+					select {
+					case n = <-sub.C:
+					default:
+						t.Fatalf("step %d: result changed (+%d/-%d) but no notification", s, len(expAdd), len(expRem))
+					}
+					if n.Query != "q" || n.Version != version {
+						t.Fatalf("step %d: notification query/version %s/%d, want q/%d", s, n.Query, n.Version, version)
+					}
+					if n.Lagged != 0 {
+						t.Fatalf("step %d: unexpected lag %d with an oversized buffer", s, n.Lagged)
+					}
+					if int(n.Count) != len(cur) || int(n.PrevCount) != len(prev) {
+						t.Fatalf("step %d: counts %d←%d, want %d←%d", s, n.Count, n.PrevCount, len(cur), len(prev))
+					}
+					if got := rowKeys(n.Added); !slices.Equal(got, expAdd) {
+						t.Fatalf("step %d: added %v, want %v", s, got, expAdd)
+					}
+					if got := rowKeys(n.Removed); !slices.Equal(got, expRem) {
+						t.Fatalf("step %d: removed %v, want %v", s, got, expRem)
+					}
+				}
+				prev = cur
+			}
+			// The store's final state agrees with the reference too.
+			rows, _, err := store.Solutions(ctx, "q", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rowKeys(rows); !slices.Equal(got, setKeys(prev)) {
+				t.Fatalf("final solutions %v, want %v", got, setKeys(prev))
+			}
+		})
+	}
+}
+
+// TestCoalescedIngestionIdentical drives the same delta stream through a
+// per-delta store and a coalescing store (one flush per 8 submits) and
+// asserts byte-identical final results with measurably fewer Rebinds — the
+// acceptance contract of Delta.Merge-based ingestion.
+func TestCoalescedIngestionIdentical(t *testing.T) {
+	ctx := context.Background()
+	sh := watchShapes[0] // path query
+	q, err := cq.ParseQuery(sh.query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relNames := make([]string, 0, len(sh.rels))
+	for r := range sh.rels {
+		relNames = append(relNames, r)
+	}
+	slices.Sort(relNames)
+	initial := cq.Database{}
+	initial.Add("R", "c0", "c1")
+	initial.Add("S", "c1", "c2")
+	initial.Add("T", "c2", "c3")
+
+	engA, engB := engine.NewEngine(), engine.NewEngine()
+	storeA, err := NewStore(ctx, engA, initial, manualConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storeA.Close()
+	storeB, err := NewStore(ctx, engB, initial, manualConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storeB.Close()
+	for _, s := range []*Store{storeA, storeB} {
+		if err := s.Register(ctx, "q", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const steps, batch = 96, 8
+	rng := rand.New(rand.NewSource(11))
+	for s := 0; s < steps; s++ {
+		delta := genDelta(rng, sh, relNames)
+		if err := storeA.Submit(delta.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := storeA.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := storeB.Submit(delta); err != nil {
+			t.Fatal(err)
+		}
+		if (s+1)%batch == 0 {
+			if err := storeB.Flush(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := storeB.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rowsA, _, err := storeA.Solutions(ctx, "q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsB, _, err := storeB.Solutions(ctx, "q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(rowKeys(rowsA), rowKeys(rowsB)) {
+		t.Fatalf("coalesced results differ: per-delta %v, coalesced %v", rowKeys(rowsA), rowKeys(rowsB))
+	}
+	ra, rb := engA.Stats().Rebinds, engB.Stats().Rebinds
+	if ra != steps {
+		t.Fatalf("per-delta store rebinds = %d, want %d", ra, steps)
+	}
+	if rb != steps/batch {
+		t.Fatalf("coalesced store rebinds = %d, want %d", rb, steps/batch)
+	}
+	sb := storeB.Stats()
+	if sb.FlushedTuples > sb.TuplesSubmitted {
+		t.Fatalf("coalescing grew the applied tuples: %d flushed > %d submitted", sb.FlushedTuples, sb.TuplesSubmitted)
+	}
+}
+
+// TestSlowSubscriberLag: a subscriber that never drains its buffer loses
+// notifications without ever blocking a flush, and the loss surfaces as
+// Lagged on the next delivered notification.
+func TestSlowSubscriberLag(t *testing.T) {
+	ctx := context.Background()
+	db := cq.Database{}
+	db.Add("R", "a")
+	store, err := NewStore(ctx, nil, db, Config{MaxBatch: 1 << 30, MaxLatency: time.Hour, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	q, err := cq.ParseQuery("R(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Register(ctx, "q", q); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := store.Watch("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	change := func(i int) {
+		t.Helper()
+		if err := store.Submit(storage.NewDelta().Add("R", fmt.Sprintf("x%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four changing flushes against a 1-slot buffer: the first is buffered,
+	// the next three are dropped.
+	for i := 0; i < 4; i++ {
+		change(i)
+	}
+	n1 := <-sub.C
+	if n1.Lagged != 0 || n1.Version != 2 {
+		t.Fatalf("first notification lag/version = %d/%d, want 0/2", n1.Lagged, n1.Version)
+	}
+	// Buffer drained: the next change is delivered, carrying the gap.
+	change(4)
+	n2 := <-sub.C
+	if n2.Lagged != 3 {
+		t.Fatalf("lag after three drops = %d, want 3", n2.Lagged)
+	}
+	if n2.Version != 6 {
+		t.Fatalf("post-lag version = %d, want 6", n2.Version)
+	}
+	if st := store.Stats(); st.Dropped != 3 {
+		t.Fatalf("Stats.Dropped = %d, want 3", st.Dropped)
+	}
+}
+
+// awaitGoroutines waits for the goroutine count to drop back to the
+// baseline (with slack for the runtime's own bookkeeping), retrying because
+// teardown is asynchronous.
+func awaitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchCancelAndCloseTeardown: Cancel closes the subscription channel
+// and unregisters it; Close flushes, closes every remaining subscription and
+// stops the background flusher without leaking goroutines; every operation
+// on the closed store reports ErrClosed.
+func TestWatchCancelAndCloseTeardown(t *testing.T) {
+	ctx := context.Background()
+	baseline := runtime.NumGoroutine()
+	db := cq.Database{}
+	db.Add("R", "a")
+	store, err := NewStore(ctx, nil, db, manualConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cq.ParseQuery("R(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Register(ctx, "q", q); err != nil {
+		t.Fatal(err)
+	}
+	sub1, err := store.Watch("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := store.Watch("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub1.Cancel()
+	sub1.Cancel() // idempotent
+	if _, ok := <-sub1.C; ok {
+		t.Fatal("cancelled subscription channel still open")
+	}
+	// A flush after the cancel reaches only the live subscriber.
+	if err := store.Submit(storage.NewDelta().Add("R", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := <-sub2.C; len(n.Added) != 1 {
+		t.Fatalf("live subscriber got %+v, want one added row", n)
+	}
+	// Close flushes the still-pending batch before tearing down…
+	if err := store.Submit(storage.NewDelta().Add("R", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := <-sub2.C; !ok || len(n.Added) != 1 {
+		t.Fatalf("close-time flush notification = %+v (ok=%v), want one added row", n, ok)
+	}
+	if _, ok := <-sub2.C; ok {
+		t.Fatal("subscription channel still open after Close")
+	}
+	// …and every later operation reports the closed store.
+	if err := store.Submit(storage.NewDelta().Add("R", "d")); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := store.Flush(ctx); err != ErrClosed {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if _, err := store.Watch("q"); err != ErrClosed {
+		t.Fatalf("Watch after Close = %v, want ErrClosed", err)
+	}
+	if err := store.Register(ctx, "q2", q); err != ErrClosed {
+		t.Fatalf("Register after Close = %v, want ErrClosed", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	awaitGoroutines(t, baseline)
+}
+
+// TestAutomaticFlushTriggers: both ingestion triggers flush without a manual
+// Flush — the size trigger immediately, the latency trigger within its
+// deadline.
+func TestAutomaticFlushTriggers(t *testing.T) {
+	ctx := context.Background()
+	q, err := cq.ParseQuery("R(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	await := func(t *testing.T, sub *Subscription) Notification {
+		t.Helper()
+		select {
+		case n := <-sub.C:
+			return n
+		case <-time.After(5 * time.Second):
+			t.Fatal("no notification within 5s")
+			return Notification{}
+		}
+	}
+	t.Run("size", func(t *testing.T) {
+		db := cq.Database{}
+		db.Add("R", "a")
+		store, err := NewStore(ctx, nil, db, Config{MaxBatch: 2, MaxLatency: time.Hour, Buffer: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		if err := store.Register(ctx, "q", q); err != nil {
+			t.Fatal(err)
+		}
+		sub, err := store.Watch("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Submit(storage.NewDelta().Add("R", "b").Add("R", "c")); err != nil {
+			t.Fatal(err)
+		}
+		if n := await(t, sub); len(n.Added) != 2 {
+			t.Fatalf("size-triggered flush delivered %+v, want two added rows", n)
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		db := cq.Database{}
+		db.Add("R", "a")
+		store, err := NewStore(ctx, nil, db, Config{MaxBatch: 1 << 30, MaxLatency: 10 * time.Millisecond, Buffer: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		if err := store.Register(ctx, "q", q); err != nil {
+			t.Fatal(err)
+		}
+		sub, err := store.Watch("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Submit(storage.NewDelta().Add("R", "b")); err != nil {
+			t.Fatal(err)
+		}
+		if n := await(t, sub); len(n.Added) != 1 {
+			t.Fatalf("latency-triggered flush delivered %+v, want one added row", n)
+		}
+	})
+}
+
+// TestRegisterSemantics: idempotent re-registration, name collisions, poison
+// batches (arity mismatch) dropped with the snapshot intact.
+func TestRegisterSemantics(t *testing.T) {
+	ctx := context.Background()
+	db := cq.Database{}
+	db.Add("R", "a", "b")
+	store, err := NewStore(ctx, nil, db, manualConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	q1, _ := cq.ParseQuery("R(x,y)")
+	q2, _ := cq.ParseQuery("R(x,x)")
+	if err := store.Register(ctx, "q", q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Register(ctx, "q", q1); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	if err := store.Register(ctx, "q", q2); err == nil {
+		t.Fatal("conflicting registration under a taken name must fail")
+	}
+	if _, _, err := store.Count("nope"); err == nil {
+		t.Fatal("Count of unknown query must fail")
+	}
+	if _, err := store.Watch("nope"); err == nil {
+		t.Fatal("Watch of unknown query must fail")
+	}
+	// Arity mismatches are rejected at Submit time — before they could
+	// poison the shared coalesced batch — against the snapshot's tables,
+	// against tuples pending in the batch, and within one delta.
+	if err := store.Submit(storage.NewDelta().Add("R", "only-one-column")); err == nil {
+		t.Fatal("insert mismatching the compiled relation's arity must be rejected")
+	}
+	if err := store.Submit(storage.NewDelta().Remove("R", "a", "b", "c")); err == nil {
+		t.Fatal("delete mismatching the compiled relation's arity must be rejected")
+	}
+	if err := store.Submit(storage.NewDelta().Add("New", "x").Add("New", "y", "z")); err == nil {
+		t.Fatal("one delta mixing arities for a fresh relation must be rejected")
+	}
+	if err := store.Submit(storage.NewDelta().Add("New", "x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Submit(storage.NewDelta().Add("New", "z")); err == nil {
+		t.Fatal("insert mismatching a pending relation's arity must be rejected")
+	}
+	// Deletes against an absent relation are vacuous at any arity (Apply
+	// treats them the same way)…
+	if err := store.Submit(storage.NewDelta().Remove("Ghost", "a", "b", "c")); err != nil {
+		t.Fatalf("vacuous delete rejected: %v", err)
+	}
+	// …but an insert that would create that relation with a different arity
+	// conflicts with the pending delete: Apply would reject the merged
+	// batch, so Submit must reject the insert — in either order.
+	if err := store.Submit(storage.NewDelta().Add("Ghost", "x", "y")); err == nil {
+		t.Fatal("insert conflicting with a pending vacuous delete must be rejected")
+	}
+	if err := store.Submit(storage.NewDelta().Add("Ghost", "x", "y", "z")); err != nil {
+		t.Fatalf("insert matching the pending delete's arity rejected: %v", err)
+	}
+	// A registered query's atom fixes the arity of a relation the database
+	// does not hold yet: tuples that could never bind against it are
+	// rejected at Submit instead of failing every Rebind at flush time.
+	qm, _ := cq.ParseQuery("Missing(x,y)")
+	if err := store.Register(ctx, "qm", qm); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Submit(storage.NewDelta().Add("Missing", "1", "2", "3")); err == nil {
+		t.Fatal("insert mismatching a registered atom's arity must be rejected")
+	}
+	if err := store.Submit(storage.NewDelta().Add("Missing", "1", "2")); err != nil {
+		t.Fatalf("insert matching the registered atom's arity rejected: %v", err)
+	}
+	// A later registration whose atom disagrees with the recorded arity of
+	// an absent relation is rejected outright — once tuples arrived, one of
+	// the two queries would fail every Rebind.
+	qc, _ := cq.ParseQuery("Missing(x,y,z)")
+	if err := store.Register(ctx, "qc", qc); err == nil {
+		t.Fatal("registration conflicting with a recorded atom arity must fail")
+	}
+	if st := store.Stats(); st.FlushErrors != 0 {
+		t.Fatalf("rejected submits must not count as flush errors, got %d", st.FlushErrors)
+	}
+	if err := store.Flush(ctx); err != nil {
+		t.Fatalf("flush after rejected submits: %v", err)
+	}
+	if err := store.Submit(storage.NewDelta().Add("R", "c", "d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cnt, _, err := store.Count("q"); err != nil || cnt != 2 {
+		t.Fatalf("Count after valid delta = %d (%v), want 2", cnt, err)
+	}
+}
+
+// TestFlushCancelRestoresBatch: a transient flush failure (cancelled
+// context) must re-queue the coalesced batch instead of dropping other
+// submitters' tuples; the next flush applies it.
+func TestFlushCancelRestoresBatch(t *testing.T) {
+	ctx := context.Background()
+	db := cq.Database{}
+	db.Add("R", "a", "b")
+	store, err := NewStore(ctx, nil, db, manualConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	q, _ := cq.ParseQuery("R(x,y)")
+	if err := store.Register(ctx, "q", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Submit(storage.NewDelta().Add("R", "c", "d")); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := store.Flush(cancelled); err == nil {
+		t.Fatal("flush with a cancelled context must report the error")
+	}
+	st := store.Stats()
+	if st.PendingTuples != 1 || st.Version != 1 || st.FlushErrors != 1 {
+		t.Fatalf("after cancelled flush: pending=%d version=%d errors=%d, want 1/1/1", st.PendingTuples, st.Version, st.FlushErrors)
+	}
+	if err := store.Flush(ctx); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if cnt, _, err := store.Count("q"); err != nil || cnt != 2 {
+		t.Fatalf("Count after retried flush = %d (%v), want 2", cnt, err)
+	}
+}

@@ -1,0 +1,618 @@
+// Package live is the serving layer over the incremental engine: a Store
+// owns an evolving compiled database snapshot together with a registry of
+// named bound queries, absorbs a stream of small storage.Deltas by
+// coalescing them into batched snapshot steps (one set-semantic Delta.Merge
+// batch → one CompiledDB.Apply → one Rebind per query), and pushes
+// result-change notifications to Watch subscribers instead of making every
+// consumer poll and re-count.
+//
+// The Store is the piece between the paper's count/enumerate primitives and
+// a network-facing service: cmd/d2cqd exposes it over HTTP/JSON with an SSE
+// watch stream.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/engine"
+	"d2cq/internal/storage"
+)
+
+// Config tunes a Store's ingestion pipeline and subscription buffers. The
+// zero value is usable: every knob falls back to its default.
+type Config struct {
+	// MaxBatch flushes the pending coalesced delta as soon as it lists this
+	// many tuples (after set-semantic deduplication). Default 256.
+	MaxBatch int
+	// MaxLatency bounds how long a submitted delta may sit unflushed: the
+	// background flusher applies the pending batch at the latest this long
+	// after its first tuple arrived. Default 25ms. Tests that want fully
+	// deterministic snapshots set both knobs high and call Flush directly.
+	MaxLatency time.Duration
+	// Buffer is the per-subscription notification channel capacity; a
+	// subscriber that falls further behind starts losing notifications
+	// (counted, see Notification.Lagged). Default 16.
+	Buffer int
+}
+
+// defaults for the zero Config.
+const (
+	defaultMaxBatch   = 256
+	defaultMaxLatency = 25 * time.Millisecond
+	defaultBuffer     = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = defaultMaxLatency
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = defaultBuffer
+	}
+	return c
+}
+
+// ErrClosed is returned by the mutating operations (Submit, Flush, Register,
+// Watch) on a closed Store. The read accessors — Count, Info, Queries,
+// Solutions, Version, Stats — keep answering from the final snapshot.
+var ErrClosed = errors.New("live: store closed")
+
+// ErrQueryConflict wraps Register's rejection of a taken name bound to a
+// different query (errors.Is-matchable, so servers can map it to a conflict
+// status distinct from compilation failures).
+var ErrQueryConflict = errors.New("live: query name already registered")
+
+// Store is a live view-maintenance service over one evolving database: the
+// current CompiledDB snapshot, the registered bound queries maintained
+// incrementally across snapshots, the coalescing ingestion pipeline, and the
+// Watch subscriber registry. All methods are safe for concurrent use.
+type Store struct {
+	eng *engine.Engine
+	cfg Config
+
+	mu           sync.Mutex
+	cdb          *engine.CompiledDB
+	version      uint64
+	queries      map[string]*liveQuery
+	relArity     map[string]int // arity each relation must have per the registered queries' atoms
+	pending      *storage.Delta
+	pendingSince time.Time
+	closed       bool
+	nextSubID    int
+
+	kick    chan struct{} // Submit → flusher: the batch-size trigger fired
+	closeCh chan struct{}
+	doneCh  chan struct{} // flusher exited
+	timer   *time.Timer   // max-latency trigger, armed on the first pending tuple
+
+	stats storeCounters
+}
+
+// storeCounters are the monotonic half of Stats, guarded by Store.mu.
+type storeCounters struct {
+	deltasSubmitted uint64
+	tuplesSubmitted uint64
+	flushes         uint64
+	flushedTuples   uint64
+	notifications   uint64
+	dropped         uint64
+	flushErrors     uint64
+	lastError       string
+}
+
+// liveQuery is one registered query: its prepared plan, the bound snapshot
+// being maintained, and the subscribers watching it.
+type liveQuery struct {
+	name  string
+	src   string // canonical query text, for idempotent re-registration
+	query cq.Query
+	bound *engine.BoundQuery
+	count int64
+	subs  []*Subscription
+}
+
+// NewStore compiles db once and starts the background flusher. A nil engine
+// gets a fresh default one; share an engine across stores (and with direct
+// API users) to share its decomposition cache.
+func NewStore(ctx context.Context, eng *engine.Engine, db cq.Database, cfg Config) (*Store, error) {
+	if eng == nil {
+		eng = engine.NewEngine()
+	}
+	cdb, err := eng.CompileDB(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		eng:      eng,
+		cfg:      cfg.withDefaults(),
+		cdb:      cdb,
+		version:  1,
+		queries:  map[string]*liveQuery{},
+		relArity: map[string]int{},
+		pending:  storage.NewDelta(),
+		kick:     make(chan struct{}, 1),
+		closeCh:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	s.timer = time.NewTimer(time.Hour)
+	if !s.timer.Stop() {
+		<-s.timer.C
+	}
+	go s.flusher()
+	return s, nil
+}
+
+// Engine returns the engine the store evaluates with.
+func (s *Store) Engine() *engine.Engine { return s.eng }
+
+// Register prepares and binds a named query over the current snapshot and
+// starts maintaining it across flushes. Registration primes the counting and
+// enumeration caches, so every later flush maintains them incrementally and
+// Watch diffs stay cheap. Re-registering the same name with the same query
+// is a no-op; a different query under a taken name is an error.
+func (s *Store) Register(ctx context.Context, name string, q cq.Query) error {
+	if name == "" {
+		return errors.New("live: empty query name")
+	}
+	src := q.String()
+	prep, err := s.eng.Prepare(ctx, q)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if lq, ok := s.queries[name]; ok {
+		if lq.src == src {
+			return nil
+		}
+		return fmt.Errorf("%w: %q is %s", ErrQueryConflict, name, lq.src)
+	}
+	// Reject atoms whose arity conflicts with what earlier registrations
+	// fixed for an absent relation (Bind cannot catch that — it binds an
+	// empty relation at any arity): once tuples arrive, one of the two
+	// queries would fail every Rebind, and stageFail would then drop whole
+	// batches as poison. Conflicts against existing tables fail in Bind
+	// below with the same engine error.
+	for _, a := range q.Atoms {
+		if want, ok := s.relArity[a.Rel]; ok && want != len(a.Args) {
+			return fmt.Errorf("live: atom %s has arity %d, but relation %s is registered with arity %d",
+				a.Rel, len(a.Args), a.Rel, want)
+		}
+	}
+	bound, err := prep.Bind(ctx, s.cdb)
+	if err != nil {
+		return err
+	}
+	count, err := bound.Count(ctx)
+	if err != nil {
+		return err
+	}
+	// Prime the enumeration cache too: the full reduction and indexes are
+	// cached before streaming begins, so stopping at the first yield builds
+	// the whole state without walking the result set.
+	if err := bound.Enumerate(ctx, func(engine.Solution) bool { return false }); err != nil {
+		return err
+	}
+	s.queries[name] = &liveQuery{name: name, src: src, query: q, bound: bound, count: count}
+	// Record the arity each atom demands of its relation: Submit validation
+	// rejects deltas that would create a relation no registered query could
+	// ever bind against (Bind would fail the whole flush otherwise). First
+	// registration wins — a query disagreeing with an already-recorded arity
+	// could never see that relation non-empty anyway.
+	for _, a := range q.Atoms {
+		if _, ok := s.relArity[a.Rel]; !ok {
+			s.relArity[a.Rel] = len(a.Args)
+		}
+	}
+	return nil
+}
+
+// Submit enqueues a delta into the ingestion pipeline: it is merged into the
+// pending coalesced batch (set semantics — resubmitting the same tuples does
+// not grow the batch) and applied by the next flush, at the latest
+// MaxLatency from now. Submit does no evaluation itself — its own work is
+// merging into the pending batch — but it serialises on the store lock, so
+// it can wait behind an in-progress flush (see the ROADMAP note about moving
+// the flush's engine work outside the lock). A delta whose tuples mismatch a
+// relation's arity — from the compiled table, a registered query's atom, or
+// the tuples already pending — is rejected here, before it could poison the
+// shared batch at flush time; the only other error is a closed store. The
+// store keeps references to the delta's tuple slices — do not mutate them
+// afterwards.
+func (s *Store) Submit(delta *storage.Delta) error {
+	if delta.Empty() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.validateLocked(delta); err != nil {
+		return err
+	}
+	s.stats.deltasSubmitted++
+	s.stats.tuplesSubmitted += uint64(delta.Size())
+	if s.pendingSince.IsZero() {
+		s.pendingSince = time.Now()
+		s.timer.Reset(s.cfg.MaxLatency)
+	}
+	s.pending.Merge(delta)
+	if s.pending.Size() >= s.cfg.MaxBatch {
+		select {
+		case s.kick <- struct{}{}:
+		default: // a kick is already queued
+		}
+	}
+	return nil
+}
+
+// validateLocked mirrors applyToTable's arity rules against the current
+// snapshot plus the pending batch, so a bad delta is rejected at Submit time
+// (where the submitter gets the error) instead of poisoning the coalesced
+// batch at flush time (where concurrent submitters would lose their tuples
+// too). A relation's expected arity comes from its compiled table, else from
+// a registered query's atom over it (any other arity would fail that query's
+// Rebind), else from the first pending or submitted insert creating it;
+// deletes against a
+// relation that stays absent are vacuous at any arity, exactly like Apply.
+// An insert that first fixes an unknown relation's arity must also agree
+// with any deletes already accepted into the pending batch as vacuous —
+// Apply would check them against the freshly created relation, so the
+// conflicting insert is the submission to reject.
+func (s *Store) validateLocked(delta *storage.Delta) error {
+	for _, rel := range delta.Relations() {
+		arity, known := s.cdb.RelationArity(rel)
+		fresh := false // arity unknown before this delta's own inserts
+		if !known {
+			// An absent relation read by a registered query must arrive with
+			// the atom's arity — any other would fail that query's Rebind.
+			if a, ok := s.relArity[rel]; ok {
+				arity, known = a, true
+			}
+		}
+		if !known {
+			if ts := s.pending.Insert[rel]; len(ts) > 0 {
+				arity, known = len(ts[0]), true
+			}
+		}
+		if !known {
+			if ts := delta.Insert[rel]; len(ts) > 0 {
+				arity, known, fresh = len(ts[0]), true, true
+			}
+		}
+		for _, t := range delta.Insert[rel] {
+			if len(t) != arity {
+				return fmt.Errorf("live: relation %s mixes arities %d and %d", rel, arity, len(t))
+			}
+		}
+		if !known {
+			continue // deletes against an empty relation: vacuous
+		}
+		for _, t := range delta.Delete[rel] {
+			if len(t) != arity {
+				return fmt.Errorf("live: relation %s delete has arity %d, want %d", rel, len(t), arity)
+			}
+		}
+		if fresh {
+			for _, t := range s.pending.Delete[rel] {
+				if len(t) != arity {
+					return fmt.Errorf("live: relation %s insert arity %d conflicts with a pending delete of arity %d", rel, arity, len(t))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flusher is the background half of the ingestion pipeline: it applies the
+// pending batch when the size trigger kicks or the max-latency timer fires.
+func (s *Store) flusher() {
+	defer close(s.doneCh)
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-s.kick:
+		case <-s.timer.C:
+		}
+		// Errors are recorded in Stats (a poison batch is dropped, see
+		// Flush); the flusher itself must keep serving.
+		_ = s.Flush(context.Background())
+	}
+}
+
+// Flush applies the pending coalesced batch now: one CompiledDB.Apply, one
+// Rebind per registered query, one notification per query whose result
+// changed. A no-op when nothing is pending. On error the snapshot and every
+// bound query are left exactly as they were and the error is recorded in
+// Stats and returned; a transient failure (context cancellation mid-flush)
+// re-queues the batch so other submitters' coalesced tuples survive for the
+// next flush, while a genuinely poison batch (an arity mismatch that slipped
+// past Submit validation) is dropped so it cannot wedge the pipeline.
+func (s *Store) Flush(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked(ctx)
+}
+
+func (s *Store) flushLocked(ctx context.Context) error {
+	if s.pending.Empty() {
+		return nil
+	}
+	batch := s.pending
+	s.pending = storage.NewDelta()
+	s.pendingSince = time.Time{}
+	fail := func(err error) error {
+		s.stats.flushErrors++
+		s.stats.lastError = err.Error()
+		return err
+	}
+	// restore re-queues the batch and re-arms the latency trigger: the
+	// failure was transient (typically the flushing caller's context), not
+	// the batch's fault, so the tuples other submitters coalesced into it
+	// must survive for the next flush. Under the current lock scope
+	// s.pending is still empty here (Submit blocks on mu for the whole
+	// flush); the Merge keeps this correct if the engine work ever moves
+	// outside the lock.
+	restore := func(err error) error {
+		s.pending = batch.Merge(s.pending)
+		s.pendingSince = time.Now()
+		s.timer.Reset(s.cfg.MaxLatency)
+		return fail(err)
+	}
+	// stageFail classifies an engine-stage error: a cancelled context is
+	// transient (the batch is innocent — re-queue it), anything else is
+	// deterministic and would fail every retry (a poison batch that slipped
+	// past Submit validation), so it is dropped with the error recorded —
+	// restoring it would wedge every future flush.
+	stageFail := func(err error) error {
+		if ctx.Err() != nil {
+			return restore(err)
+		}
+		return fail(err)
+	}
+	ncdb, err := s.cdb.Apply(ctx, batch)
+	if err != nil {
+		return stageFail(err)
+	}
+	// Stage every query's next state first, commit only when all succeeded:
+	// a mid-flush error (cancellation, arity mismatch against a query) must
+	// not leave half the registry on the new snapshot.
+	type staged struct {
+		lq             *liveQuery
+		bound          *engine.BoundQuery
+		count          int64
+		added, removed *engine.Relation
+	}
+	names := make([]string, 0, len(s.queries))
+	for name := range s.queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	next := make([]staged, 0, len(names))
+	for _, name := range names {
+		lq := s.queries[name]
+		nb, err := lq.bound.Rebind(ctx, ncdb)
+		if err != nil {
+			return stageFail(fmt.Errorf("rebind %s: %w", name, err))
+		}
+		count, err := nb.Count(ctx)
+		if err != nil {
+			return stageFail(fmt.Errorf("count %s: %w", name, err))
+		}
+		st := staged{lq: lq, bound: nb, count: count}
+		// The tuple-level diff exists only to feed notifications; an
+		// unwatched query pays the O(delta) incremental count and nothing
+		// else. (Subscribers can't appear mid-flush — the store lock is
+		// held — and a later Watch picks up diffs from the next flush.)
+		if len(lq.subs) > 0 {
+			if st.added, st.removed, err = nb.DiffFrom(ctx, lq.bound); err != nil {
+				return stageFail(fmt.Errorf("diff %s: %w", name, err))
+			}
+		}
+		next = append(next, st)
+	}
+	s.cdb = ncdb
+	s.version++
+	s.stats.flushes++
+	s.stats.flushedTuples += uint64(batch.Size())
+	for _, st := range next {
+		prevCount := st.lq.count
+		st.lq.bound = st.bound
+		st.lq.count = st.count
+		if st.added == nil || (st.added.Len() == 0 && st.removed.Len() == 0) {
+			continue // unwatched, or the batch was invisible to this query
+		}
+		n := Notification{
+			Query:     st.lq.name,
+			Version:   s.version,
+			Count:     st.count,
+			PrevCount: prevCount,
+			Added:     decodeRows(st.added, st.bound.Dict()),
+			Removed:   decodeRows(st.removed, st.bound.Dict()),
+		}
+		s.fanoutLocked(st.lq, n)
+	}
+	return nil
+}
+
+// decodeRows renders a relation's rows as constant-name tuples.
+func decodeRows(rel *engine.Relation, dict *engine.Dict) [][]string {
+	if rel.Len() == 0 {
+		return nil
+	}
+	out := make([][]string, rel.Len())
+	for i := range out {
+		row := rel.Row(i)
+		tuple := make([]string, len(row))
+		for j, v := range row {
+			tuple[j] = dict.Name(v)
+		}
+		out[i] = tuple
+	}
+	return out
+}
+
+// Count returns the named query's current result count and the snapshot
+// version it belongs to. O(1): the count is maintained incrementally.
+func (s *Store) Count(name string) (int64, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lq, ok := s.queries[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("live: unknown query %q", name)
+	}
+	return lq.count, s.version, nil
+}
+
+// QueryInfo summarises one registered query.
+type QueryInfo struct {
+	Name    string   `json:"name"`
+	Query   string   `json:"query"`
+	Vars    []string `json:"vars"`
+	Count   int64    `json:"count"`
+	Version uint64   `json:"version"`
+}
+
+// Info returns the named query's summary.
+func (s *Store) Info(name string) (QueryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lq, ok := s.queries[name]
+	if !ok {
+		return QueryInfo{}, fmt.Errorf("live: unknown query %q", name)
+	}
+	return QueryInfo{Name: lq.name, Query: lq.src, Vars: lq.bound.Vars(), Count: lq.count, Version: s.version}, nil
+}
+
+// Queries lists every registered query, sorted by name.
+func (s *Store) Queries() []QueryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueryInfo, 0, len(s.queries))
+	for _, lq := range s.queries {
+		out = append(out, QueryInfo{Name: lq.name, Query: lq.src, Vars: lq.bound.Vars(), Count: lq.count, Version: s.version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Solutions streams up to limit solutions of the named query over its
+// current snapshot (limit <= 0: all), decoded to constant names. Evaluation
+// runs outside the store lock — a BoundQuery is immutable, so flushes moving
+// the registry to the next snapshot never disturb a running enumeration.
+func (s *Store) Solutions(ctx context.Context, name string, limit int) ([][]string, uint64, error) {
+	s.mu.Lock()
+	lq, ok := s.queries[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("live: unknown query %q", name)
+	}
+	bound, version := lq.bound, s.version
+	s.mu.Unlock()
+	var rows [][]string
+	err := bound.Enumerate(ctx, func(sol engine.Solution) bool {
+		rows = append(rows, sol.Strings())
+		return limit <= 0 || len(rows) < limit
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, version, nil
+}
+
+// Version returns the current snapshot version (1 for the initial compile,
+// +1 per applied batch).
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Stats is a snapshot of the store's traffic and the engine behind it.
+// TuplesSubmitted versus FlushedTuples is the coalescing win: tuples that
+// cancelled or deduplicated inside a batch were never applied, and
+// Engine.Rebinds counts one Rebind per query per batch — not per delta.
+type Stats struct {
+	Version         uint64          `json:"version"`
+	Queries         int             `json:"queries"`
+	Subscribers     int             `json:"subscribers"`
+	PendingTuples   int             `json:"pending_tuples"`
+	DeltasSubmitted uint64          `json:"deltas_submitted"`
+	TuplesSubmitted uint64          `json:"tuples_submitted"`
+	Flushes         uint64          `json:"flushes"`
+	FlushedTuples   uint64          `json:"flushed_tuples"`
+	Notifications   uint64          `json:"notifications"`
+	Dropped         uint64          `json:"dropped"`
+	FlushErrors     uint64          `json:"flush_errors"`
+	LastError       string          `json:"last_error,omitempty"`
+	DB              storage.DBStats `json:"db"`
+	Engine          engine.Stats    `json:"engine"`
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	subs := 0
+	for _, lq := range s.queries {
+		subs += len(lq.subs)
+	}
+	return Stats{
+		Version:         s.version,
+		Queries:         len(s.queries),
+		Subscribers:     subs,
+		PendingTuples:   s.pending.Size(),
+		DeltasSubmitted: s.stats.deltasSubmitted,
+		TuplesSubmitted: s.stats.tuplesSubmitted,
+		Flushes:         s.stats.flushes,
+		FlushedTuples:   s.stats.flushedTuples,
+		Notifications:   s.stats.notifications,
+		Dropped:         s.stats.dropped,
+		FlushErrors:     s.stats.flushErrors,
+		LastError:       s.stats.lastError,
+		DB:              s.cdb.Stats(),
+		Engine:          s.eng.Stats(),
+	}
+}
+
+// Close flushes the pending batch, cancels every subscription (their
+// channels are closed) and stops the background flusher. The returned error
+// is the final flush's, if any. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked(context.Background())
+	s.closed = true
+	s.timer.Stop()
+	for _, lq := range s.queries {
+		for _, sub := range lq.subs {
+			sub.closed = true
+			close(sub.ch)
+		}
+		lq.subs = nil
+	}
+	s.mu.Unlock()
+	close(s.closeCh)
+	<-s.doneCh
+	return err
+}

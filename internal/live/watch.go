@@ -1,0 +1,101 @@
+package live
+
+import "fmt"
+
+// Notification is one result-change event of a watched query: the snapshot
+// version that produced it, the new and previous counts, and the exact
+// tuple-level diff (rows over the query's Vars, decoded to constant names).
+// Concatenating the Added/Removed lists of consecutive notifications
+// reconstructs the full result diff between any two snapshots a subscriber
+// observed — unless Lagged reports a gap.
+type Notification struct {
+	Query     string     `json:"query"`
+	Version   uint64     `json:"version"`
+	Count     int64      `json:"count"`
+	PrevCount int64      `json:"prev_count"`
+	Added     [][]string `json:"added,omitempty"`
+	Removed   [][]string `json:"removed,omitempty"`
+	// Lagged counts the notifications this subscriber lost immediately
+	// before this one because its buffer was full (slow-consumer drop). A
+	// lagged subscriber's diff stream has a hole: re-read the full result
+	// (Solutions) to resynchronise.
+	Lagged uint64 `json:"lagged,omitempty"`
+}
+
+// Subscription is one Watch registration. Receive from C; the channel is
+// closed when the subscription is cancelled or the store closes. Receiving
+// too slowly never blocks the store — notifications are dropped instead and
+// surface as Lagged on the next delivered one.
+type Subscription struct {
+	// C delivers the notifications. Capacity is Config.Buffer.
+	C <-chan Notification
+
+	store   *Store
+	lq      *liveQuery
+	id      int
+	ch      chan Notification
+	dropped uint64 // guarded by store.mu
+	closed  bool   // guarded by store.mu
+}
+
+// Watch subscribes to result changes of a registered query. Every flush that
+// changes the query's result produces one Notification carrying the exact
+// diff against the previous snapshot; flushes the query's result absorbs are
+// silent. The subscriber owns a bounded buffer: fall behind by more than
+// Config.Buffer notifications and the oldest pending ones are dropped,
+// accounted in Lagged. Cancel (or Store.Close) closes C.
+func (s *Store) Watch(name string) (*Subscription, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	lq, ok := s.queries[name]
+	if !ok {
+		return nil, fmt.Errorf("live: unknown query %q", name)
+	}
+	ch := make(chan Notification, s.cfg.Buffer)
+	sub := &Subscription{C: ch, store: s, lq: lq, id: s.nextSubID, ch: ch}
+	s.nextSubID++
+	lq.subs = append(lq.subs, sub)
+	return sub, nil
+}
+
+// Cancel unsubscribes and closes C. Idempotent; safe concurrently with
+// flushes (fan-out and cancellation serialise on the store lock, so a send
+// on the closed channel cannot happen).
+func (sub *Subscription) Cancel() {
+	s := sub.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	subs := sub.lq.subs
+	for i, other := range subs {
+		if other == sub {
+			sub.lq.subs = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	close(sub.ch)
+}
+
+// fanoutLocked delivers one notification to every subscriber of a query,
+// never blocking: a full buffer drops the notification for that subscriber
+// and the drop surfaces as Lagged on its next delivered one. Called with
+// Store.mu held.
+func (s *Store) fanoutLocked(lq *liveQuery, n Notification) {
+	s.stats.notifications++
+	for _, sub := range lq.subs {
+		n.Lagged = sub.dropped
+		select {
+		case sub.ch <- n:
+			sub.dropped = 0
+		default:
+			sub.dropped++
+			s.stats.dropped++
+		}
+	}
+}

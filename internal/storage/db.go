@@ -112,6 +112,12 @@ func (t *Table) Stats() TableStats {
 type DB struct {
 	Dict   *Dict
 	tables map[string]*Table
+
+	// lineage records, per relation Apply actually changed, the row-level
+	// delta from the parent snapshot (see TableDelta). Only the single Apply
+	// step that produced this DB is recorded; a consumer holding an older
+	// ancestor must verify TableDelta.Parent against the table it knows.
+	lineage map[string]*TableDelta
 }
 
 // Compile interns an entire cq.Database once. It fails if a relation holds
@@ -159,6 +165,13 @@ func Compile(db cq.Database) (*DB, error) {
 // Table returns the compiled relation of the given name, or nil when the
 // relation is absent (equivalently: empty).
 func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Lineage returns the row-level delta of the named relation across the Apply
+// that produced this snapshot, or nil when that Apply did not change the
+// relation (or the snapshot came from Compile). The caller must check that
+// TableDelta.Parent is the table it holds before patching from the lineage —
+// a snapshot several Applies ahead records only its last step.
+func (db *DB) Lineage(name string) *TableDelta { return db.lineage[name] }
 
 // Relations returns the compiled relation names, sorted.
 func (db *DB) Relations() []string {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
+	"strings"
 
 	"d2cq/internal/cq"
 )
@@ -44,6 +46,102 @@ func (d *Delta) Remove(rel string, vals ...string) *Delta {
 	}
 	d.Delete[rel] = append(d.Delete[rel], vals)
 	return d
+}
+
+// Clone returns an independent copy of the delta (tuple slices are shared —
+// they are never mutated by the storage layer).
+func (d *Delta) Clone() *Delta {
+	out := NewDelta()
+	if d == nil {
+		return out
+	}
+	for rel, ts := range d.Insert {
+		out.Insert[rel] = append([][]string(nil), ts...)
+	}
+	for rel, ts := range d.Delete {
+		out.Delete[rel] = append([][]string(nil), ts...)
+	}
+	return out
+}
+
+// Merge folds a later delta into the receiver so that one Apply of the merged
+// delta produces the same database as applying the receiver and then other:
+// for every relation, Delete becomes D1 ∪ D2 and Insert becomes (I1 ∖ D2) ∪ I2
+// (the later delta's deletes cancel the earlier inserts; deletes-first then
+// makes re-inserted tuples survive). Both halves are kept set-deduplicated, so
+// a long coalesced stream stays proportional to the distinct tuples touched,
+// never the number of merged deltas. Returns the receiver.
+func (d *Delta) Merge(other *Delta) *Delta {
+	if other.Empty() {
+		return d
+	}
+	if d.Insert == nil {
+		d.Insert = map[string][][]string{}
+	}
+	if d.Delete == nil {
+		d.Delete = map[string][][]string{}
+	}
+	for _, rel := range other.Relations() {
+		if del2 := tupleSet(other.Delete[rel]); len(del2) > 0 {
+			// Cancel earlier inserts the later delta deletes.
+			if ins1 := d.Insert[rel]; len(ins1) > 0 {
+				kept := ins1[:0]
+				for _, t := range ins1 {
+					if _, hit := del2[tupleMergeKey(t)]; !hit {
+						kept = append(kept, t)
+					}
+				}
+				if len(kept) == 0 {
+					delete(d.Insert, rel)
+				} else {
+					d.Insert[rel] = kept
+				}
+			}
+			mergeTuples(d.Delete, rel, other.Delete[rel])
+		}
+		mergeTuples(d.Insert, rel, other.Insert[rel])
+	}
+	return d
+}
+
+// mergeTuples appends the tuples absent from dst[rel], preserving order and
+// set semantics.
+func mergeTuples(dst map[string][][]string, rel string, tuples [][]string) {
+	if len(tuples) == 0 {
+		return
+	}
+	have := tupleSet(dst[rel])
+	for _, t := range tuples {
+		k := tupleMergeKey(t)
+		if _, ok := have[k]; ok {
+			continue
+		}
+		have[k] = struct{}{}
+		dst[rel] = append(dst[rel], t)
+	}
+	if len(dst[rel]) == 0 {
+		delete(dst, rel)
+	}
+}
+
+// tupleMergeKey renders a constant tuple as a set key (constants are free
+// text, so a length-prefixed join is unambiguous).
+func tupleMergeKey(t []string) string {
+	var b strings.Builder
+	for _, c := range t {
+		b.WriteString(strconv.Itoa(len(c)))
+		b.WriteByte(':')
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+func tupleSet(tuples [][]string) map[string]struct{} {
+	out := make(map[string]struct{}, len(tuples))
+	for _, t := range tuples {
+		out[tupleMergeKey(t)] = struct{}{}
+	}
+	return out
 }
 
 // Empty reports whether the delta carries no insertions and no deletions.
@@ -148,6 +246,31 @@ func (d *Delta) ApplyToDatabase(db cq.Database) {
 	}
 }
 
+// TableDelta is the row-level lineage of one relation across a single Apply:
+// the interned rows removed from the parent snapshot's table and the rows
+// appended after the survivors, both laid out flat like Table.Data. The
+// surviving parent rows keep their relative order and the added rows follow
+// them, so parent + lineage fully determine the child table without a scan —
+// the contract incremental atom rebinding relies on. Parent is the relation's
+// table in the parent snapshot (nil when the relation was empty).
+type TableDelta struct {
+	Parent  *Table
+	Arity   int
+	Added   []Value
+	Removed []Value
+}
+
+// AddedRows and RemovedRows return the row counts of the lineage.
+func (td *TableDelta) AddedRows() int   { return rowCount(td.Added, td.Arity) }
+func (td *TableDelta) RemovedRows() int { return rowCount(td.Removed, td.Arity) }
+
+func rowCount(data []Value, arity int) int {
+	if arity == 0 {
+		return len(data)
+	}
+	return len(data) / arity
+}
+
 // Apply produces a new database snapshot with the delta applied. The new DB
 // shares the dictionary and every untouched Table with its parent —
 // copy-on-write at relation granularity — so the cost is proportional to the
@@ -156,7 +279,10 @@ func (d *Delta) ApplyToDatabase(db cq.Database) {
 // parent snapshot is completely unaffected and both snapshots stay live and
 // safe for concurrent reads. A touched relation whose content does not
 // actually change (all deletes absent, all inserts present) keeps its old
-// Table pointer, so downstream pointer-diffing sees a precise dirty set.
+// Table pointer, so downstream pointer-diffing sees a precise dirty set. For
+// every relation that did change, the new snapshot records the row-level
+// lineage (see Lineage), so one-step descendants can be maintained in
+// O(delta) instead of O(relation).
 func (db *DB) Apply(delta *Delta) (*DB, error) {
 	out := &DB{Dict: db.Dict, tables: make(map[string]*Table, len(db.tables)+delta.Size())}
 	for name, t := range db.tables {
@@ -167,13 +293,17 @@ func (db *DB) Apply(delta *Delta) (*DB, error) {
 	}
 	for _, name := range delta.Relations() {
 		old := db.tables[name]
-		nt, changed, err := applyToTable(name, old, db.Dict, delta.Insert[name], delta.Delete[name])
+		nt, td, err := applyToTable(name, old, db.Dict, delta.Insert[name], delta.Delete[name])
 		if err != nil {
 			return nil, err
 		}
-		if !changed {
+		if td == nil {
 			continue
 		}
+		if out.lineage == nil {
+			out.lineage = map[string]*TableDelta{}
+		}
+		out.lineage[name] = td
 		if nt == nil {
 			delete(out.tables, name)
 		} else {
@@ -185,10 +315,10 @@ func (db *DB) Apply(delta *Delta) (*DB, error) {
 
 // applyToTable computes the new compiled table of one relation under a set of
 // insertions and deletions. old may be nil (relation currently empty); the
-// returned table is nil when the relation ends up empty. changed reports
-// whether the relation's content actually differs from old — when false the
-// caller keeps the old pointer.
-func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]string) (_ *Table, changed bool, err error) {
+// returned table is nil when the relation ends up empty. The returned lineage
+// is nil when the relation's content does not actually differ from old — the
+// caller then keeps the old pointer.
+func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]string) (_ *Table, _ *TableDelta, err error) {
 	arity := -1
 	if old != nil {
 		arity = old.Arity
@@ -198,17 +328,17 @@ func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]stri
 			arity = len(tuple)
 		}
 		if len(tuple) != arity {
-			return nil, false, fmt.Errorf("storage: relation %s mixes arities %d and %d", name, arity, len(tuple))
+			return nil, nil, fmt.Errorf("storage: relation %s mixes arities %d and %d", name, arity, len(tuple))
 		}
 	}
 	if arity < 0 {
 		// Deletes against an empty relation: nothing to do, any arity is a
 		// vacuous match.
-		return nil, false, nil
+		return nil, nil, nil
 	}
 	for _, tuple := range deletes {
 		if len(tuple) != arity {
-			return nil, false, fmt.Errorf("storage: relation %s delete has arity %d, want %d", name, len(tuple), arity)
+			return nil, nil, fmt.Errorf("storage: relation %s delete has arity %d, want %d", name, len(tuple), arity)
 		}
 	}
 
@@ -255,14 +385,17 @@ func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]stri
 	if len(inserts) > 0 {
 		present = NewTupleMap(arity, oldRows+len(inserts))
 	}
-	deleted := 0
+	var removed []Value
 	for i := 0; i < oldRows; i++ {
 		var row []Value
 		if old != nil {
 			row = old.Row(i)
 		}
 		if del != nil && del.Find(row) >= 0 {
-			deleted++
+			removed = append(removed, row...)
+			if arity == 0 {
+				removed = append(removed, 0)
+			}
 			continue
 		}
 		data = append(data, row...)
@@ -273,7 +406,7 @@ func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]stri
 			present.Insert(row)
 		}
 	}
-	inserted := 0
+	addedFrom := len(data)
 	ibuf := make([]Value, arity)
 	for _, tuple := range inserts {
 		for i, c := range tuple {
@@ -282,17 +415,17 @@ func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]stri
 		if _, isNew := present.Insert(ibuf); !isNew {
 			continue
 		}
-		inserted++
 		data = append(data, ibuf...)
 		if arity == 0 {
 			data = append(data, 0)
 		}
 	}
-	if deleted == 0 && inserted == 0 {
-		return old, false, nil
+	if len(removed) == 0 && len(data) == addedFrom {
+		return old, nil, nil
 	}
+	td := &TableDelta{Parent: old, Arity: arity, Added: data[addedFrom:], Removed: removed}
 	if len(data) == 0 {
-		return nil, true, nil
+		return nil, td, nil
 	}
-	return &Table{Name: name, Arity: arity, Data: data}, true, nil
+	return &Table{Name: name, Arity: arity, Data: data}, td, nil
 }

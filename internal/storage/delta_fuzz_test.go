@@ -24,7 +24,13 @@ import (
 //     whose content does not actually change — keeps its Table pointer
 //     (the dirtiness protocol of BoundQuery.Rebind depends on it);
 //   - the parent snapshot's tables are bit-identical afterwards
-//     (copy-on-write: Apply never mutates the receiver).
+//     (copy-on-write: Apply never mutates the receiver);
+//   - every changed relation carries row-level lineage whose Parent is the
+//     old table and which reconstructs the new table exactly (survivors in
+//     order, added rows appended);
+//   - Delta.Merge is equivalent to sequential application: folding the whole
+//     script into one delta and applying it to the initial snapshot yields
+//     the same database as the step-by-step chain, at every delta boundary.
 func FuzzDeltaScript(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 1}) // one insert into R
@@ -46,6 +52,8 @@ func FuzzDeltaScript(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		base := cur // the initial snapshot, for the Merge-equivalence check
+		merged := NewDelta()
 		mirror := initial.Clone()
 
 		// Decode: each op is one tag byte (bit0 insert/delete, bits1-2 the
@@ -74,11 +82,101 @@ func FuzzDeltaScript(f *testing.F) {
 			ops++
 			if tag&0x40 != 0 {
 				cur, mirror = applyAndCheck(t, cur, mirror, delta)
+				merged.Merge(delta)
+				checkMerged(t, base, merged, cur)
 				delta = NewDelta()
 			}
 		}
-		applyAndCheck(t, cur, mirror, delta)
+		cur, _ = applyAndCheck(t, cur, mirror, delta)
+		merged.Merge(delta)
+		checkMerged(t, base, merged, cur)
 	})
+}
+
+// checkMerged asserts the Delta.Merge contract: applying the whole script
+// coalesced into one delta to the initial snapshot produces the same
+// database as the sequential Apply chain did.
+func checkMerged(t *testing.T, base *DB, merged *Delta, want *DB) {
+	t.Helper()
+	got, err := base.Apply(merged)
+	if err != nil {
+		t.Fatalf("Apply(merged): %v", err)
+	}
+	names := map[string]bool{}
+	for _, n := range got.Relations() {
+		names[n] = true
+	}
+	for _, n := range want.Relations() {
+		names[n] = true
+	}
+	for name := range names {
+		g := tableTuples(got.Table(name), got.Dict)
+		w := tableTuples(want.Table(name), want.Dict)
+		if !tuplesEqual(g, w) {
+			t.Fatalf("relation %s: merged delta yields %v, sequential chain %v (merged %v/%v)",
+				name, keys(g), keys(w), merged.Insert, merged.Delete)
+		}
+	}
+}
+
+// checkLineage asserts the row-level lineage contract of one Apply step:
+// changed relations carry a TableDelta whose Parent is the old table and
+// which reconstructs the new table exactly (surviving parent rows in order,
+// added rows appended); unchanged relations carry none.
+func checkLineage(t *testing.T, cur, next *DB, delta *Delta) {
+	t.Helper()
+	names := map[string]bool{}
+	for _, n := range cur.Relations() {
+		names[n] = true
+	}
+	for _, n := range next.Relations() {
+		names[n] = true
+	}
+	for _, n := range delta.Relations() {
+		names[n] = true
+	}
+	for name := range names {
+		oldT, newT := cur.Table(name), next.Table(name)
+		lin := next.Lineage(name)
+		if oldT == newT {
+			if lin != nil {
+				t.Fatalf("relation %s unchanged but carries lineage", name)
+			}
+			continue
+		}
+		if lin == nil {
+			t.Fatalf("relation %s changed without lineage", name)
+		}
+		if lin.Parent != oldT {
+			t.Fatalf("relation %s lineage parent is not the old table", name)
+		}
+		stride := lin.Arity
+		if stride == 0 {
+			stride = 1 // sentinel layout of nullary tables
+		}
+		rm := NewTupleMap(stride, lin.RemovedRows())
+		for i := 0; i+stride <= len(lin.Removed); i += stride {
+			rm.Insert(lin.Removed[i : i+stride])
+		}
+		var rec []Value
+		if oldT != nil {
+			for i := 0; i+stride <= len(oldT.Data); i += stride {
+				row := oldT.Data[i : i+stride]
+				if rm.Find(row) >= 0 {
+					continue
+				}
+				rec = append(rec, row...)
+			}
+		}
+		rec = append(rec, lin.Added...)
+		var got []Value
+		if newT != nil {
+			got = newT.Data
+		}
+		if !slices.Equal(rec, got) {
+			t.Fatalf("relation %s: lineage reconstructs %v, new table holds %v", name, rec, got)
+		}
+	}
 }
 
 // applyAndCheck applies one delta to the snapshot and the mirror and runs
@@ -93,6 +191,7 @@ func applyAndCheck(t *testing.T, cur *DB, mirror cq.Database, delta *Delta) (*DB
 	if err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
+	checkLineage(t, cur, next, delta)
 	oldMirror := mirror.Clone()
 	delta.ApplyToDatabase(mirror)
 

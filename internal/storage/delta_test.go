@@ -269,3 +269,101 @@ func TestDictConcurrentReadersDuringApply(t *testing.T) {
 	}
 	<-done
 }
+
+// TestDeltaMergeSemantics pins the Merge composition law on hand-picked
+// cases: later deletes cancel earlier inserts, re-inserts survive
+// (deletes-first), and both halves stay set-deduplicated.
+func TestDeltaMergeSemantics(t *testing.T) {
+	db := cq.Database{}
+	db.Add("R", "a")
+	db.Add("R", "b")
+	sdb := compileT(t, db)
+
+	cases := []struct {
+		name   string
+		deltas []*Delta
+	}{
+		{"insert-then-delete", []*Delta{NewDelta().Add("R", "x"), NewDelta().Remove("R", "x")}},
+		{"delete-then-reinsert", []*Delta{NewDelta().Remove("R", "a"), NewDelta().Add("R", "a")}},
+		{"delete-insert-same-delta-then-delete", []*Delta{
+			NewDelta().Remove("R", "a").Add("R", "a"), NewDelta().Remove("R", "a")}},
+		{"duplicates-dedup", []*Delta{
+			NewDelta().Add("R", "x").Add("R", "x").Remove("R", "b"),
+			NewDelta().Remove("R", "b").Add("R", "x")}},
+		{"new-relation", []*Delta{NewDelta().Add("Q", "1", "2"), NewDelta().Remove("Q", "1", "2").Add("Q", "3", "4")}},
+	}
+	for _, tc := range cases {
+		seq := sdb
+		merged := NewDelta()
+		for _, d := range tc.deltas {
+			next, err := seq.Apply(d)
+			if err != nil {
+				t.Fatalf("%s: sequential Apply: %v", tc.name, err)
+			}
+			seq = next
+			merged.Merge(d)
+		}
+		got, err := sdb.Apply(merged)
+		if err != nil {
+			t.Fatalf("%s: Apply(merged): %v", tc.name, err)
+		}
+		for _, rel := range []string{"R", "Q"} {
+			if g, w := rowsOf(got, rel), rowsOf(seq, rel); len(g) != len(w) {
+				t.Fatalf("%s: relation %s merged %v, sequential %v", tc.name, rel, g, w)
+			} else {
+				for k := range w {
+					if g[k] != w[k] {
+						t.Fatalf("%s: relation %s merged %v, sequential %v", tc.name, rel, g, w)
+					}
+				}
+			}
+		}
+	}
+	// Dedup bound: merging the same single-tuple delta many times stays O(1).
+	acc := NewDelta()
+	for i := 0; i < 100; i++ {
+		acc.Merge(NewDelta().Add("R", "x").Remove("R", "y"))
+	}
+	if n := acc.Size(); n != 2 {
+		t.Fatalf("coalesced size = %d, want 2 (set semantics must bound the merged delta)", n)
+	}
+}
+
+// TestApplyLineage pins the lineage accessor on a direct case: one Apply
+// records the removed and added rows of every changed relation and nothing
+// for untouched ones.
+func TestApplyLineage(t *testing.T) {
+	db := cq.Database{}
+	db.Add("R", "a", "b")
+	db.Add("R", "b", "c")
+	db.Add("S", "x")
+	sdb := compileT(t, db)
+	ndb, err := sdb.Apply(NewDelta().Add("R", "c", "d").Remove("R", "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := ndb.Lineage("R")
+	if lin == nil {
+		t.Fatal("changed relation R has no lineage")
+	}
+	if lin.Parent != sdb.Table("R") {
+		t.Error("lineage parent is not the old table")
+	}
+	if lin.AddedRows() != 1 || lin.RemovedRows() != 1 {
+		t.Errorf("lineage rows: added %d removed %d, want 1/1", lin.AddedRows(), lin.RemovedRows())
+	}
+	if ndb.Lineage("S") != nil {
+		t.Error("untouched relation S has lineage")
+	}
+	// A second Apply records only its own step.
+	n2, err := ndb.Apply(NewDelta().Add("S", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Lineage("R") != nil {
+		t.Error("grandchild snapshot still carries the R lineage of the previous step")
+	}
+	if n2.Lineage("S") == nil {
+		t.Error("changed relation S has no lineage in the second step")
+	}
+}

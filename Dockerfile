@@ -1,0 +1,15 @@
+# Minimal d2cqd image: static build, distroless-style scratch runtime, the
+# durable data directory on a volume.
+#
+#   docker build -t d2cqd .
+#   docker run -p 8344:8344 -v d2cq-data:/data d2cqd
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/d2cqd ./cmd/d2cqd
+
+FROM scratch
+COPY --from=build /out/d2cqd /d2cqd
+VOLUME /data
+EXPOSE 8344
+ENTRYPOINT ["/d2cqd", "-addr", "0.0.0.0:8344", "-data-dir", "/data"]

@@ -6,6 +6,15 @@
 // Usage:
 //
 //	d2cqd [-addr 127.0.0.1:8344] [-db file] [-max-batch 256] [-max-latency 25ms] [-buffer 16] [-parallelism n]
+//	      [-data-dir dir] [-fsync always|off|duration] [-checkpoint-every 64]
+//
+// With -data-dir the store is durable: every applied batch and registration
+// is written to a write-ahead log under the directory before it becomes
+// observable, snapshot checkpoints bound recovery replay (one every
+// -checkpoint-every flushes, plus on startup and shutdown), and a restart
+// over the same directory resumes at the exact pre-crash state. -fsync picks
+// the durability/latency trade-off: "always" fsyncs per flush, a duration
+// ("100ms") fsyncs on that interval, "off" leaves flushing to the OS.
 //
 // Endpoints:
 //
@@ -20,8 +29,15 @@
 //	GET  /watch?query=paths
 //	              an SSE stream: one "snapshot" event with the current
 //	              count, then one "change" event per flush that changed the
-//	              result, carrying the exact added/removed tuples.
-//	GET  /stats   store + engine counters as JSON.
+//	              result, carrying the exact added/removed tuples. Every
+//	              event carries an SSE id (the snapshot version); a client
+//	              reconnecting with Last-Event-ID (or ?from=N) resumes the
+//	              stream exactly when the store still holds every change
+//	              past that cursor — otherwise it gets a fresh "snapshot"
+//	              event with "lagged":true and must re-read the result.
+//	GET  /stats   store + engine counters as JSON (plus a durability
+//	              section — log size, checkpoints, replay length — when
+//	              -data-dir is set).
 package main
 
 import (
@@ -35,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -42,7 +59,23 @@ import (
 	"d2cq/internal/engine"
 	"d2cq/internal/live"
 	"d2cq/internal/storage"
+	"d2cq/internal/wal"
 )
+
+// parseFsync maps the -fsync flag onto a WAL sync policy.
+func parseFsync(v string) (wal.SyncMode, time.Duration, error) {
+	switch v {
+	case "always":
+		return wal.SyncAlways, 0, nil
+	case "off":
+		return wal.SyncOff, 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-fsync must be always, off, or a positive duration (got %q)", v)
+	}
+	return wal.SyncInterval, d, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -59,6 +92,9 @@ func run(args []string, out io.Writer) error {
 	maxLatency := fs.Duration("max-latency", 0, "flush the coalesced batch at the latest this long after the first pending tuple (0: default 25ms)")
 	buffer := fs.Int("buffer", 0, "per-watcher notification buffer before drops (0: default 16)")
 	parallelism := fs.Int("parallelism", 0, "engine worker pool for evaluation passes (0/1: sequential, -1: one per CPU)")
+	dataDir := fs.String("data-dir", "", "durable mode: write-ahead log + checkpoints under this directory; restarts resume the pre-crash state")
+	fsync := fs.String("fsync", "always", "WAL fsync policy: always (per flush), off, or an interval duration like 100ms")
+	ckptEvery := fs.Int("checkpoint-every", 0, "flushes between snapshot checkpoints in durable mode (0: default 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,10 +112,38 @@ func run(args []string, out io.Writer) error {
 	if *parallelism != 0 {
 		opts = append(opts, engine.WithParallelism(*parallelism))
 	}
-	store, err := live.NewStore(context.Background(), engine.NewEngine(opts...),
-		db, live.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency, Buffer: *buffer})
-	if err != nil {
-		return err
+	cfg := live.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency, Buffer: *buffer}
+	var store *live.Store
+	var err error
+	if *dataDir != "" {
+		if *dbPath != "" {
+			// The log is the source of truth in durable mode; silently also
+			// loading a -db file would make restarts diverge from it.
+			return fmt.Errorf("-db and -data-dir are mutually exclusive (feed initial data through POST /update)")
+		}
+		mode, interval, err := parseFsync(*fsync)
+		if err != nil {
+			return err
+		}
+		backend, err := wal.NewFS(*dataDir)
+		if err != nil {
+			return err
+		}
+		store, err = live.Open(context.Background(), engine.NewEngine(opts...), live.DurableConfig{
+			Config:          cfg,
+			Backend:         backend,
+			SyncMode:        mode,
+			SyncInterval:    interval,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		store, err = live.NewStore(context.Background(), engine.NewEngine(opts...), db, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -253,12 +317,15 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 // snapshotEvent is the first SSE event of a watch stream: where the
-// subscriber starts from.
+// subscriber starts from. Lagged is set when the client presented a resume
+// cursor the store no longer covers — its diff stream has a hole, and this
+// snapshot is the resynchronisation point.
 type snapshotEvent struct {
 	Query   string   `json:"query"`
 	Version uint64   `json:"version"`
 	Count   int64    `json:"count"`
 	Vars    []string `json:"vars"`
+	Lagged  bool     `json:"lagged,omitempty"`
 }
 
 func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
@@ -276,9 +343,37 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
+	// A resume cursor comes from the standard SSE reconnect header, or from
+	// ?from= for clients that manage cursors themselves. The cursor is the
+	// version of the last event the client fully processed.
+	cursor, hasCursor := uint64(0), false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad Last-Event-ID %q: %w", v, err))
+			return
+		}
+		cursor, hasCursor = n, true
+	} else if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from %q: %w", v, err))
+			return
+		}
+		cursor, hasCursor = n, true
+	}
 	// Subscribe before reading the snapshot: a flush between the two at
-	// worst duplicates a change into the snapshot, never loses one.
-	sub, err := s.store.Watch(name)
+	// worst duplicates a change into the snapshot, never loses one. With a
+	// resumable cursor the missed changes are already queued on the
+	// subscription, so no snapshot is needed at all.
+	var sub *live.Subscription
+	resumed := false
+	var err error
+	if hasCursor {
+		sub, resumed, err = s.store.WatchFrom(name, cursor)
+	} else {
+		sub, err = s.store.Watch(name)
+	}
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
@@ -292,19 +387,24 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	event := func(kind string, v any) bool {
+	// Every event carries its snapshot version as the SSE id, so the
+	// browser's automatic Last-Event-ID reconnect resumes at the right spot.
+	event := func(kind string, id uint64, v any) bool {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data); err != nil {
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", kind, id, data); err != nil {
 			return false
 		}
 		flusher.Flush()
 		return true
 	}
-	if !event("snapshot", snapshotEvent{Query: info.Name, Version: info.Version, Count: info.Count, Vars: info.Vars}) {
-		return
+	if !resumed {
+		snap := snapshotEvent{Query: info.Name, Version: info.Version, Count: info.Count, Vars: info.Vars, Lagged: hasCursor}
+		if !event("snapshot", info.Version, snap) {
+			return
+		}
 	}
 	for {
 		select {
@@ -314,7 +414,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return // store closed
 			}
-			if !event("change", n) {
+			if !event("change", n.Version, n) {
 				return
 			}
 		}

@@ -34,6 +34,7 @@ import (
 	"d2cq/internal/live"
 	"d2cq/internal/reduction"
 	"d2cq/internal/storage"
+	"d2cq/internal/wal"
 )
 
 // --- hypergraphs -------------------------------------------------------------
@@ -334,6 +335,40 @@ var ErrLiveClosed = live.ErrClosed
 // A nil engine gets a fresh default one.
 func NewLiveStore(ctx context.Context, eng *Engine, db Database, cfg LiveConfig) (*LiveStore, error) {
 	return live.NewStore(ctx, eng, db, cfg)
+}
+
+// --- durability -----------------------------------------------------------------
+
+// LiveDurableConfig configures a durable LiveStore: the wal.Backend the log
+// and checkpoints live on, the fsync policy, and the checkpoint cadence,
+// wrapped around the usual LiveConfig.
+type LiveDurableConfig = live.DurableConfig
+
+// LiveDurabilityStats is the durability section of LiveStats: log position,
+// segment/checkpoint counts, replay and fsync-policy information.
+type LiveDurabilityStats = live.DurabilityStats
+
+// WALBackend is the storage a durable LiveStore writes through: append-only
+// log segments plus atomically-replaced checkpoint blobs. NewWALDir opens
+// the filesystem implementation; NewWALMem backs tests.
+type WALBackend = wal.Backend
+
+// NewWALDir opens (creating if needed) a filesystem WAL directory.
+func NewWALDir(dir string) (*wal.FS, error) { return wal.NewFS(dir) }
+
+// NewWALMem returns an in-memory WAL backend whose Clone method freezes
+// power-cut images for crash-recovery testing.
+func NewWALMem() *wal.Mem { return wal.NewMem() }
+
+// OpenLiveStore opens a durable LiveStore over cfg.Backend: it restores the
+// newest checkpoint, replays the write-ahead log suffix (re-registering
+// logged queries and re-applying logged delta batches), and then serves and
+// logs exactly like NewLiveStore. A store that was SIGKILLed resumes at its
+// precise pre-crash version; Watch subscribers reconnecting with a version
+// cursor (Store.WatchFrom) resume their notification stream without a fresh
+// snapshot when the cursor is inside the retained history window.
+func OpenLiveStore(ctx context.Context, eng *Engine, cfg LiveDurableConfig) (*LiveStore, error) {
+	return live.Open(ctx, eng, cfg)
 }
 
 // --- reductions -----------------------------------------------------------------

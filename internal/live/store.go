@@ -39,6 +39,12 @@ type Config struct {
 	// subscriber that falls further behind starts losing notifications
 	// (counted, see Notification.Lagged). Default 16.
 	Buffer int
+	// History retains the last History change-notifications per query so a
+	// reconnecting watcher can resume from a version cursor (WatchFrom)
+	// without a fresh snapshot. 0 disables history — WatchFrom then always
+	// reports the cursor as unresumable. Enabling it makes every flush
+	// compute tuple diffs even for unwatched queries (they feed the ring).
+	History int
 }
 
 // defaults for the zero Config.
@@ -84,10 +90,14 @@ type Store struct {
 	version      uint64
 	queries      map[string]*liveQuery
 	relArity     map[string]int // arity each relation must have per the registered queries' atoms
-	pending      *storage.Delta
+	pending      *storage.Coalescer
 	pendingSince time.Time
 	closed       bool
 	nextSubID    int
+
+	// dur wires the write-ahead log and checkpointing in when the store was
+	// created with Open; nil for a purely in-memory store.
+	dur *durability
 
 	kick    chan struct{} // Submit → flusher: the batch-size trigger fired
 	closeCh chan struct{}
@@ -118,6 +128,15 @@ type liveQuery struct {
 	bound *engine.BoundQuery
 	count int64
 	subs  []*Subscription
+
+	// hist is the resume ring (Config.History > 0): the most recent change
+	// notifications, oldest first. histFloor maintains the invariant that
+	// every change with Version > histFloor is present in hist — it starts
+	// at the registration version and advances to the evicted entry's
+	// version when the ring overflows. A cursor at or above the floor can
+	// therefore be resumed exactly; below it the subscriber has a hole.
+	hist      []Notification
+	histFloor uint64
 }
 
 // NewStore compiles db once and starts the background flusher. A nil engine
@@ -138,7 +157,7 @@ func NewStore(ctx context.Context, eng *engine.Engine, db cq.Database, cfg Confi
 		version:  1,
 		queries:  map[string]*liveQuery{},
 		relArity: map[string]int{},
-		pending:  storage.NewDelta(),
+		pending:  storage.NewCoalescer(),
 		kick:     make(chan struct{}, 1),
 		closeCh:  make(chan struct{}),
 		doneCh:   make(chan struct{}),
@@ -160,6 +179,12 @@ func (s *Store) Engine() *engine.Engine { return s.eng }
 // Watch diffs stay cheap. Re-registering the same name with the same query
 // is a no-op; a different query under a taken name is an error.
 func (s *Store) Register(ctx context.Context, name string, q cq.Query) error {
+	return s.register(ctx, name, q, true)
+}
+
+// register is Register with the WAL append gated: recovery replays query
+// records through it with logIt=false (they are already in the log).
+func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt bool) error {
 	if name == "" {
 		return errors.New("live: empty query name")
 	}
@@ -205,7 +230,15 @@ func (s *Store) Register(ctx context.Context, name string, q cq.Query) error {
 	if err := bound.Enumerate(ctx, func(engine.Solution) bool { return false }); err != nil {
 		return err
 	}
-	s.queries[name] = &liveQuery{name: name, src: src, query: q, bound: bound, count: count}
+	// Log the registration before committing it: recovery must re-register
+	// in the same order relative to the delta records, or replayed arities
+	// and diffs could diverge from what the live store computed.
+	if logIt && s.dur != nil {
+		if err := s.dur.appendQuery(name, src); err != nil {
+			return fmt.Errorf("live: logging registration: %w", err)
+		}
+	}
+	s.queries[name] = &liveQuery{name: name, src: src, query: q, bound: bound, count: count, histFloor: s.version}
 	// Record the arity each atom demands of its relation: Submit validation
 	// rejects deltas that would create a relation no registered query could
 	// ever bind against (Bind would fail the whole flush otherwise). First
@@ -284,7 +317,10 @@ func (s *Store) validateLocked(delta *storage.Delta) error {
 			}
 		}
 		if !known {
-			if ts := s.pending.Insert[rel]; len(ts) > 0 {
+			// Pending() may still list inserts a later delete tombstoned,
+			// but every insert accepted into a relation of the batch passed
+			// this same arity check, so any of them pins the right arity.
+			if ts := s.pending.Pending().Insert[rel]; len(ts) > 0 {
 				arity, known = len(ts[0]), true
 			}
 		}
@@ -307,7 +343,7 @@ func (s *Store) validateLocked(delta *storage.Delta) error {
 			}
 		}
 		if fresh {
-			for _, t := range s.pending.Delete[rel] {
+			for _, t := range s.pending.Pending().Delete[rel] {
 				if len(t) != arity {
 					return fmt.Errorf("live: relation %s insert arity %d conflicts with a pending delete of arity %d", rel, arity, len(t))
 				}
@@ -355,8 +391,7 @@ func (s *Store) flushLocked(ctx context.Context) error {
 	if s.pending.Empty() {
 		return nil
 	}
-	batch := s.pending
-	s.pending = storage.NewDelta()
+	batch := s.pending.Take()
 	s.pendingSince = time.Time{}
 	fail := func(err error) error {
 		s.stats.flushErrors++
@@ -368,10 +403,13 @@ func (s *Store) flushLocked(ctx context.Context) error {
 	// the batch's fault, so the tuples other submitters coalesced into it
 	// must survive for the next flush. Under the current lock scope
 	// s.pending is still empty here (Submit blocks on mu for the whole
-	// flush); the Merge keeps this correct if the engine work ever moves
-	// outside the lock.
+	// flush); re-merging batch-first keeps this correct if the engine work
+	// ever moves outside the lock.
 	restore := func(err error) error {
-		s.pending = batch.Merge(s.pending)
+		re := storage.NewCoalescer()
+		re.Merge(batch)
+		re.Merge(s.pending.Take())
+		s.pending = re
 		s.pendingSince = time.Now()
 		s.timer.Reset(s.cfg.MaxLatency)
 		return fail(err)
@@ -387,18 +425,54 @@ func (s *Store) flushLocked(ctx context.Context) error {
 		}
 		return fail(err)
 	}
-	ncdb, err := s.cdb.Apply(ctx, batch)
+	st, err := s.stageLocked(ctx, batch)
 	if err != nil {
 		return stageFail(err)
 	}
-	// Stage every query's next state first, commit only when all succeeded:
-	// a mid-flush error (cancellation, arity mismatch against a query) must
-	// not leave half the registry on the new snapshot.
-	type staged struct {
-		lq             *liveQuery
-		bound          *engine.BoundQuery
-		count          int64
-		added, removed *engine.Relation
+	// Log-then-commit: once the batch is staged (so it can no longer fail),
+	// persist it before any subscriber can observe the new version. Only
+	// staged batches reach the log, so recovery replay never meets a poison
+	// batch the live path dropped. An append failure is an I/O problem, not
+	// the batch's fault — re-queue it like any transient error.
+	if s.dur != nil {
+		if err := s.dur.appendDelta(s.version+1, batch); err != nil {
+			return restore(err)
+		}
+	}
+	s.commitLocked(st, s.version+1, true)
+	s.stats.flushes++
+	s.stats.flushedTuples += uint64(batch.Size())
+	if s.dur != nil {
+		s.dur.maybeCheckpointLocked(s)
+	}
+	return nil
+}
+
+// staged is one query's next state, computed against the candidate snapshot
+// but not yet visible.
+type staged struct {
+	lq             *liveQuery
+	bound          *engine.BoundQuery
+	count          int64
+	added, removed *engine.Relation
+}
+
+// stagedFlush is a fully-staged batch application: the successor snapshot and
+// every query's next state. Committing it cannot fail.
+type stagedFlush struct {
+	cdb  *engine.CompiledDB
+	next []staged
+}
+
+// stageLocked computes the successor snapshot and every query's next state
+// against it, touching nothing observable: a mid-stage error (cancellation,
+// arity mismatch against a query) must not leave half the registry on the
+// new snapshot. Recovery replay shares this path so a replayed batch goes
+// through the exact engine calls the original flush made.
+func (s *Store) stageLocked(ctx context.Context, batch *storage.Delta) (stagedFlush, error) {
+	ncdb, err := s.cdb.Apply(ctx, batch)
+	if err != nil {
+		return stagedFlush{}, err
 	}
 	names := make([]string, 0, len(s.queries))
 	for name := range s.queries {
@@ -410,46 +484,64 @@ func (s *Store) flushLocked(ctx context.Context) error {
 		lq := s.queries[name]
 		nb, err := lq.bound.Rebind(ctx, ncdb)
 		if err != nil {
-			return stageFail(fmt.Errorf("rebind %s: %w", name, err))
+			return stagedFlush{}, fmt.Errorf("rebind %s: %w", name, err)
 		}
 		count, err := nb.Count(ctx)
 		if err != nil {
-			return stageFail(fmt.Errorf("count %s: %w", name, err))
+			return stagedFlush{}, fmt.Errorf("count %s: %w", name, err)
 		}
 		st := staged{lq: lq, bound: nb, count: count}
-		// The tuple-level diff exists only to feed notifications; an
-		// unwatched query pays the O(delta) incremental count and nothing
-		// else. (Subscribers can't appear mid-flush — the store lock is
-		// held — and a later Watch picks up diffs from the next flush.)
-		if len(lq.subs) > 0 {
+		// The tuple-level diff exists only to feed notifications and the
+		// resume ring; without history, an unwatched query pays the O(delta)
+		// incremental count and nothing else. With history every query pays
+		// the diff — the ring must hold changes for watchers that have not
+		// connected yet. (Subscribers can't appear mid-flush — the store
+		// lock is held — and a later Watch picks up diffs from the next
+		// flush.)
+		if len(lq.subs) > 0 || s.cfg.History > 0 {
 			if st.added, st.removed, err = nb.DiffFrom(ctx, lq.bound); err != nil {
-				return stageFail(fmt.Errorf("diff %s: %w", name, err))
+				return stagedFlush{}, fmt.Errorf("diff %s: %w", name, err)
 			}
 		}
 		next = append(next, st)
 	}
-	s.cdb = ncdb
-	s.version++
-	s.stats.flushes++
-	s.stats.flushedTuples += uint64(batch.Size())
-	for _, st := range next {
-		prevCount := st.lq.count
-		st.lq.bound = st.bound
-		st.lq.count = st.count
-		if st.added == nil || (st.added.Len() == 0 && st.removed.Len() == 0) {
-			continue // unwatched, or the batch was invisible to this query
+	return stagedFlush{cdb: ncdb, next: next}, nil
+}
+
+// commitLocked makes a staged flush visible as the given version: snapshot
+// swap, per-query state, resume rings, and — when fanout is set — subscriber
+// notifications. Recovery replay commits with fanout=false (there is nobody
+// to notify yet, but the rings must fill so pre-crash cursors can resume).
+func (s *Store) commitLocked(st stagedFlush, version uint64, fanout bool) {
+	s.cdb = st.cdb
+	s.version = version
+	for _, q := range st.next {
+		prevCount := q.lq.count
+		q.lq.bound = q.bound
+		q.lq.count = q.count
+		if q.added == nil || (q.added.Len() == 0 && q.removed.Len() == 0) {
+			continue // diff not computed, or the batch was invisible to this query
 		}
 		n := Notification{
-			Query:     st.lq.name,
-			Version:   s.version,
-			Count:     st.count,
+			Query:     q.lq.name,
+			Version:   version,
+			Count:     q.count,
 			PrevCount: prevCount,
-			Added:     decodeRows(st.added, st.bound.Dict()),
-			Removed:   decodeRows(st.removed, st.bound.Dict()),
+			Added:     decodeRows(q.added, q.bound.Dict()),
+			Removed:   decodeRows(q.removed, q.bound.Dict()),
 		}
-		s.fanoutLocked(st.lq, n)
+		if s.cfg.History > 0 {
+			if len(q.lq.hist) >= s.cfg.History {
+				evict := len(q.lq.hist) - s.cfg.History + 1
+				q.lq.histFloor = q.lq.hist[evict-1].Version
+				q.lq.hist = append(q.lq.hist[:0], q.lq.hist[evict:]...)
+			}
+			q.lq.hist = append(q.lq.hist, n)
+		}
+		if fanout && len(q.lq.subs) > 0 {
+			s.fanoutLocked(q.lq, n)
+		}
 	}
-	return nil
 }
 
 // decodeRows renders a relation's rows as constant-name tuples.
@@ -564,6 +656,8 @@ type Stats struct {
 	LastError       string          `json:"last_error,omitempty"`
 	DB              storage.DBStats `json:"db"`
 	Engine          engine.Stats    `json:"engine"`
+	// Durability is present only for stores created with Open.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats returns the current counters.
@@ -574,7 +668,12 @@ func (s *Store) Stats() Stats {
 	for _, lq := range s.queries {
 		subs += len(lq.subs)
 	}
+	var dur *DurabilityStats
+	if s.dur != nil {
+		dur = s.dur.statsLocked()
+	}
 	return Stats{
+		Durability:      dur,
 		Version:         s.version,
 		Queries:         len(s.queries),
 		Subscribers:     subs,
@@ -602,6 +701,17 @@ func (s *Store) Close() error {
 		return nil
 	}
 	err := s.flushLocked(context.Background())
+	if s.dur != nil {
+		// Seal with a final checkpoint so the next Open replays nothing,
+		// then release the log. A checkpoint failure is not worth masking
+		// the flush error over — recovery replays the suffix either way.
+		if cerr := s.dur.checkpointLocked(s); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := s.dur.log.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s.closed = true
 	s.timer.Stop()
 	for _, lq := range s.queries {

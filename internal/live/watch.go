@@ -61,6 +61,50 @@ func (s *Store) Watch(name string) (*Subscription, error) {
 	return sub, nil
 }
 
+// WatchFrom subscribes like Watch, resuming from a version cursor: fromSeq
+// is the last snapshot version the subscriber fully processed (the Version
+// of its last received Notification, or the version of the snapshot it
+// loaded). When the store still holds every change past that cursor in the
+// query's resume ring (Config.History), the missed notifications are already
+// queued on C — in order, exactly once, with no gap before the live stream —
+// and resumed reports true. Otherwise resumed is false and C carries only
+// future changes: the subscriber must re-read the full result (Solutions) to
+// resynchronise, exactly as after a Lagged drop. Cursors work across a
+// durable store's restart: recovery replay re-fills the rings.
+func (s *Store) WatchFrom(name string, fromSeq uint64) (*Subscription, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	lq, ok := s.queries[name]
+	if !ok {
+		return nil, false, fmt.Errorf("live: unknown query %q", name)
+	}
+	// The ring invariant: every change with Version > histFloor is in hist.
+	// A cursor at or above the floor (and not from a future the store never
+	// produced) can therefore be resumed exactly.
+	resumed := s.cfg.History > 0 && fromSeq >= lq.histFloor && fromSeq <= s.version
+	var missed []Notification
+	if resumed {
+		for _, n := range lq.hist {
+			if n.Version > fromSeq {
+				missed = append(missed, n)
+			}
+		}
+	}
+	// The buffer holds the whole backlog plus the configured headroom, so
+	// queueing the missed notifications can never block or drop.
+	ch := make(chan Notification, len(missed)+s.cfg.Buffer)
+	for _, n := range missed {
+		ch <- n
+	}
+	sub := &Subscription{C: ch, store: s, lq: lq, id: s.nextSubID, ch: ch}
+	s.nextSubID++
+	lq.subs = append(lq.subs, sub)
+	return sub, resumed, nil
+}
+
 // Cancel unsubscribes and closes C. Idempotent; safe concurrently with
 // flushes (fan-out and cancellation serialise on the store lock, so a send
 // on the closed channel cannot happen).

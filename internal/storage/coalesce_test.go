@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// tupleKeySet renders a tuple list as a key set (order-insensitive — Apply is
+// set-semantic, so Merge and Coalescer only need to agree up to order).
+func tupleKeySet(tuples [][]string) map[string]bool {
+	out := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		out[tupleMergeKey(t)] = true
+	}
+	return out
+}
+
+func assertSameDelta(t *testing.T, step int, got, want *Delta) {
+	t.Helper()
+	gr, wr := got.Relations(), want.Relations()
+	if !reflect.DeepEqual(gr, wr) {
+		t.Fatalf("step %d: relations %v, want %v", step, gr, wr)
+	}
+	for _, rel := range wr {
+		if g, w := tupleKeySet(got.Insert[rel]), tupleKeySet(want.Insert[rel]); !reflect.DeepEqual(g, w) {
+			t.Fatalf("step %d: %s inserts %v, want %v", step, rel, g, w)
+		}
+		if g, w := tupleKeySet(got.Delete[rel]), tupleKeySet(want.Delete[rel]); !reflect.DeepEqual(g, w) {
+			t.Fatalf("step %d: %s deletes %v, want %v", step, rel, g, w)
+		}
+	}
+}
+
+// TestCoalescerMatchesMergeChain drives a Coalescer and a chained Delta.Merge
+// through the same random delta stream and asserts identical batches (as
+// sets), identical sizes at every step, and identical batches again after a
+// mid-stream Take reset.
+func TestCoalescerMatchesMergeChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 50; round++ {
+		c := NewCoalescer()
+		chain := NewDelta()
+		steps := 1 + rng.Intn(20)
+		for s := 0; s < steps; s++ {
+			d := randomDelta(rng)
+			c.Merge(d.Clone())
+			chain.Merge(d)
+			if c.Size() != chain.Size() {
+				t.Fatalf("round %d step %d: coalescer size %d, merge chain %d", round, s, c.Size(), chain.Size())
+			}
+			if c.Empty() != chain.Empty() {
+				t.Fatalf("round %d step %d: Empty %v vs %v", round, s, c.Empty(), chain.Empty())
+			}
+		}
+		assertSameDelta(t, round, c.Take(), chain)
+		// Take resets: the next stream starts from scratch.
+		if !c.Empty() || c.Size() != 0 {
+			t.Fatalf("round %d: coalescer not empty after Take", round)
+		}
+		d := NewDelta().Add("R", "post").Remove("S", "take")
+		c.Merge(d)
+		assertSameDelta(t, round, c.Take(), d)
+	}
+}
+
+// TestCoalescerCancellation pins the I1∖D2 law: a later delete tombstones the
+// earlier insert, a re-insert revives it, and Take never returns cancelled
+// tuples.
+func TestCoalescerCancellation(t *testing.T) {
+	c := NewCoalescer()
+	c.Merge(NewDelta().Add("R", "a", "b").Add("R", "c", "d"))
+	if c.Size() != 2 {
+		t.Fatalf("size after two inserts = %d, want 2", c.Size())
+	}
+	c.Merge(NewDelta().Remove("R", "a", "b"))
+	if c.Size() != 2 { // one live insert + one delete
+		t.Fatalf("size after cancelling delete = %d, want 2", c.Size())
+	}
+	// Cancel + revive + cancel again, interleaved with an unrelated tuple.
+	c.Merge(NewDelta().Add("R", "a", "b"))
+	c.Merge(NewDelta().Remove("R", "a", "b"))
+	got := c.Take()
+	if ins := tupleKeySet(got.Insert["R"]); len(ins) != 1 || !ins[tupleMergeKey([]string{"c", "d"})] {
+		t.Fatalf("Take inserts = %v, want only (c,d)", got.Insert["R"])
+	}
+	if del := tupleKeySet(got.Delete["R"]); len(del) != 1 || !del[tupleMergeKey([]string{"a", "b"})] {
+		t.Fatalf("Take deletes = %v, want only (a,b)", got.Delete["R"])
+	}
+	// Fully-cancelled relation: the insert map entry disappears entirely.
+	c.Merge(NewDelta().Add("S", "x"))
+	c.Merge(NewDelta().Remove("S", "x"))
+	got = c.Take()
+	if _, ok := got.Insert["S"]; ok {
+		t.Fatalf("fully-cancelled relation still lists inserts: %v", got.Insert["S"])
+	}
+	if len(got.Delete["S"]) != 1 {
+		t.Fatalf("delete of cancelled insert missing: %v", got.Delete["S"])
+	}
+}

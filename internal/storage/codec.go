@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codecs for the durability subsystem: a Delta codec (the payload of
+// write-ahead-log records) and a DB snapshot codec (the payload of compiled
+// checkpoints). Both are self-delimiting — every string and every count is
+// uvarint-length-prefixed — so a decoder always knows exactly how many bytes
+// to consume and a truncated or corrupted input surfaces as an error, never a
+// panic. Framing, CRCs and torn-tail tolerance live one layer up, in
+// internal/wal; these codecs only promise that DecodeDelta(EncodeDelta(d))
+// round-trips d and DecodeDB(EncodeDB(db)) round-trips the dictionary and
+// every table bit for bit.
+
+// snapMagic and snapFormat version the DB snapshot encoding. The magic makes
+// "this is not a snapshot at all" a first-byte error; the format number lets
+// later revisions evolve the layout while still refusing (rather than
+// misreading) older files.
+var snapMagic = []byte("d2cqsnap")
+
+const snapFormat = 1
+
+// codec limits: a decoded count larger than this is corruption, not data —
+// failing early keeps a flipped length byte from turning into a giant
+// allocation.
+const maxCodecLen = 1 << 30
+
+// appendUvarint appends the uvarint encoding of n.
+func appendUvarint(b []byte, n uint64) []byte {
+	return binary.AppendUvarint(b, n)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// byteReader decodes the length-prefixed primitives from a byte slice.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	n, sz := binary.Uvarint(r.b[r.off:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("storage: truncated uvarint at offset %d", r.off)
+	}
+	r.off += sz
+	return n, nil
+}
+
+// count decodes a uvarint that will size an allocation, bounding it.
+func (r *byteReader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxCodecLen {
+		return 0, fmt.Errorf("storage: implausible count %d at offset %d", n, r.off)
+	}
+	return int(n), nil
+}
+
+func (r *byteReader) string_() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	if r.off+n > len(r.b) {
+		return "", fmt.Errorf("storage: truncated string at offset %d", r.off)
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *byteReader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("storage: %d trailing bytes after decode", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// EncodeDelta renders the delta as a self-delimiting byte payload: per
+// relation (sorted, so the encoding is deterministic), the delete tuples then
+// the insert tuples, every tuple length-prefixed. The constants are the plain
+// pre-interning strings, so the payload is dictionary-independent — exactly
+// what a write-ahead log needs, because recovery replays into a dictionary
+// whose Value assignment may differ from the crashed process's.
+func EncodeDelta(d *Delta) []byte {
+	rels := d.Relations()
+	b := appendUvarint(nil, uint64(len(rels)))
+	appendTuples := func(tuples [][]string) {
+		b = appendUvarint(b, uint64(len(tuples)))
+		for _, t := range tuples {
+			b = appendUvarint(b, uint64(len(t)))
+			for _, c := range t {
+				b = appendString(b, c)
+			}
+		}
+	}
+	for _, rel := range rels {
+		b = appendString(b, rel)
+		appendTuples(d.Delete[rel])
+		appendTuples(d.Insert[rel])
+	}
+	return b
+}
+
+// DecodeDelta parses an EncodeDelta payload. Any truncation or trailing
+// garbage is an error.
+func DecodeDelta(payload []byte) (*Delta, error) {
+	r := &byteReader{b: payload}
+	nrels, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	d := NewDelta()
+	readTuples := func() ([][]string, error) {
+		n, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		tuples := make([][]string, 0, n)
+		for i := 0; i < n; i++ {
+			arity, err := r.count()
+			if err != nil {
+				return nil, err
+			}
+			tuple := make([]string, arity)
+			for j := range tuple {
+				if tuple[j], err = r.string_(); err != nil {
+					return nil, err
+				}
+			}
+			tuples = append(tuples, tuple)
+		}
+		return tuples, nil
+	}
+	for i := 0; i < nrels; i++ {
+		rel, err := r.string_()
+		if err != nil {
+			return nil, err
+		}
+		if d.Delete[rel], err = readTuples(); err != nil {
+			return nil, err
+		}
+		if len(d.Delete[rel]) == 0 {
+			delete(d.Delete, rel)
+		}
+		if d.Insert[rel], err = readTuples(); err != nil {
+			return nil, err
+		}
+		if len(d.Insert[rel]) == 0 {
+			delete(d.Insert, rel)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// EncodeDB streams a compiled snapshot: the dictionary prefix the snapshot's
+// tables can reference, then every table's flat interned data. The dictionary
+// is captured first (its length bounds every Value the tables may hold — the
+// dictionary is append-only, so a concurrent Apply interning new constants
+// never invalidates the prefix being written); the caller may therefore
+// encode a live snapshot outside any store lock.
+func EncodeDB(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapMagic); err != nil {
+		return err
+	}
+	var scratch []byte
+	put := func(b []byte) error {
+		_, err := bw.Write(b)
+		return err
+	}
+	if err := put(appendUvarint(scratch[:0], snapFormat)); err != nil {
+		return err
+	}
+	names := db.Dict.Names()
+	if err := put(appendUvarint(scratch[:0], uint64(len(names)))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := put(appendString(scratch[:0], name)); err != nil {
+			return err
+		}
+	}
+	rels := db.Relations()
+	if err := put(appendUvarint(scratch[:0], uint64(len(rels)))); err != nil {
+		return err
+	}
+	for _, rel := range rels {
+		t := db.tables[rel]
+		b := appendString(scratch[:0], rel)
+		b = appendUvarint(b, uint64(t.Arity))
+		b = appendUvarint(b, uint64(len(t.Data)))
+		if err := put(b); err != nil {
+			return err
+		}
+		for _, v := range t.Data {
+			if err := put(appendUvarint(scratch[:0], uint64(uint32(v)))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeDB reconstructs a compiled snapshot written by EncodeDB: a fresh
+// dictionary holding exactly the encoded names (interning on top of it is
+// append-only, as always) and fresh tables. Indexes, statistics and lineage
+// are not part of the snapshot — they are caches, rebuilt lazily on use.
+func DecodeDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapMagic) {
+		return nil, fmt.Errorf("storage: not a DB snapshot (magic %q)", magic)
+	}
+	uvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	count := func(what string) (int, error) {
+		n, err := uvarint()
+		if err != nil {
+			return 0, fmt.Errorf("storage: snapshot %s: %w", what, err)
+		}
+		if n > maxCodecLen {
+			return 0, fmt.Errorf("storage: snapshot %s %d is implausible", what, n)
+		}
+		return int(n), nil
+	}
+	str := func(what string) (string, error) {
+		n, err := count(what)
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("storage: snapshot %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	format, err := count("format")
+	if err != nil {
+		return nil, err
+	}
+	if format != snapFormat {
+		return nil, fmt.Errorf("storage: snapshot format %d, this build reads %d", format, snapFormat)
+	}
+	nNames, err := count("dictionary length")
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		if names[i], err = str("dictionary entry"); err != nil {
+			return nil, err
+		}
+	}
+	dict, err := newDictFromNames(names)
+	if err != nil {
+		return nil, err
+	}
+	nTables, err := count("table count")
+	if err != nil {
+		return nil, err
+	}
+	out := &DB{Dict: dict, tables: make(map[string]*Table, nTables)}
+	for i := 0; i < nTables; i++ {
+		name, err := str("table name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out.tables[name]; dup {
+			return nil, fmt.Errorf("storage: snapshot repeats table %s", name)
+		}
+		arity, err := count("arity")
+		if err != nil {
+			return nil, err
+		}
+		dataLen, err := count("table size")
+		if err != nil {
+			return nil, err
+		}
+		stride := arity
+		if arity == 0 {
+			stride = 1 // sentinel layout of nullary tables
+		}
+		if dataLen%stride != 0 {
+			return nil, fmt.Errorf("storage: table %s holds %d values at arity %d", name, dataLen, arity)
+		}
+		t := &Table{Name: name, Arity: arity, Data: make([]Value, dataLen)}
+		for j := range t.Data {
+			v, err := uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("storage: table %s data: %w", name, err)
+			}
+			if v > math.MaxInt32 || (int(v) >= nNames && !(arity == 0 && v == 0)) {
+				return nil, fmt.Errorf("storage: table %s references value %d outside the %d-entry dictionary", name, v, nNames)
+			}
+			t.Data[j] = Value(v)
+		}
+		out.tables[name] = t
+	}
+	return out, nil
+}
+
+// newDictFromNames rebuilds a dictionary from an encoded name list,
+// preserving the Value assignment (names[i] interns to Value(i)).
+func newDictFromNames(names []string) (*Dict, error) {
+	d := &Dict{byName: make(map[string]Value, len(names)), names: names}
+	for i, name := range names {
+		if prev, dup := d.byName[name]; dup {
+			return nil, fmt.Errorf("storage: snapshot dictionary repeats %q (values %d and %d)", name, prev, i)
+		}
+		d.byName[name] = Value(i)
+	}
+	return d, nil
+}

@@ -30,7 +30,11 @@ import (
 //     order, added rows appended);
 //   - Delta.Merge is equivalent to sequential application: folding the whole
 //     script into one delta and applying it to the initial snapshot yields
-//     the same database as the step-by-step chain, at every delta boundary.
+//     the same database as the step-by-step chain, at every delta boundary;
+//   - a Coalescer fed the same delta stream agrees with the Delta.Merge
+//     chain at every boundary (same live size) and its Take returns the same
+//     batch as sets — the O(B) ingestion index is semantics-preserving;
+//   - the Delta byte codec round-trips every delta of the script exactly.
 func FuzzDeltaScript(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 1}) // one insert into R
@@ -54,6 +58,7 @@ func FuzzDeltaScript(f *testing.F) {
 		}
 		base := cur // the initial snapshot, for the Merge-equivalence check
 		merged := NewDelta()
+		co := NewCoalescer()
 		mirror := initial.Clone()
 
 		// Decode: each op is one tag byte (bit0 insert/delete, bits1-2 the
@@ -82,14 +87,25 @@ func FuzzDeltaScript(f *testing.F) {
 			ops++
 			if tag&0x40 != 0 {
 				cur, mirror = applyAndCheck(t, cur, mirror, delta)
+				checkCodec(t, delta)
+				co.Merge(delta.Clone())
 				merged.Merge(delta)
+				if co.Size() != merged.Size() {
+					t.Fatalf("coalescer size %d, merge chain %d", co.Size(), merged.Size())
+				}
 				checkMerged(t, base, merged, cur)
 				delta = NewDelta()
 			}
 		}
 		cur, _ = applyAndCheck(t, cur, mirror, delta)
+		checkCodec(t, delta)
+		co.Merge(delta.Clone())
 		merged.Merge(delta)
+		if co.Size() != merged.Size() {
+			t.Fatalf("coalescer size %d, merge chain %d", co.Size(), merged.Size())
+		}
 		checkMerged(t, base, merged, cur)
+		checkCoalesced(t, co.Take(), merged)
 	})
 }
 
@@ -115,6 +131,62 @@ func checkMerged(t *testing.T, base *DB, merged *Delta, want *DB) {
 		if !tuplesEqual(g, w) {
 			t.Fatalf("relation %s: merged delta yields %v, sequential chain %v (merged %v/%v)",
 				name, keys(g), keys(w), merged.Insert, merged.Delete)
+		}
+	}
+}
+
+// checkCodec asserts the Delta byte codec round-trips the delta exactly
+// (relation set, tuple lists, order).
+func checkCodec(t *testing.T, d *Delta) {
+	t.Helper()
+	got, err := DecodeDelta(EncodeDelta(d))
+	if err != nil {
+		t.Fatalf("DecodeDelta(EncodeDelta): %v", err)
+	}
+	if !slices.Equal(got.Relations(), d.Relations()) {
+		t.Fatalf("codec relations %v, want %v", got.Relations(), d.Relations())
+	}
+	for _, rel := range d.Relations() {
+		if !slices.EqualFunc(got.Insert[rel], d.Insert[rel], slices.Equal) {
+			t.Fatalf("codec inserts of %s: %v, want %v", rel, got.Insert[rel], d.Insert[rel])
+		}
+		if !slices.EqualFunc(got.Delete[rel], d.Delete[rel], slices.Equal) {
+			t.Fatalf("codec deletes of %s: %v, want %v", rel, got.Delete[rel], d.Delete[rel])
+		}
+	}
+}
+
+// checkCoalesced asserts a Coalescer's taken batch equals the Delta.Merge
+// chain of the same stream, as per-relation tuple sets.
+func checkCoalesced(t *testing.T, got, want *Delta) {
+	t.Helper()
+	if !slices.Equal(got.Relations(), want.Relations()) {
+		t.Fatalf("coalesced relations %v, merge chain %v", got.Relations(), want.Relations())
+	}
+	asSet := func(tuples [][]string) map[string]bool {
+		out := make(map[string]bool, len(tuples))
+		for _, tu := range tuples {
+			out[tupleKey(tu)] = true
+		}
+		return out
+	}
+	sameSet := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rel := range want.Relations() {
+		if !sameSet(asSet(got.Insert[rel]), asSet(want.Insert[rel])) {
+			t.Fatalf("coalesced inserts of %s: %v, merge chain %v", rel, got.Insert[rel], want.Insert[rel])
+		}
+		if !sameSet(asSet(got.Delete[rel]), asSet(want.Delete[rel])) {
+			t.Fatalf("coalesced deletes of %s: %v, merge chain %v", rel, got.Delete[rel], want.Delete[rel])
 		}
 	}
 }

@@ -108,6 +108,17 @@ func (d *Dict) Fresh(prefix string) Value {
 	}
 }
 
+// Names returns a copy of the interned name list, in Value order: the
+// returned slice's index i holds the name of Value(i). Because the dictionary
+// is append-only, the copy is a consistent prefix snapshot even while other
+// goroutines keep interning — every Value any existing table references is
+// covered. This is what the checkpoint codec serialises.
+func (d *Dict) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.names...)
+}
+
 // Len returns the number of interned constants.
 func (d *Dict) Len() int {
 	d.mu.RLock()

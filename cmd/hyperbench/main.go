@@ -47,6 +47,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -636,6 +637,20 @@ type latencySweep struct {
 	EffectiveBatch float64 `json:"effective_batch"`
 	WallMS         float64 `json:"wall_ms"`
 	Checked        int     `json:"checked"`
+	// Submit call latency percentiles (µs). Submits never wait for flush
+	// engine work — the store's stage runs outside its mutex — so these stay
+	// flat across deadline levels even though a shorter deadline flushes far
+	// more often mid-stream.
+	SubmitP50US float64 `json:"submit_p50_us"`
+	SubmitP99US float64 `json:"submit_p99_us"`
+}
+
+// pctUS returns the q-quantile of the sorted durations in microseconds.
+func pctUS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[int(q*float64(len(sorted)-1))].Nanoseconds()) / 1e3
 }
 
 // latencyEntryCap bounds the sampled entries. latencyRounds (deltas per
@@ -678,6 +693,7 @@ func latencyBench(out io.Writer, c *hyperbench.Corpus, levels []time.Duration, h
 		lvl := latencySweep{MaxLatencyMS: float64(lat.Microseconds()) / 1000}
 		var wall time.Duration
 		var flushes, flushedTuples uint64
+		var submitDurs []time.Duration
 		for _, e := range entries {
 			inst := reduction.NewInstance(e.H)
 			for edge := 0; edge < e.H.NE(); edge++ {
@@ -722,10 +738,12 @@ func latencyBench(out io.Writer, c *hyperbench.Corpus, levels []time.Duration, h
 					rel, tuple := tupleFor(r - coalesceDeleteLag)
 					delta.Remove(rel, tuple...)
 				}
+				submitStart := time.Now()
 				if err := store.Submit(delta); err != nil {
 					store.Close()
 					return nil, fmt.Errorf("%s round %d: Submit: %w", e.Name, r, err)
 				}
+				submitDurs = append(submitDurs, time.Since(submitStart))
 				delta.ApplyToDatabase(inst.D)
 				time.Sleep(latencyPace)
 			}
@@ -773,10 +791,13 @@ func latencyBench(out io.Writer, c *hyperbench.Corpus, levels []time.Duration, h
 		if flushes > 0 {
 			lvl.EffectiveBatch = float64(flushedTuples) / float64(flushes)
 		}
+		sort.Slice(submitDurs, func(i, j int) bool { return submitDurs[i] < submitDurs[j] })
+		lvl.SubmitP50US = pctUS(submitDurs, 0.50)
+		lvl.SubmitP99US = pctUS(submitDurs, 0.99)
 		rep.Sweep = append(rep.Sweep, lvl)
 		if human {
-			fmt.Fprintf(out, "max-latency %v: %d flushes (%.1f tuples/flush), %d rebinds, wall %.1fms (%d entries cross-checked)\n",
-				lat, lvl.Flushes, lvl.EffectiveBatch, lvl.Rebinds, lvl.WallMS, lvl.Checked)
+			fmt.Fprintf(out, "max-latency %v: %d flushes (%.1f tuples/flush), %d rebinds, submit p50=%.0fµs p99=%.0fµs, wall %.1fms (%d entries cross-checked)\n",
+				lat, lvl.Flushes, lvl.EffectiveBatch, lvl.Rebinds, lvl.SubmitP50US, lvl.SubmitP99US, lvl.WallMS, lvl.Checked)
 		}
 	}
 	return rep, nil

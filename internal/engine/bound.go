@@ -343,16 +343,19 @@ func (b *BoundQuery) materialise(ctx context.Context) (*Relation, error) {
 
 // DiffFrom computes the tuple-level change of the query's result between a
 // previous bound snapshot and this one: added holds the solutions present
-// now but absent then, removed the converse, both over Vars() columns (in
-// the shared dictionary's value space). The receiver and prev must be binds
-// of the same PreparedQuery descending from one CompileDB lineage — interned
-// values are not comparable across dictionaries, so anything else is an
-// error. When the two snapshots share their cached evaluation state (the
-// delta never reached the query, or was absorbed before the reduced
-// relations) the diff is empty without enumerating anything; otherwise both
-// results are materialised through the incrementally maintained enumeration
-// caches and diffed as sets. This is the hook a live view-maintenance layer
-// turns into change notifications.
+// now but absent then, removed the converse, both sorted, over Vars()
+// columns (in the shared dictionary's value space). The receiver and prev
+// must be binds of the same PreparedQuery descending from one CompileDB
+// lineage — interned values are not comparable across dictionaries, so
+// anything else is an error. When the two snapshots share their cached
+// evaluation state (the delta never reached the query, or was absorbed
+// before the reduced relations) the diff is empty without enumerating
+// anything. Otherwise the diff is enumerated straight from the per-node
+// changes of the two cached enumeration states in O(per-node change +
+// |result diff| × tree) — see diff.go — never materialising either result;
+// only plans without cached enumeration state (naive plans, ground queries)
+// fall back to materialising both sides and diffing them as sets. This is
+// the hook a live view-maintenance layer turns into change notifications.
 func (b *BoundQuery) DiffFrom(ctx context.Context, prev *BoundQuery) (added, removed *Relation, err error) {
 	if prev == nil {
 		return nil, nil, fmt.Errorf("engine: DiffFrom against a nil snapshot")
@@ -385,14 +388,18 @@ func (b *BoundQuery) DiffFrom(ctx context.Context, prev *BoundQuery) (added, rem
 			return empty() // every reduced relation absorbed: identical results
 		}
 	}
-	cur, err := b.materialise(ctx)
-	if err != nil {
-		return nil, nil, err
+	if p := b.prep.plan; !p.Naive() && p.d.Nodes() > 0 && len(p.qvars) > 0 {
+		bes, err := b.ensureReduced(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		pes, err := prev.ensureReduced(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.prep.eng.diffsFast.Add(1)
+		return b.diffIncremental(ctx, pes, bes)
 	}
-	old, err := prev.materialise(ctx)
-	if err != nil {
-		return nil, nil, err
-	}
-	added, removed = relDiff(old, cur)
-	return added, removed, nil
+	b.prep.eng.diffsOracle.Add(1)
+	return b.diffOracle(ctx, prev)
 }

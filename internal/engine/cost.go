@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"d2cq/internal/cq"
+	"d2cq/internal/storage"
+)
+
+// This file is the cost model of incremental maintenance: every
+// incremental-vs-rebuild decision prices both paths by the rows each would
+// actually touch, using measured quantities only — table row counts, cached
+// per-column distinct counts, relation and delta lengths — instead of the
+// old blanket deltaRebuildFactor threshold. The one constant left is a
+// per-row *weight*, not a cutoff: hashing/matching a row costs a small
+// multiple of flat-copying one, and the weight makes the two kinds of
+// row-touch comparable.
+
+// matchWeight is the relative per-row cost of work that hashes or matches a
+// row (delta matching, dedup, table-scan selection) versus flat-copying a
+// surviving row (≈1). The incremental paths mix the two kinds; weighting
+// them makes "rows touched" an honest common currency.
+const matchWeight = 4
+
+// atomScanRows estimates how many table rows the bindAtomRelation fallback
+// would visit for the atom: the whole table, or — when the atom carries
+// constants — the expected bucket of the probe on the most selective
+// constant column, from the table's measured distinct counts. The stats are
+// cached on the table and were already computed by the original bind of any
+// constant-bearing atom, so consulting them here does not add an O(rows)
+// pass on the delta path.
+func atomScanRows(a cq.Atom, t *storage.Table) int {
+	if t == nil {
+		return 0
+	}
+	rows := t.Rows()
+	hasConst := false
+	for _, term := range a.Args {
+		if !term.Var {
+			hasConst = true
+			break
+		}
+	}
+	if !hasConst || t.Arity == 0 {
+		return rows
+	}
+	st := t.Stats()
+	best := 1
+	for i, term := range a.Args {
+		if !term.Var && st.Distinct[i] > best {
+			best = st.Distinct[i]
+		}
+	}
+	return rows/best + 1
+}
+
+// chooseAtomDelta decides whether to patch a dirty atom relation from row
+// lineage (deltaRows matched rows, plus one flat filter pass over the old
+// relation when the delta removes rows) or to rebuild it with a scan
+// (scanRows matched and dedup-hashed rows). Both sides are measured row
+// counts weighted by the work done per row.
+func chooseAtomDelta(deltaRows, removedRows, oldRelRows, scanRows int) bool {
+	deltaCost := deltaRows * matchWeight
+	if removedRows > 0 {
+		deltaCost += oldRelRows
+	}
+	return deltaCost <= scanRows*(matchWeight+1)
+}
+
+// chooseNodeDelta decides whether to maintain a node by delta-joining the
+// changed λ-edge deltas (totalDelta rows, each amplified by the node's
+// measured support-per-edge-row ratio) or to re-materialise the node (every
+// edge row re-joined and the support map rebuilt). supRows is the size of
+// the node's cached support map — the measured join output of the last
+// materialisation — and maxEdge the largest current edge, so the
+// amplification estimate tracks the data instead of a guessed constant.
+func chooseNodeDelta(totalDelta, totalEdge, supRows, maxEdge int) bool {
+	amp := 1 + supRows/(maxEdge+1)
+	deltaCost := totalDelta * matchWeight * amp
+	rebuildCost := totalEdge*matchWeight + supRows
+	return deltaCost <= rebuildCost
+}
+
+// chooseRefilterDelta decides whether a filter-only node change is patched
+// from the changed atom's delta (probing each changed binding) or re-filtered
+// wholesale. The delta path wins while the atom's delta is smaller than the
+// atom relations it would otherwise re-semijoin.
+func chooseRefilterDelta(plusRows, minusRows, atomOldRows, atomNewRows int) bool {
+	return plusRows+minusRows <= atomOldRows+atomNewRows+1
+}

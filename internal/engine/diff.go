@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"context"
+
+	"d2cq/internal/storage"
+)
+
+// This file is the O(change) half of BoundQuery.DiffFrom: instead of
+// materialising both results and diffing them as sets, the diff is
+// enumerated directly from the per-node changes of the two cached
+// enumeration states. The characterisation it rests on:
+//
+//	a solution of the new result is absent from the old one iff its
+//	projection onto some node's bag lies in that node's added rows
+//	(new reduced relation ∖ old reduced relation),
+//
+// because a solution all of whose bag projections lie in the old reduced
+// relations is, by definition of the decomposition join, a solution of the
+// old result. (The removed side is the mirror image over the old state.)
+// So the added solutions are enumerated by walking the decomposition from
+// each changed node's added rows — up the tree probing parents on the shared
+// columns, then down the remaining nodes exactly like the ordinary
+// enumeration — and likewise for removals over the old state. Full reduction
+// guarantees the walk never dead-ends, so the cost is O(per-node change +
+// |result diff| × tree), never O(|result|).
+//
+// A solution whose projections land in the added rows of several changed
+// nodes would be enumerated once per node; the skip check below assigns each
+// solution to the first changed node (in node order) that covers it, which
+// both dedups and keeps the two sides exactly disjoint.
+
+// pairIdx returns the index of the (u, k) parent-child pair within
+// plan.countPairs (the flat pair order shared with the counting DP). The
+// pair list is one entry per tree edge, so the scan is negligible next to
+// any use of the result.
+func pairIdx(p *Plan, u, k int) int {
+	for i, pr := range p.countPairs {
+		if pr.u == u && pr.k == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// upIndex returns the index of node u's relation on the columns it shares
+// with its k-th child join — the upward probe of enumerateVia — building it
+// on first use and caching it on the state. enumState.update carries cached
+// entries whose parent relation is unchanged into the next state, so a
+// stream of small deltas pays each index build once, not once per flush.
+func (es *enumState) upIndex(u, k int) *storage.Index {
+	p := es.plan
+	i := pairIdx(p, u, k)
+	es.upMu.Lock()
+	defer es.upMu.Unlock()
+	if es.up == nil {
+		es.up = make([]*storage.Index, len(p.countPairs))
+	}
+	if es.up[i] == nil {
+		cj := p.childJoins[u][k]
+		rel := es.nodes[u].rel
+		es.up[i] = storage.BuildIndex(rel.Data, len(rel.Cols), cj.uPos)
+	}
+	return es.up[i]
+}
+
+// viaStep is one node visit of enumerateVia's walk: either a full scan of
+// scan's rows (the via rows themselves, or a node sharing no columns with
+// what is already assigned) or an index probe of rel on the key vertex ids.
+// write maps every relation column to its hypergraph vertex id.
+type viaStep struct {
+	scan  *Relation
+	idx   *storage.Index
+	rel   *Relation
+	key   []int
+	write []int
+}
+
+// enumerateVia streams every solution whose projection onto node v's bag is
+// one of via's rows (via's columns must be v's bag columns). The walk visits
+// v first, then v's ancestors up to the root — probing each parent on the
+// columns it shares with the child below, which by the running-intersection
+// property are exactly the already-assigned variables of the parent's bag —
+// and then the remaining nodes in ordinary pre-order. yield receives the
+// full vertex assignment (reused between calls; asg[:len(Vars())] is the
+// output row); returning false stops the enumeration. When via's rows lie in
+// the state's (fully reduced) relation for v, the delay between yields is
+// bounded by the tree size, as in enumerateRange.
+func (es *enumState) enumerateVia(ctx context.Context, v int, via *Relation, yield func(asg []Value) bool) error {
+	p := es.plan
+	steps := make([]viaStep, 0, p.d.Nodes())
+	onPath := make([]bool, p.d.Nodes())
+	steps = append(steps, viaStep{scan: via, write: p.bagVids[v]})
+	onPath[v] = true
+	for w := v; ; {
+		u := p.d.Parent[w]
+		if u < 0 {
+			break
+		}
+		st := viaStep{write: p.bagVids[u]}
+		for k, cj := range p.childJoins[u] {
+			if cj.child != w {
+				continue
+			}
+			if len(cj.uPos) > 0 {
+				st.idx = es.upIndex(u, k)
+				st.rel = es.nodes[u].rel
+				st.key = make([]int, len(cj.uPos))
+				for j, pos := range cj.uPos {
+					st.key[j] = p.bagVids[u][pos]
+				}
+			}
+			break
+		}
+		if st.idx == nil {
+			st.scan = es.nodes[u].rel // no shared columns: cartesian with the subtree below
+		}
+		steps = append(steps, st)
+		onPath[u] = true
+		w = u
+	}
+	for _, u := range es.pre {
+		if onPath[u] {
+			continue
+		}
+		en := es.nodes[u]
+		st := viaStep{write: en.write}
+		if en.idx != nil {
+			st.idx, st.rel, st.key = en.idx, en.rel, en.sharedVid
+		} else {
+			st.scan = en.rel
+		}
+		steps = append(steps, st)
+	}
+	asg := make([]Value, p.h.NV())
+	maxKey := 0
+	for _, st := range steps {
+		if len(st.key) > maxKey {
+			maxKey = len(st.key)
+		}
+	}
+	keyBuf := make([]Value, maxKey)
+	var yielded int
+	stop := false
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(steps) {
+			yielded++
+			if yielded&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if !yield(asg) {
+				stop = true
+			}
+			return nil
+		}
+		st := steps[i]
+		if st.scan != nil {
+			for ri := 0; ri < st.scan.Len(); ri++ {
+				if stop {
+					return nil
+				}
+				row := st.scan.Row(ri)
+				for j, vid := range st.write {
+					asg[vid] = row[j]
+				}
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		kb := keyBuf[:len(st.key)]
+		for j, vid := range st.key {
+			kb[j] = asg[vid]
+		}
+		for _, rowIdx := range st.idx.Lookup(kb) {
+			if stop {
+				return nil
+			}
+			row := st.rel.Row(int(rowIdx))
+			for j, vid := range st.write {
+				asg[vid] = row[j]
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// nodeDiff is the per-node change between two enumeration states: the rows
+// entering (plus) and leaving (minus) node u's reduced relation, with
+// membership sets built only when a later changed node needs the dedup
+// check.
+type nodeDiff struct {
+	u           int
+	plus, minus *Relation
+	plusSet     *storage.TupleMap
+	minusSet    *storage.TupleMap
+}
+
+// diffIncremental computes the result diff from the per-node changes of the
+// two cached enumeration states, per the characterisation at the top of the
+// file. Both returned relations are sorted — the same order diffOracle
+// produces, so the two paths are byte-comparable. The node-level diffs cost
+// O(changed node relations) (exactly the relations the rebind that produced
+// b already touched), and the enumeration costs O(|result diff| × tree).
+func (b *BoundQuery) diffIncremental(ctx context.Context, pes, bes *enumState) (added, removed *Relation, err error) {
+	p := b.prep.plan
+	added, removed = NewRelation(p.qvars...), NewRelation(p.qvars...)
+	var diffs []nodeDiff
+	for u := range bes.nodes {
+		if bes.nodes[u].rel == pes.nodes[u].rel {
+			continue
+		}
+		plus, minus := relDiff(pes.nodes[u].rel, bes.nodes[u].rel)
+		diffs = append(diffs, nodeDiff{u: u, plus: plus, minus: minus})
+	}
+	if len(diffs) == 0 {
+		return added, removed, nil
+	}
+	toSet := func(rel *Relation) *storage.TupleMap {
+		if rel.Len() == 0 {
+			return nil
+		}
+		m := storage.NewTupleMap(len(rel.Cols), rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			m.Insert(rel.Row(i))
+		}
+		return m
+	}
+	if len(diffs) > 1 {
+		for i := range diffs {
+			diffs[i].plusSet = toSet(diffs[i].plus)
+			diffs[i].minusSet = toSet(diffs[i].minus)
+		}
+	}
+	maxBag := 0
+	for _, nd := range diffs {
+		if len(p.bagVids[nd.u]) > maxBag {
+			maxBag = len(p.bagVids[nd.u])
+		}
+	}
+	projBuf := make([]Value, maxBag)
+	proj := func(asg []Value, u int) []Value {
+		vids := p.bagVids[u]
+		pb := projBuf[:len(vids)]
+		for j, vid := range vids {
+			pb[j] = asg[vid]
+		}
+		return pb
+	}
+	nv := len(p.qvars)
+	// Added side: new-state solutions through each changed node's entering
+	// rows; a solution covered by several changed nodes is claimed by the
+	// first one, so each appears exactly once.
+	for i, nd := range diffs {
+		if nd.plus.Len() == 0 {
+			continue
+		}
+		err := bes.enumerateVia(ctx, nd.u, nd.plus, func(asg []Value) bool {
+			for j := 0; j < i; j++ {
+				if s := diffs[j].plusSet; s != nil && s.Find(proj(asg, diffs[j].u)) >= 0 {
+					return true
+				}
+			}
+			added.Add(asg[:nv]...)
+			return true
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Removed side: the mirror image over the old state's leaving rows.
+	for i, nd := range diffs {
+		if nd.minus.Len() == 0 {
+			continue
+		}
+		err := pes.enumerateVia(ctx, nd.u, nd.minus, func(asg []Value) bool {
+			for j := 0; j < i; j++ {
+				if s := diffs[j].minusSet; s != nil && s.Find(proj(asg, diffs[j].u)) >= 0 {
+					return true
+				}
+			}
+			removed.Add(asg[:nv]...)
+			return true
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	par := b.prep.eng.par()
+	added.sortPar(par)
+	removed.sortPar(par)
+	return added, removed, nil
+}
+
+// diffOracle is the materialise-both-and-diff reference: correct for every
+// plan shape (naive and ground included) with no cached state needed, at
+// O(|old result| + |new result|) cost. DiffFrom falls back to it when the
+// incremental path does not apply, and the differential tests hold the
+// incremental path to byte-equality against it.
+func (b *BoundQuery) diffOracle(ctx context.Context, prev *BoundQuery) (added, removed *Relation, err error) {
+	cur, err := b.materialise(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	old, err := prev.materialise(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	added, removed = relDiff(old, cur)
+	par := b.prep.eng.par()
+	added.sortPar(par)
+	removed.sortPar(par)
+	return added, removed, nil
+}

@@ -39,6 +39,18 @@ type Engine struct {
 	dbCompiles     atomic.Uint64
 	binds          atomic.Uint64
 	rebinds        atomic.Uint64
+
+	// Chosen-path counters of the incremental maintenance cost model (see
+	// cost.go): which side each measured-stats decision actually took, so
+	// operators can see whether traffic is being maintained incrementally
+	// or falling back to rebuilds.
+	atomDeltaFast   atomic.Uint64 // dirty atoms patched from row lineage
+	atomDeltaScan   atomic.Uint64 // dirty atoms rebuilt by a table scan
+	lineageComposed atomic.Uint64 // atom patches that composed a multi-step lineage chain
+	nodeDeltaJoins  atomic.Uint64 // nodes maintained by delta-join
+	nodeRebuilds    atomic.Uint64 // nodes re-materialised from scratch
+	diffsFast       atomic.Uint64 // DiffFroms answered by propagated per-node diffs
+	diffsOracle     atomic.Uint64 // DiffFroms that materialised both results
 }
 
 type flight struct {
@@ -138,6 +150,16 @@ type Stats struct {
 	Binds           uint64
 	Rebinds         uint64
 	Cache           decomp.CacheStats
+
+	// Chosen-path counters of incremental maintenance: for each decision the
+	// measured-stats cost model makes (cost.go), how often each side ran.
+	AtomDeltaFast   uint64 // dirty atoms patched from row lineage
+	AtomDeltaScan   uint64 // dirty atoms rebuilt by a table scan
+	LineageComposed uint64 // atom patches that composed a multi-step lineage chain
+	NodeDeltaJoins  uint64 // nodes maintained by delta-join
+	NodeRebuilds    uint64 // nodes re-materialised from scratch
+	DiffsFast       uint64 // DiffFroms answered by propagated per-node diffs
+	DiffsOracle     uint64 // DiffFroms that materialised both results
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -149,13 +171,24 @@ func (e *Engine) Stats() Stats {
 		Binds:           e.binds.Load(),
 		Rebinds:         e.rebinds.Load(),
 		Cache:           e.cache.Stats(),
+		AtomDeltaFast:   e.atomDeltaFast.Load(),
+		AtomDeltaScan:   e.atomDeltaScan.Load(),
+		LineageComposed: e.lineageComposed.Load(),
+		NodeDeltaJoins:  e.nodeDeltaJoins.Load(),
+		NodeRebuilds:    e.nodeRebuilds.Load(),
+		DiffsFast:       e.diffsFast.Load(),
+		DiffsOracle:     e.diffsOracle.Load(),
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("prepares=%d decomps-computed=%d db-compiles=%d binds=%d rebinds=%d cache(hits=%d misses=%d evictions=%d len=%d/%d)",
+	return fmt.Sprintf("prepares=%d decomps-computed=%d db-compiles=%d binds=%d rebinds=%d cache(hits=%d misses=%d evictions=%d len=%d/%d) paths(atom-delta=%d/%d composed=%d node-delta=%d/%d diff-fast=%d/%d)",
 		s.Prepares, s.DecompsComputed, s.DBCompiles, s.Binds, s.Rebinds, s.Cache.Hits, s.Cache.Misses,
-		s.Cache.Evictions, s.Cache.Len, s.Cache.Capacity)
+		s.Cache.Evictions, s.Cache.Len, s.Cache.Capacity,
+		s.AtomDeltaFast, s.AtomDeltaFast+s.AtomDeltaScan,
+		s.LineageComposed,
+		s.NodeDeltaJoins, s.NodeDeltaJoins+s.NodeRebuilds,
+		s.DiffsFast, s.DiffsFast+s.DiffsOracle)
 }
 
 // ErrWidthExceeded is returned (wrapped) by Prepare when the decomposition

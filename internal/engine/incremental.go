@@ -97,17 +97,21 @@ func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, 
 		return nb, nil
 	}
 
-	// 1. Rebuild the dirty atom relations over the new snapshot — from the
-	// snapshot's row-level lineage in O(delta) when the new snapshot is one
-	// Apply ahead of ours, re-scanning the table otherwise.
+	// 1. Rebuild the dirty atom relations over the new snapshot — patched
+	// from the snapshot's row-level lineage back to ours (composed across
+	// intermediate Applies when the chain bounds allow) in O(total change),
+	// re-scanning the table otherwise.
 	inst := &Instance{Query: q, Dict: b.inst.Dict, AtomRels: append([]*Relation(nil), b.inst.AtomRels...), atomKeys: b.inst.keys()}
 	anyDirty = false
 	for i, a := range q.Atoms {
 		if !dirtyAtom[i] {
 			continue
 		}
-		rel, fast := rebindAtomDelta(a, b.inst.AtomRels[i], b.cdb.sdb.Table(a.Rel), cdb.sdb)
-		if !fast {
+		rel, fast := rebindAtomDelta(a, b.inst.AtomRels[i], b.cdb.sdb.Table(a.Rel), cdb.sdb, b.prep.eng)
+		if fast {
+			b.prep.eng.atomDeltaFast.Add(1)
+		} else {
+			b.prep.eng.atomDeltaScan.Add(1)
 			var err error
 			rel, err = bindAtomRelation(a, cdb.sdb.Table(a.Rel), cdb.sdb.Dict)
 			if err != nil {
@@ -236,7 +240,10 @@ func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, 
 	}
 	err := parForEach(ctx, b.prep.eng.par(), maintain, func(u int) error {
 		rel, sup, fast := b.updateNode(u, inst, getEdge, deltaFor, atomDeltaFor, dirtyVarset, nodeLambdaDirty[u], nodeFiltersDirty[u])
-		if !fast {
+		if fast {
+			b.prep.eng.nodeDeltaJoins.Add(1)
+		} else {
+			b.prep.eng.nodeRebuilds.Add(1)
 			rel, sup = materialiseNodeWithSupport(plan, inst, u, getEdge)
 		}
 		nb.nodeSupport[u] = sup
@@ -276,27 +283,30 @@ func (b *BoundQuery) Rebind(ctx context.Context, cdb *CompiledDB) (*BoundQuery, 
 // tuple plus the atom's constants and repeated variables reconstruct the
 // row), so removed table rows that match are exactly the tuples leaving the
 // relation, and added rows that match are exactly the tuples entering it —
-// no derivation counts needed. Pure appends cost O(delta); deltas with
-// removals add one filter scan of the old relation (no hashing, matching or
-// dictionary traffic). ok=false falls back to the full bindAtomRelation
-// scan: no usable lineage (the snapshot is several Applies ahead, or from a
-// fresh Compile), an arity mismatch (the scan path reports the error), a
-// nullary atom, or a delta past the size heuristic.
-func rebindAtomDelta(a cq.Atom, oldRel *Relation, oldTable *storage.Table, sdb *storage.DB) (*Relation, bool) {
+// no derivation counts needed. The lineage may span several Applies: the
+// snapshot composes its bounded chain back to oldTable, so a query that
+// rebinds k Applies late still pays O(total change). Pure appends cost
+// O(delta); deltas with removals add one filter scan of the old relation (no
+// hashing, matching or dictionary traffic). ok=false falls back to the full
+// bindAtomRelation scan: no usable lineage (the snapshot is past the chain
+// bounds, or from a fresh Compile), an arity mismatch (the scan path reports
+// the error), a nullary atom, or a delta the cost model prices above the
+// scan.
+func rebindAtomDelta(a cq.Atom, oldRel *Relation, oldTable *storage.Table, sdb *storage.DB, eng *Engine) (*Relation, bool) {
 	vars := a.VarSet()
 	if len(vars) == 0 {
 		return nil, false
 	}
-	lin := sdb.Lineage(a.Rel)
-	if lin == nil || lin.Parent != oldTable || lin.Arity != len(a.Args) {
+	lin, steps := sdb.LineageFrom(a.Rel, oldTable)
+	if lin == nil || lin.Arity != len(a.Args) {
 		return nil, false
 	}
-	rows := 0
-	if t := sdb.Table(a.Rel); t != nil {
-		rows = t.Rows()
-	}
-	if (lin.AddedRows()+lin.RemovedRows())*deltaRebuildFactor > rows+deltaRebuildFactor {
+	deltaRows := lin.AddedRows() + lin.RemovedRows()
+	if !chooseAtomDelta(deltaRows, lin.RemovedRows(), oldRel.Len(), atomScanRows(a, oldTable)) {
 		return nil, false
+	}
+	if steps > 1 {
+		eng.lineageComposed.Add(1)
 	}
 	m := newAtomMatcher(a, vars, sdb.Dict)
 	if !m.ok {
@@ -391,11 +401,6 @@ func relDiff(old, new *Relation) (plus, minus *Relation) {
 	return plus, minus
 }
 
-// deltaRebuildFactor is the size heuristic of updateNode: when the summed
-// λ-edge deltas of a node exceed 1/deltaRebuildFactor of the summed edge
-// sizes, re-materialising from scratch beats delta-joining.
-const deltaRebuildFactor = 4
-
 // supportCompactMin is the smallest support map worth compacting — below it
 // the tombstone overhead is noise.
 const supportCompactMin = 16
@@ -407,8 +412,8 @@ const supportCompactMin = 16
 // finite differences), projected to the bag, and applied as ±1 derivation
 // counts; the filtered relation is then patched with the tuples whose
 // support crossed zero. Returns ok=false when the fast path does not apply
-// (no cached supports, nullary bag, or a delta past the size heuristic) and
-// the caller should re-materialise.
+// (no cached supports, nullary bag, or a delta the cost model prices above a
+// rebuild) and the caller should re-materialise.
 func (b *BoundQuery) updateNode(u int, inst *Instance, getEdge func([]string) *Relation, deltaFor func([]string) *edgeDelta, atomDeltaFor func(int) *edgeDelta, dirtyVarset map[string]bool, lambdaDirty, filtersDirty bool) (*Relation, *storage.TupleMap, bool) {
 	p := b.prep.plan
 	if u >= len(b.nodeSupport) {
@@ -434,16 +439,20 @@ func (b *BoundQuery) updateNode(u int, inst *Instance, getEdge func([]string) *R
 		return rel, oldSup, true
 	}
 	var dirtyIdx []int
-	totalDelta, totalEdge := 0, 0
+	totalDelta, totalEdge, maxEdge := 0, 0, 0
 	for i, names := range p.lambdaVars[u] {
-		totalEdge += getEdge(names).Len()
+		l := getEdge(names).Len()
+		totalEdge += l
+		if l > maxEdge {
+			maxEdge = l
+		}
 		if dirtyVarset[edgeKey(names)] {
 			dirtyIdx = append(dirtyIdx, i)
 			d := deltaFor(names)
 			totalDelta += d.plus.Len() + d.minus.Len()
 		}
 	}
-	if totalDelta*deltaRebuildFactor > totalEdge {
+	if !chooseNodeDelta(totalDelta, totalEdge, oldSup.Len(), maxEdge) {
 		return nil, nil, false
 	}
 	sup := oldSup.Clone()
@@ -592,7 +601,7 @@ func (b *BoundQuery) refilterDelta(u int, inst *Instance, atomDeltaFor func(int)
 		if d == nil {
 			continue
 		}
-		if (d.plus.Len()+d.minus.Len())*deltaRebuildFactor > d.new.Len()+d.old.Len()+deltaRebuildFactor {
+		if !chooseRefilterDelta(d.plus.Len(), d.minus.Len(), d.old.Len(), d.new.Len()) {
 			return nil, false
 		}
 		changed = append(changed, ai)
@@ -811,6 +820,22 @@ func (es *enumState) update(ctx context.Context, nodeRels []*Relation, dirtyNode
 			return nil, err
 		}
 	}
+	// Carry the lazily built upward probe indexes (enumerateVia) forward for
+	// every pair whose parent relation survived unchanged; the rest rebuild
+	// on demand.
+	es.upMu.Lock()
+	for i, pr := range p.countPairs {
+		if i >= len(es.up) {
+			break
+		}
+		if es.up[i] != nil && nes.nodes[pr.u].rel == es.nodes[pr.u].rel {
+			if nes.up == nil {
+				nes.up = make([]*storage.Index, len(p.countPairs))
+			}
+			nes.up[i] = es.up[i]
+		}
+	}
+	es.upMu.Unlock()
 	return nes, nil
 }
 

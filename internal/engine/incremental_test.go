@@ -552,9 +552,11 @@ func TestUpdateCancelledContext(t *testing.T) {
 }
 
 // TestRebindAtomDeltaLineage pins the O(delta) atom-rebuild fast path: with
-// one-step lineage the patched relation is byte-identical to a full
+// lineage back to the old table — recorded directly or composed across
+// several Applies — the patched relation is byte-identical to a full
 // bindAtomRelation scan (selection by constants and repeated variables
-// included), and the fast path declines snapshots more than one Apply ahead.
+// included), and any decline of available lineage is justified by the cost
+// model.
 func TestRebindAtomDeltaLineage(t *testing.T) {
 	atoms := []string{"R(x,y)", "R(x,x)", "R(x,'c1')", "R(x,y), Zed(x)"}
 	db := cq.Database{}
@@ -590,37 +592,54 @@ func TestRebindAtomDeltaLineage(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, fast := rebindAtomDelta(a, oldRel, cur.Table(a.Rel), next)
+			got, fast := rebindAtomDelta(a, oldRel, cur.Table(a.Rel), next, NewEngine())
 			if fast {
 				if !sameStrings(got.Cols, want.Cols) || !slices.Equal(got.Data, want.Data) {
 					t.Fatalf("%s delta %d: lineage rebuild %v/%v, scan %v/%v", src, di, got.Cols, got.Data, want.Cols, want.Data)
 				}
-			} else if next.Lineage(a.Rel) != nil && next.Lineage(a.Rel).Parent == cur.Table(a.Rel) {
-				// Declining valid one-step lineage is only allowed past the
-				// size heuristic.
-				lin := next.Lineage(a.Rel)
-				rows := 0
-				if tb := next.Table(a.Rel); tb != nil {
-					rows = tb.Rows()
-				}
-				if (lin.AddedRows()+lin.RemovedRows())*deltaRebuildFactor <= rows+deltaRebuildFactor {
-					t.Fatalf("%s delta %d: fast path declined a small one-step delta", src, di)
+			} else if lin, _ := next.LineageFrom(a.Rel, cur.Table(a.Rel)); lin != nil {
+				// Declining available lineage is only allowed when the cost
+				// model prices the scan cheaper.
+				if chooseAtomDelta(lin.AddedRows()+lin.RemovedRows(), lin.RemovedRows(), oldRel.Len(), atomScanRows(a, cur.Table(a.Rel))) {
+					t.Fatalf("%s delta %d: fast path declined a delta the cost model accepts", src, di)
 				}
 			}
 			cur, oldRel = next, want
 		}
-		// Two Applies ahead: the lineage parent no longer matches, so the
-		// fast path must decline.
-		one, err := cur.Apply(storage.NewDelta().Add("R", "c8", "c1"))
+		// Two Applies ahead: the snapshot composes its lineage chain back to
+		// our table, so the fast path still applies — and must match a scan.
+		// Start from a fresh compile so the two-step chain is within the
+		// cumulative-size bound on this small table.
+		base, err := storage.Compile(db)
 		if err != nil {
 			t.Fatal(err)
 		}
-		two, err := one.Apply(storage.NewDelta().Add("R", "c9", "c1"))
+		baseRel, err := bindAtomRelation(a, base.Table(a.Rel), base.Dict)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, fast := rebindAtomDelta(a, oldRel, cur.Table(a.Rel), two); fast {
-			t.Fatalf("%s: fast path accepted a snapshot two Applies ahead", src)
+		one, err := base.Apply(storage.NewDelta().Add("R", "c8", "c1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := one.Apply(storage.NewDelta().Add("R", "c9", "c1").Remove("R", "c8", "c1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := bindAtomRelation(a, two.Table(a.Rel), two.Dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine()
+		got, fast := rebindAtomDelta(a, baseRel, base.Table(a.Rel), two, eng)
+		if !fast {
+			t.Fatalf("%s: fast path declined a composed two-step lineage", src)
+		}
+		if !sameStrings(got.Cols, want.Cols) || !slices.Equal(got.Data, want.Data) {
+			t.Fatalf("%s: composed rebuild %v/%v, scan %v/%v", src, got.Cols, got.Data, want.Cols, want.Data)
+		}
+		if eng.Stats().LineageComposed == 0 {
+			t.Fatalf("%s: composed patch did not count in Stats", src)
 		}
 	}
 }

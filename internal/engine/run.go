@@ -494,6 +494,14 @@ type enumState struct {
 	nodes     []enumNode
 	maxShared int
 	buRels    []*Relation
+
+	// up caches, per (node, child-join) pair of plan.countPairs, the index of
+	// the *parent* relation on the columns shared with that child — the probe
+	// direction of enumerateVia's path walk, which is the reverse of the
+	// enumNode indexes above. Built lazily under upMu; update carries entries
+	// whose parent relation is unchanged forward to the next state.
+	upMu sync.Mutex
+	up   []*storage.Index
 }
 
 // buildEnumState indexes every non-root node's relation on the columns

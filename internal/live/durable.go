@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"d2cq/internal/cq"
@@ -68,20 +69,24 @@ func (c DurableConfig) withDefaults() DurableConfig {
 	return c
 }
 
-// durability is the Store's attachment to its write-ahead log, guarded by
-// Store.mu like the rest of the mutable state (the wal.Log has its own lock
-// and never calls back into the store, so the ordering is safe).
+// durability is the Store's attachment to its write-ahead log. The log and
+// the cadence knobs are fixed at Open; the wal.Log has its own lock and
+// never calls back into the store. The mutable counters carry their own
+// mutex (cmu) because they are written by the flush pipeline — which holds
+// flushMu, not Store.mu — and read by Stats, which holds Store.mu; cmu is a
+// leaf lock acquired after either.
 type durability struct {
 	log             *wal.Log
 	checkpointEvery int
 	keep            int
+	mode            wal.SyncMode
 
+	cmu             sync.Mutex // guards the counters below
 	sinceCkpt       int
 	lastCkptLSN     uint64
 	lastCkptVersion uint64
 	replayed        uint64
 	lastError       string
-	mode            wal.SyncMode
 }
 
 // DurabilityStats is the durability section of Stats.
@@ -100,7 +105,8 @@ type DurabilityStats struct {
 	LastError       string `json:"last_error,omitempty"`
 }
 
-func (d *durability) statsLocked() *DurabilityStats {
+func (d *durability) stats() *DurabilityStats {
+	d.cmu.Lock()
 	out := &DurabilityStats{
 		SyncMode:               d.mode.String(),
 		LastCheckpointLSN:      d.lastCkptLSN,
@@ -109,6 +115,7 @@ func (d *durability) statsLocked() *DurabilityStats {
 		ReplayedRecords:        d.replayed,
 		LastError:              d.lastError,
 	}
+	d.cmu.Unlock()
 	if st, err := d.log.Stats(); err == nil {
 		out.NextLSN = st.NextLSN
 		out.Segments = st.Segments
@@ -163,24 +170,32 @@ func decodeQueryRecord(payload []byte) (string, string, error) {
 	return string(payload[4 : 4+n]), string(payload[4+n:]), nil
 }
 
-// maybeCheckpointLocked advances the flush counter and writes a checkpoint
-// when the cadence is due. Checkpoint failures never fail the flush that
-// triggered them — the log still has everything — but they are surfaced in
-// the durability stats.
-func (d *durability) maybeCheckpointLocked(s *Store) {
+// maybeCheckpoint advances the flush counter and writes a checkpoint when
+// the cadence is due. Called with Store.flushMu held (NOT mu — the snapshot
+// encode is the expensive part and must not block submitters). Checkpoint
+// failures never fail the flush that triggered them — the log still has
+// everything — but they are surfaced in the durability stats.
+func (d *durability) maybeCheckpoint(s *Store) {
+	d.cmu.Lock()
 	d.sinceCkpt++
-	if d.sinceCkpt < d.checkpointEvery {
+	due := d.sinceCkpt >= d.checkpointEvery
+	d.cmu.Unlock()
+	if !due {
 		return
 	}
-	if err := d.checkpointLocked(s); err != nil {
+	if err := d.checkpoint(s); err != nil {
+		d.cmu.Lock()
 		d.lastError = err.Error()
+		d.cmu.Unlock()
 	}
 }
 
-// checkpointLocked snapshots the current store state as a checkpoint covering
+// checkpoint snapshots the current store state as a checkpoint covering
 // every log record appended so far, then lets the log prune old checkpoints
-// and fully-covered segments.
-func (d *durability) checkpointLocked(s *Store) error {
+// and fully-covered segments. Called with Store.flushMu held: s.version,
+// the registry shape and s.cdb are stable under it (they change only under
+// flushMu+mu), so the whole encode runs without touching Store.mu.
+func (d *durability) checkpoint(s *Store) error {
 	lsn := d.log.NextLSN() - 1
 	err := d.log.WriteCheckpoint(lsn, d.keep, func(w io.Writer) error {
 		return writeCheckpoint(w, lsn, s.version, s.queries, s.cdb)
@@ -188,9 +203,11 @@ func (d *durability) checkpointLocked(s *Store) error {
 	if err != nil {
 		return err
 	}
+	d.cmu.Lock()
 	d.sinceCkpt = 0
 	d.lastCkptLSN = lsn
 	d.lastCkptVersion = s.version
+	d.cmu.Unlock()
 	return nil
 }
 
@@ -473,9 +490,9 @@ func Open(ctx context.Context, eng *engine.Engine, cfg DurableConfig) (*Store, e
 	// took any replay (or nothing was checkpointed yet): the next Open then
 	// starts from here instead of repeating the work.
 	if replayed > 0 || ck == nil {
-		s.mu.Lock()
-		err := s.dur.checkpointLocked(s)
-		s.mu.Unlock()
+		s.flushMu.Lock()
+		err := s.dur.checkpoint(s)
+		s.flushMu.Unlock()
 		if err != nil {
 			log.Close()
 			return nil, err
@@ -520,12 +537,18 @@ func (s *Store) replayLog(ctx context.Context, backend wal.Backend, from uint64)
 			if err != nil {
 				return fmt.Errorf("live: replay LSN %d: %w", r.LSN, err)
 			}
-			s.mu.Lock()
-			st, serr := s.stageLocked(ctx, delta)
+			// Replay runs before the store is shared, but it takes the same
+			// locks a live flush does (the logged version plays the role
+			// s.version+1 plays live) so the stage/commit invariants hold
+			// uniformly.
+			s.flushMu.Lock()
+			st, serr := s.stage(ctx, delta, version)
 			if serr == nil {
-				s.commitLocked(st, version, false)
+				s.mu.Lock()
+				s.commitLocked(st, false)
+				s.mu.Unlock()
 			}
-			s.mu.Unlock()
+			s.flushMu.Unlock()
 			if serr != nil {
 				return fmt.Errorf("live: replay LSN %d (version %d): %w", r.LSN, version, serr)
 			}

@@ -81,22 +81,50 @@ var ErrQueryConflict = errors.New("live: query name already registered")
 // current CompiledDB snapshot, the registered bound queries maintained
 // incrementally across snapshots, the coalescing ingestion pipeline, and the
 // Watch subscriber registry. All methods are safe for concurrent use.
+//
+// # Lock protocol
+//
+// Two mutexes split the flush pipeline from the observable state:
+//
+//   - flushMu serialises the pipeline: batch staging (Apply, Rebind, Count,
+//     DiffFrom, notification decoding), WAL appends, checkpoint encoding,
+//     query registration and watch admission. All the engine work of a flush
+//     runs under flushMu with mu RELEASED, so submitters and readers are
+//     never stuck behind a slow stage.
+//   - mu guards the observable state below and is held only for pointer-swap
+//     commits and plain reads — its hold times are O(registry), never
+//     O(data).
+//
+// flushMu is always acquired BEFORE mu; nothing acquires flushMu while
+// holding mu. Fields written under BOTH locks (cdb, version, queries map
+// shape, relArity, per-query bound/count) may be read under EITHER: readers
+// holding just mu see committed state, the pipeline holding just flushMu
+// sees its own serialised writes. Subscriber lists and the pending batch are
+// written under mu alone — Submit and Subscription.Cancel must stay
+// wait-free during a stage — so the pipeline reads them only inside short mu
+// sections. The WAL log-then-commit ordering of PR 6 is preserved: the
+// append happens under flushMu after staging, strictly before the commit
+// that makes the version observable, and flushMu keeps appends in version
+// order.
 type Store struct {
 	eng *engine.Engine
 	cfg Config
 
+	flushMu sync.Mutex // serialises stage → WAL append → commit; before mu
+
 	mu           sync.Mutex
-	cdb          *engine.CompiledDB
-	version      uint64
+	cdb          *engine.CompiledDB // written under flushMu+mu
+	version      uint64             // written under flushMu+mu
 	queries      map[string]*liveQuery
 	relArity     map[string]int // arity each relation must have per the registered queries' atoms
 	pending      *storage.Coalescer
 	pendingSince time.Time
-	closed       bool
+	closed       bool // written under flushMu+mu
 	nextSubID    int
 
 	// dur wires the write-ahead log and checkpointing in when the store was
-	// created with Open; nil for a purely in-memory store.
+	// created with Open; nil for a purely in-memory store. The pointer is
+	// fixed at construction; its counters carry their own lock.
 	dur *durability
 
 	kick    chan struct{} // Submit → flusher: the batch-size trigger fired
@@ -105,6 +133,11 @@ type Store struct {
 	timer   *time.Timer   // max-latency trigger, armed on the first pending tuple
 
 	stats storeCounters
+
+	// stageHook, when set (tests only, before traffic starts), runs at the
+	// top of every stage — under flushMu, outside mu — so tests can hold a
+	// flush mid-stage and assert Submit/Count/Stats still make progress.
+	stageHook func()
 }
 
 // storeCounters are the monotonic half of Stats, guarded by Store.mu.
@@ -117,6 +150,19 @@ type storeCounters struct {
 	dropped         uint64
 	flushErrors     uint64
 	lastError       string
+
+	// Flush-phase timings (satellite of the O(change) flush path): where a
+	// flush spends its time, and — the flat-tail claim — how briefly it ever
+	// holds mu.
+	stageNs       uint64
+	commitNs      uint64
+	walNs         uint64
+	lockHoldNs    uint64
+	lastStageNs   uint64
+	lastCommitNs  uint64
+	lastWalNs     uint64
+	maxLockHoldNs uint64
+	diffRows      uint64
 }
 
 // liveQuery is one registered query: its prepared plan, the bound snapshot
@@ -184,6 +230,14 @@ func (s *Store) Register(ctx context.Context, name string, q cq.Query) error {
 
 // register is Register with the WAL append gated: recovery replays query
 // records through it with logIt=false (they are already in the log).
+//
+// It holds flushMu for the whole body: registration must serialise against
+// the flush pipeline (the new query either sees a snapshot entirely before a
+// flush or entirely after, never a half-committed one) and against other
+// registrations (the conflict check and the map insert must be atomic). The
+// expensive part — Bind, the initial Count, priming the enumeration cache —
+// runs with mu released, so readers and submitters keep flowing while a
+// query spins up.
 func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt bool) error {
 	if name == "" {
 		return errors.New("live: empty query name")
@@ -193,16 +247,20 @@ func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt boo
 	if err != nil {
 		return err
 	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	if lq, ok := s.queries[name]; ok {
-		if lq.src == src {
+		src0 := lq.src
+		s.mu.Unlock()
+		if src0 == src {
 			return nil
 		}
-		return fmt.Errorf("%w: %q is %s", ErrQueryConflict, name, lq.src)
+		return fmt.Errorf("%w: %q is %s", ErrQueryConflict, name, src0)
 	}
 	// Reject atoms whose arity conflicts with what earlier registrations
 	// fixed for an absent relation (Bind cannot catch that — it binds an
@@ -212,10 +270,12 @@ func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt boo
 	// below with the same engine error.
 	for _, a := range q.Atoms {
 		if want, ok := s.relArity[a.Rel]; ok && want != len(a.Args) {
+			s.mu.Unlock()
 			return fmt.Errorf("live: atom %s has arity %d, but relation %s is registered with arity %d",
 				a.Rel, len(a.Args), a.Rel, want)
 		}
 	}
+	s.mu.Unlock()
 	bound, err := prep.Bind(ctx, s.cdb)
 	if err != nil {
 		return err
@@ -238,6 +298,7 @@ func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt boo
 			return fmt.Errorf("live: logging registration: %w", err)
 		}
 	}
+	s.mu.Lock()
 	s.queries[name] = &liveQuery{name: name, src: src, query: q, bound: bound, count: count, histFloor: s.version}
 	// Record the arity each atom demands of its relation: Submit validation
 	// rejects deltas that would create a relation no registered query could
@@ -249,16 +310,17 @@ func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt boo
 			s.relArity[a.Rel] = len(a.Args)
 		}
 	}
+	s.mu.Unlock()
 	return nil
 }
 
 // Submit enqueues a delta into the ingestion pipeline: it is merged into the
 // pending coalesced batch (set semantics — resubmitting the same tuples does
 // not grow the batch) and applied by the next flush, at the latest
-// MaxLatency from now. Submit does no evaluation itself — its own work is
-// merging into the pending batch — but it serialises on the store lock, so
-// it can wait behind an in-progress flush (see the ROADMAP note about moving
-// the flush's engine work outside the lock). A delta whose tuples mismatch a
+// MaxLatency from now. Submit does no evaluation itself and never waits for
+// one: a flush's engine work runs outside mu (see the lock protocol on
+// Store), so Submit's latency is bounded by merging into the pending batch
+// plus other O(registry) critical sections. A delta whose tuples mismatch a
 // relation's arity — from the compiled table, a registered query's atom, or
 // the tuples already pending — is rejected here, before it could poison the
 // shared batch at flush time; the only other error is a closed store. The
@@ -375,44 +437,63 @@ func (s *Store) flusher() {
 // changed. A no-op when nothing is pending. On error the snapshot and every
 // bound query are left exactly as they were and the error is recorded in
 // Stats and returned; a transient failure (context cancellation mid-flush)
-// re-queues the batch so other submitters' coalesced tuples survive for the
-// next flush, while a genuinely poison batch (an arity mismatch that slipped
-// past Submit validation) is dropped so it cannot wedge the pipeline.
+// re-queues the batch — merged with anything submitted in the meantime — so
+// other submitters' coalesced tuples survive for the next flush, while a
+// genuinely poison batch (an arity mismatch that slipped past Submit
+// validation) is dropped so it cannot wedge the pipeline.
 func (s *Store) Flush(ctx context.Context) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	return s.flushLocked(ctx)
+	s.mu.Unlock()
+	return s.flushSerialized(ctx)
 }
 
-func (s *Store) flushLocked(ctx context.Context) error {
+// flushSerialized runs one take → stage → WAL append → commit cycle. The
+// caller holds flushMu; mu is taken only for the take and commit steps (and
+// the error bookkeeping), never across engine work.
+func (s *Store) flushSerialized(ctx context.Context) error {
+	t0 := time.Now()
+	s.mu.Lock()
 	if s.pending.Empty() {
+		s.mu.Unlock()
 		return nil
 	}
 	batch := s.pending.Take()
 	s.pendingSince = time.Time{}
+	s.mu.Unlock()
+	takeHold := time.Since(t0)
 	fail := func(err error) error {
+		s.mu.Lock()
 		s.stats.flushErrors++
 		s.stats.lastError = err.Error()
+		s.mu.Unlock()
 		return err
 	}
 	// restore re-queues the batch and re-arms the latency trigger: the
 	// failure was transient (typically the flushing caller's context), not
 	// the batch's fault, so the tuples other submitters coalesced into it
-	// must survive for the next flush. Under the current lock scope
-	// s.pending is still empty here (Submit blocks on mu for the whole
-	// flush); re-merging batch-first keeps this correct if the engine work
-	// ever moves outside the lock.
+	// must survive for the next flush. Submits may have landed while the
+	// stage ran outside mu, so the batch is merged back batch-first ahead of
+	// whatever accumulated since.
 	restore := func(err error) error {
+		s.mu.Lock()
 		re := storage.NewCoalescer()
 		re.Merge(batch)
 		re.Merge(s.pending.Take())
 		s.pending = re
 		s.pendingSince = time.Now()
-		s.timer.Reset(s.cfg.MaxLatency)
-		return fail(err)
+		if !s.closed {
+			s.timer.Reset(s.cfg.MaxLatency)
+		}
+		s.stats.flushErrors++
+		s.stats.lastError = err.Error()
+		s.mu.Unlock()
+		return err
 	}
 	// stageFail classifies an engine-stage error: a cancelled context is
 	// transient (the batch is innocent — re-queue it), anything else is
@@ -425,7 +506,9 @@ func (s *Store) flushLocked(ctx context.Context) error {
 		}
 		return fail(err)
 	}
-	st, err := s.stageLocked(ctx, batch)
+	stageStart := time.Now()
+	st, err := s.stage(ctx, batch, s.version+1)
+	stageDur := time.Since(stageStart)
 	if err != nil {
 		return stageFail(err)
 	}
@@ -433,43 +516,78 @@ func (s *Store) flushLocked(ctx context.Context) error {
 	// persist it before any subscriber can observe the new version. Only
 	// staged batches reach the log, so recovery replay never meets a poison
 	// batch the live path dropped. An append failure is an I/O problem, not
-	// the batch's fault — re-queue it like any transient error.
+	// the batch's fault — re-queue it like any transient error. flushMu keeps
+	// appends in version order and strictly ahead of their commits.
+	var walDur time.Duration
 	if s.dur != nil {
-		if err := s.dur.appendDelta(s.version+1, batch); err != nil {
+		walStart := time.Now()
+		if err := s.dur.appendDelta(st.version, batch); err != nil {
 			return restore(err)
 		}
+		walDur = time.Since(walStart)
 	}
-	s.commitLocked(st, s.version+1, true)
+	commitStart := time.Now()
+	s.mu.Lock()
+	s.commitLocked(st, true)
 	s.stats.flushes++
 	s.stats.flushedTuples += uint64(batch.Size())
+	s.stats.stageNs += uint64(stageDur.Nanoseconds())
+	s.stats.commitNs += uint64(time.Since(commitStart).Nanoseconds())
+	s.stats.walNs += uint64(walDur.Nanoseconds())
+	s.stats.lastStageNs = uint64(stageDur.Nanoseconds())
+	s.stats.lastCommitNs = uint64(time.Since(commitStart).Nanoseconds())
+	s.stats.lastWalNs = uint64(walDur.Nanoseconds())
+	hold := uint64((takeHold + time.Since(commitStart)).Nanoseconds())
+	s.stats.lockHoldNs += hold
+	if hold > s.stats.maxLockHoldNs {
+		s.stats.maxLockHoldNs = hold
+	}
+	for _, q := range st.next {
+		s.stats.diffRows += uint64(q.diffRows)
+	}
+	s.mu.Unlock()
 	if s.dur != nil {
-		s.dur.maybeCheckpointLocked(s)
+		s.dur.maybeCheckpoint(s)
 	}
 	return nil
 }
 
 // staged is one query's next state, computed against the candidate snapshot
-// but not yet visible.
+// but not yet visible. note is the fully-decoded notification for the
+// version being staged, nil when the diff was not computed or came out
+// empty.
 type staged struct {
-	lq             *liveQuery
-	bound          *engine.BoundQuery
-	count          int64
-	added, removed *engine.Relation
+	lq       *liveQuery
+	bound    *engine.BoundQuery
+	count    int64
+	note     *Notification
+	diffRows int
 }
 
-// stagedFlush is a fully-staged batch application: the successor snapshot and
-// every query's next state. Committing it cannot fail.
+// stagedFlush is a fully-staged batch application: the successor snapshot,
+// its version, and every query's next state. Committing it cannot fail.
 type stagedFlush struct {
-	cdb  *engine.CompiledDB
-	next []staged
+	cdb     *engine.CompiledDB
+	version uint64
+	next    []staged
 }
 
-// stageLocked computes the successor snapshot and every query's next state
-// against it, touching nothing observable: a mid-stage error (cancellation,
-// arity mismatch against a query) must not leave half the registry on the
-// new snapshot. Recovery replay shares this path so a replayed batch goes
-// through the exact engine calls the original flush made.
-func (s *Store) stageLocked(ctx context.Context, batch *storage.Delta) (stagedFlush, error) {
+// stage computes the successor snapshot and every query's next state against
+// it — Apply, Rebind, Count, DiffFrom and notification decoding — touching
+// nothing observable: a mid-stage error (cancellation, arity mismatch
+// against a query) must not leave half the registry on the new snapshot.
+// The caller holds flushMu and NOT mu: s.cdb, the registry shape and each
+// lq.bound/count are stable under flushMu alone (they only change under both
+// locks), while the subscriber lists — written under mu alone — are sampled
+// in one short mu section. Watch admission also holds flushMu, so a
+// subscriber admitted after that sample sees its first notification on the
+// next flush, never a torn one. Recovery replay shares this path so a
+// replayed batch goes through the exact engine calls the original flush
+// made.
+func (s *Store) stage(ctx context.Context, batch *storage.Delta, version uint64) (stagedFlush, error) {
+	if h := s.stageHook; h != nil {
+		h()
+	}
 	ncdb, err := s.cdb.Apply(ctx, batch)
 	if err != nil {
 		return stagedFlush{}, err
@@ -479,6 +597,12 @@ func (s *Store) stageLocked(ctx context.Context, batch *storage.Delta) (stagedFl
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	watched := make(map[string]bool, len(names))
+	s.mu.Lock()
+	for _, name := range names {
+		watched[name] = len(s.queries[name].subs) > 0
+	}
+	s.mu.Unlock()
 	next := make([]staged, 0, len(names))
 	for _, name := range names {
 		lq := s.queries[name]
@@ -495,41 +619,46 @@ func (s *Store) stageLocked(ctx context.Context, batch *storage.Delta) (stagedFl
 		// resume ring; without history, an unwatched query pays the O(delta)
 		// incremental count and nothing else. With history every query pays
 		// the diff — the ring must hold changes for watchers that have not
-		// connected yet. (Subscribers can't appear mid-flush — the store
-		// lock is held — and a later Watch picks up diffs from the next
-		// flush.)
-		if len(lq.subs) > 0 || s.cfg.History > 0 {
-			if st.added, st.removed, err = nb.DiffFrom(ctx, lq.bound); err != nil {
+		// connected yet.
+		if watched[name] || s.cfg.History > 0 {
+			added, removed, err := nb.DiffFrom(ctx, lq.bound)
+			if err != nil {
 				return stagedFlush{}, fmt.Errorf("diff %s: %w", name, err)
+			}
+			if added.Len()+removed.Len() > 0 {
+				st.diffRows = added.Len() + removed.Len()
+				st.note = &Notification{
+					Query:     lq.name,
+					Version:   version,
+					Count:     count,
+					PrevCount: lq.count,
+					Added:     decodeRows(added, nb.Dict()),
+					Removed:   decodeRows(removed, nb.Dict()),
+				}
 			}
 		}
 		next = append(next, st)
 	}
-	return stagedFlush{cdb: ncdb, next: next}, nil
+	return stagedFlush{cdb: ncdb, version: version, next: next}, nil
 }
 
-// commitLocked makes a staged flush visible as the given version: snapshot
-// swap, per-query state, resume rings, and — when fanout is set — subscriber
-// notifications. Recovery replay commits with fanout=false (there is nobody
-// to notify yet, but the rings must fill so pre-crash cursors can resume).
-func (s *Store) commitLocked(st stagedFlush, version uint64, fanout bool) {
+// commitLocked makes a staged flush visible: snapshot swap, per-query state,
+// resume rings, and — when fanout is set — subscriber notifications. The
+// caller holds BOTH flushMu and mu; everything here is pointer swaps and
+// ring bookkeeping, so the mu hold is O(registry + notification fanout),
+// independent of batch and result sizes. Recovery replay commits with
+// fanout=false (there is nobody to notify yet, but the rings must fill so
+// pre-crash cursors can resume).
+func (s *Store) commitLocked(st stagedFlush, fanout bool) {
 	s.cdb = st.cdb
-	s.version = version
+	s.version = st.version
 	for _, q := range st.next {
-		prevCount := q.lq.count
 		q.lq.bound = q.bound
 		q.lq.count = q.count
-		if q.added == nil || (q.added.Len() == 0 && q.removed.Len() == 0) {
+		if q.note == nil {
 			continue // diff not computed, or the batch was invisible to this query
 		}
-		n := Notification{
-			Query:     q.lq.name,
-			Version:   version,
-			Count:     q.count,
-			PrevCount: prevCount,
-			Added:     decodeRows(q.added, q.bound.Dict()),
-			Removed:   decodeRows(q.removed, q.bound.Dict()),
-		}
+		n := *q.note
 		if s.cfg.History > 0 {
 			if len(q.lq.hist) >= s.cfg.History {
 				evict := len(q.lq.hist) - s.cfg.History + 1
@@ -654,10 +783,29 @@ type Stats struct {
 	Dropped         uint64          `json:"dropped"`
 	FlushErrors     uint64          `json:"flush_errors"`
 	LastError       string          `json:"last_error,omitempty"`
+	Flush           FlushStats      `json:"flush"`
 	DB              storage.DBStats `json:"db"`
 	Engine          engine.Stats    `json:"engine"`
 	// Durability is present only for stores created with Open.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// FlushStats breaks a store's flushes into pipeline phases. The cumulative
+// nanosecond counters divide by Stats.Flushes for means; the Last* values
+// are the most recent flush. LockHoldNs is the store-mutex hold time of the
+// flush path only (batch take + commit) — the flat-tail claim of the
+// O(change) flush design is that MaxLockHoldNs stays O(registry +
+// notification size) while StageNs carries all the data-dependent work.
+type FlushStats struct {
+	StageNs       uint64 `json:"stage_ns"`
+	CommitNs      uint64 `json:"commit_ns"`
+	WalNs         uint64 `json:"wal_ns"`
+	LockHoldNs    uint64 `json:"lock_hold_ns"`
+	LastStageNs   uint64 `json:"last_stage_ns"`
+	LastCommitNs  uint64 `json:"last_commit_ns"`
+	LastWalNs     uint64 `json:"last_wal_ns"`
+	MaxLockHoldNs uint64 `json:"max_lock_hold_ns"`
+	DiffRows      uint64 `json:"diff_rows"`
 }
 
 // Stats returns the current counters.
@@ -670,7 +818,7 @@ func (s *Store) Stats() Stats {
 	}
 	var dur *DurabilityStats
 	if s.dur != nil {
-		dur = s.dur.statsLocked()
+		dur = s.dur.stats()
 	}
 	return Stats{
 		Durability:      dur,
@@ -686,34 +834,57 @@ func (s *Store) Stats() Stats {
 		Dropped:         s.stats.dropped,
 		FlushErrors:     s.stats.flushErrors,
 		LastError:       s.stats.lastError,
-		DB:              s.cdb.Stats(),
-		Engine:          s.eng.Stats(),
+		Flush: FlushStats{
+			StageNs:       s.stats.stageNs,
+			CommitNs:      s.stats.commitNs,
+			WalNs:         s.stats.walNs,
+			LockHoldNs:    s.stats.lockHoldNs,
+			LastStageNs:   s.stats.lastStageNs,
+			LastCommitNs:  s.stats.lastCommitNs,
+			LastWalNs:     s.stats.lastWalNs,
+			MaxLockHoldNs: s.stats.maxLockHoldNs,
+			DiffRows:      s.stats.diffRows,
+		},
+		DB:     s.cdb.Stats(),
+		Engine: s.eng.Stats(),
 	}
 }
 
 // Close flushes the pending batch, cancels every subscription (their
 // channels are closed) and stops the background flusher. The returned error
 // is the final flush's, if any. Close is idempotent.
+//
+// Closing first marks the store closed under both locks — so no new submits,
+// registrations or watches are admitted — then runs the final flush through
+// the normal pipeline (flushSerialized does not itself check closed, exactly
+// so this last drain can still commit). Subscribers receive that flush's
+// notifications before their channels close. flushMu is released before
+// waiting for the flusher goroutine, which may be blocked on it in a Flush
+// that will then observe closed and bow out.
 func (s *Store) Close() error {
+	s.flushMu.Lock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.flushMu.Unlock()
 		return nil
 	}
-	err := s.flushLocked(context.Background())
+	s.closed = true
+	s.timer.Stop()
+	s.mu.Unlock()
+	err := s.flushSerialized(context.Background())
 	if s.dur != nil {
 		// Seal with a final checkpoint so the next Open replays nothing,
 		// then release the log. A checkpoint failure is not worth masking
 		// the flush error over — recovery replays the suffix either way.
-		if cerr := s.dur.checkpointLocked(s); cerr != nil && err == nil {
+		if cerr := s.dur.checkpoint(s); cerr != nil && err == nil {
 			err = cerr
 		}
 		if cerr := s.dur.log.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
-	s.closed = true
-	s.timer.Stop()
+	s.mu.Lock()
 	for _, lq := range s.queries {
 		for _, sub := range lq.subs {
 			sub.closed = true
@@ -722,6 +893,7 @@ func (s *Store) Close() error {
 		lq.subs = nil
 	}
 	s.mu.Unlock()
+	s.flushMu.Unlock()
 	close(s.closeCh)
 	<-s.doneCh
 	return err

@@ -44,7 +44,15 @@ type Subscription struct {
 // silent. The subscriber owns a bounded buffer: fall behind by more than
 // Config.Buffer notifications and the oldest pending ones are dropped,
 // accounted in Lagged. Cancel (or Store.Close) closes C.
+//
+// Admission holds flushMu, serialising it against the flush pipeline: once
+// Watch returns, every later flush's stage sees the subscriber and computes
+// its diff, so the stream starts with the first flush that begins after the
+// Watch — no torn first notification. (A Watch issued mid-flush therefore
+// waits for that flush's stage to finish.)
 func (s *Store) Watch(name string) (*Subscription, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -71,7 +79,13 @@ func (s *Store) Watch(name string) (*Subscription, error) {
 // future changes: the subscriber must re-read the full result (Solutions) to
 // resynchronise, exactly as after a Lagged drop. Cursors work across a
 // durable store's restart: recovery replay re-fills the rings.
+//
+// Like Watch, admission holds flushMu: the resume backlog and the live
+// stream join at a flush boundary, so the in-order exactly-once guarantee
+// spans the seam.
 func (s *Store) WatchFrom(name string, fromSeq uint64) (*Subscription, bool, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -106,8 +120,10 @@ func (s *Store) WatchFrom(name string, fromSeq uint64) (*Subscription, bool, err
 }
 
 // Cancel unsubscribes and closes C. Idempotent; safe concurrently with
-// flushes (fan-out and cancellation serialise on the store lock, so a send
-// on the closed channel cannot happen).
+// flushes (fan-out and cancellation serialise on mu, so a send on the closed
+// channel cannot happen). Cancel deliberately does NOT take flushMu — it
+// must stay wait-free even mid-stage; a stage that computed a diff for a
+// just-cancelled subscriber simply fans out to whoever is left.
 func (sub *Subscription) Cancel() {
 	s := sub.store
 	s.mu.Lock()

@@ -114,9 +114,10 @@ type DB struct {
 	tables map[string]*Table
 
 	// lineage records, per relation Apply actually changed, the row-level
-	// delta from the parent snapshot (see TableDelta). Only the single Apply
-	// step that produced this DB is recorded; a consumer holding an older
-	// ancestor must verify TableDelta.Parent against the table it knows.
+	// delta from the parent snapshot (see TableDelta). Each step chains to
+	// the previous snapshot's step (bounded; see chainLineage), so a
+	// consumer holding an older ancestor can compose the walk with
+	// LineageFrom instead of rescanning.
 	lineage map[string]*TableDelta
 }
 
@@ -169,8 +170,8 @@ func (db *DB) Table(name string) *Table { return db.tables[name] }
 // Lineage returns the row-level delta of the named relation across the Apply
 // that produced this snapshot, or nil when that Apply did not change the
 // relation (or the snapshot came from Compile). The caller must check that
-// TableDelta.Parent is the table it holds before patching from the lineage —
-// a snapshot several Applies ahead records only its last step.
+// TableDelta.Parent is the table it holds before patching from the lineage;
+// for a consumer several Applies back, LineageFrom composes the chain.
 func (db *DB) Lineage(name string) *TableDelta { return db.lineage[name] }
 
 // Relations returns the compiled relation names, sorted.

@@ -258,6 +258,22 @@ type TableDelta struct {
 	Arity   int
 	Added   []Value
 	Removed []Value
+
+	// Prev chains to the lineage step that produced Parent from ITS parent,
+	// so a consumer holding a table several Applies back can compose the
+	// steps into one delta (DB.LineageFrom). Apply bounds the chain — by
+	// depth and by cumulative delta size relative to the new table — and
+	// truncates (Prev = nil) past the bound, so the ancestor tables a chain
+	// pins and the compose cost both stay proportional to recent change.
+	Prev *TableDelta
+	// depth and cumRows describe the chain ending at this step (inclusive):
+	// number of links and total added+removed rows. Maintained by Apply so
+	// the chaining bound is O(1) to check. age counts how many Applies have
+	// carried this entry forward untouched (see Apply); past maxLineageDepth
+	// the entry is dropped so stale chains stop pinning ancestor tables.
+	depth   int
+	cumRows int
+	age     int
 }
 
 // AddedRows and RemovedRows return the row counts of the lineage.
@@ -291,6 +307,23 @@ func (db *DB) Apply(delta *Delta) (*DB, error) {
 	if delta.Empty() { // nil-safe: a nil delta is an empty delta
 		return out, nil
 	}
+	// Carry forward the lineage of relations this Apply does not touch: their
+	// table pointer does not move, so the recorded chain still describes the
+	// delta from its ancestor to the current table, and a consumer rebinding
+	// several Applies late can still patch instead of rescanning. Ageing the
+	// carried entries out after maxLineageDepth Applies bounds how long a
+	// chain can pin its ancestor tables.
+	for name, td := range db.lineage {
+		if td.age >= maxLineageDepth {
+			continue
+		}
+		cp := *td // struct copy; row slices are immutable and safely shared
+		cp.age++
+		if out.lineage == nil {
+			out.lineage = map[string]*TableDelta{}
+		}
+		out.lineage[name] = &cp
+	}
 	for _, name := range delta.Relations() {
 		old := db.tables[name]
 		nt, td, err := applyToTable(name, old, db.Dict, delta.Insert[name], delta.Delete[name])
@@ -303,6 +336,7 @@ func (db *DB) Apply(delta *Delta) (*DB, error) {
 		if out.lineage == nil {
 			out.lineage = map[string]*TableDelta{}
 		}
+		chainLineage(td, db.lineage[name], nt)
 		out.lineage[name] = td
 		if nt == nil {
 			delete(out.tables, name)

@@ -192,9 +192,11 @@ func checkCoalesced(t *testing.T, got, want *Delta) {
 }
 
 // checkLineage asserts the row-level lineage contract of one Apply step:
-// changed relations carry a TableDelta whose Parent is the old table and
-// which reconstructs the new table exactly (surviving parent rows in order,
-// added rows appended); unchanged relations carry none.
+// changed relations carry a TableDelta whose Parent is the old table;
+// unchanged relations may carry an entry carried forward from an earlier
+// step (its Parent then is an older ancestor). Every entry, fresh or
+// carried, must reconstruct the current table exactly from its own Parent
+// (surviving parent rows in order, added rows appended).
 func checkLineage(t *testing.T, cur, next *DB, delta *Delta) {
 	t.Helper()
 	names := map[string]bool{}
@@ -210,16 +212,13 @@ func checkLineage(t *testing.T, cur, next *DB, delta *Delta) {
 	for name := range names {
 		oldT, newT := cur.Table(name), next.Table(name)
 		lin := next.Lineage(name)
-		if oldT == newT {
-			if lin != nil {
-				t.Fatalf("relation %s unchanged but carries lineage", name)
+		if lin == nil {
+			if oldT != newT {
+				t.Fatalf("relation %s changed without lineage", name)
 			}
 			continue
 		}
-		if lin == nil {
-			t.Fatalf("relation %s changed without lineage", name)
-		}
-		if lin.Parent != oldT {
+		if oldT != newT && lin.Parent != oldT {
 			t.Fatalf("relation %s lineage parent is not the old table", name)
 		}
 		stride := lin.Arity
@@ -231,9 +230,9 @@ func checkLineage(t *testing.T, cur, next *DB, delta *Delta) {
 			rm.Insert(lin.Removed[i : i+stride])
 		}
 		var rec []Value
-		if oldT != nil {
-			for i := 0; i+stride <= len(oldT.Data); i += stride {
-				row := oldT.Data[i : i+stride]
+		if lin.Parent != nil {
+			for i := 0; i+stride <= len(lin.Parent.Data); i += stride {
+				row := lin.Parent.Data[i : i+stride]
 				if rm.Find(row) >= 0 {
 					continue
 				}

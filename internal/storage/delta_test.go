@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"testing"
 
 	"d2cq/internal/cq"
@@ -355,15 +356,37 @@ func TestApplyLineage(t *testing.T) {
 	if ndb.Lineage("S") != nil {
 		t.Error("untouched relation S has lineage")
 	}
-	// A second Apply records only its own step.
+	// A second Apply touching only S records its own S step and carries the
+	// R entry forward unchanged — R's table pointer did not move, so the
+	// carried chain still patches a consumer holding the original R table.
 	n2, err := ndb.Apply(NewDelta().Add("S", "y"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n2.Lineage("R") != nil {
-		t.Error("grandchild snapshot still carries the R lineage of the previous step")
-	}
 	if n2.Lineage("S") == nil {
 		t.Error("changed relation S has no lineage in the second step")
+	}
+	carried := n2.Lineage("R")
+	if carried == nil {
+		t.Fatal("untouched relation R lost its carried lineage")
+	}
+	if carried.Parent != sdb.Table("R") {
+		t.Error("carried lineage no longer points at the original parent table")
+	}
+	if got, steps := n2.LineageFrom("R", sdb.Table("R")); got == nil || steps != 1 {
+		t.Errorf("LineageFrom(original R) = %v steps %d, want carried single step", got, steps)
+	}
+	// The carry is age-bounded: after maxLineageDepth untouched Applies the
+	// entry is dropped and a stale consumer falls back to a rescan.
+	cur := n2
+	for i := 0; i <= maxLineageDepth; i++ {
+		next, err := cur.Apply(NewDelta().Add("S", fmt.Sprintf("age-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	if cur.Lineage("R") != nil {
+		t.Error("carried lineage outlived the maxLineageDepth age bound")
 	}
 }

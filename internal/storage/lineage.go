@@ -1,0 +1,148 @@
+package storage
+
+// Lineage chaining: every Apply records the row-level delta of each changed
+// relation (TableDelta). A consumer that rebinds every snapshot only ever
+// needs the last step, but a consumer that went k Applies without rebinding —
+// a cold query in a busy store, a replayed subscription — used to fall back
+// to a full rescan. Chaining the per-Apply steps and composing them on demand
+// keeps such late rebinds O(total change) instead of O(relation).
+
+const (
+	// maxLineageDepth bounds how many per-Apply steps one chain may link.
+	// Each link pins its parent Table in memory until the chain is dropped,
+	// so the depth bound is a memory bound, not a cost heuristic.
+	maxLineageDepth = 16
+
+	// lineageChainFactor stops chaining once the cumulative composed delta
+	// is no longer comfortably smaller than the table itself: past that
+	// point a consumer would choose a rescan over patching anyway (see the
+	// engine's cost model), so a longer chain would only pin memory.
+	lineageChainFactor = 4
+)
+
+// chainLineage links a freshly recorded Apply step to the previous snapshot's
+// lineage of the same relation, when the bounds allow it. prev is the step
+// that produced td.Parent (nil when the parent snapshot came from Compile or
+// did not change the relation); nt is the table td produced (nil when the
+// relation emptied).
+func chainLineage(td, prev *TableDelta, nt *Table) {
+	step := td.AddedRows() + td.RemovedRows()
+	td.depth, td.cumRows = 1, step
+	if prev == nil || prev.depth == 0 || td.Arity == 0 || prev.Arity != td.Arity {
+		return
+	}
+	newRows := 0
+	if nt != nil {
+		newRows = nt.Rows()
+	}
+	cum := prev.cumRows + step
+	if prev.depth >= maxLineageDepth || cum*lineageChainFactor > newRows+lineageChainFactor {
+		return
+	}
+	td.Prev, td.depth, td.cumRows = prev, prev.depth+1, cum
+}
+
+// LineageFrom returns the row-level delta of the named relation from the
+// given ancestor table to this snapshot, composing recorded per-Apply steps
+// when the ancestor is several Applies back, plus the number of steps
+// composed. It returns (nil, 0) when no recorded chain reaches oldTable —
+// the snapshot came from Compile, the chain was truncated, or oldTable is
+// from an unrelated history — in which case the caller must rescan. A
+// single-step match returns the recorded delta itself (steps == 1).
+//
+// The composed delta honours the applyToTable contract: surviving oldTable
+// rows keep their relative order, Added holds the net-new rows in the order
+// the intermediate Applies appended them, and a row removed then re-added
+// appears in both halves (deletes apply first).
+func (db *DB) LineageFrom(name string, oldTable *Table) (*TableDelta, int) {
+	td := db.lineage[name]
+	if td == nil {
+		return nil, 0
+	}
+	steps := 0
+	for s := td; s != nil; s = s.Prev {
+		steps++
+		if s.Parent != oldTable {
+			continue
+		}
+		if steps == 1 {
+			return td, 1
+		}
+		chain := make([]*TableDelta, steps)
+		for c, i := td, steps-1; i >= 0; c, i = c.Prev, i-1 {
+			chain[i] = c
+		}
+		composed := composeLineage(chain)
+		if composed == nil {
+			return nil, 0
+		}
+		return composed, steps
+	}
+	return nil, 0
+}
+
+// composeLineage folds a chain of per-Apply steps (oldest first, all over the
+// same relation) into one TableDelta from chain[0].Parent to the final table.
+// Rows added then removed inside the window cancel; a base row removed then
+// re-added lands in both Removed and Added, re-appended at its final
+// position, matching what a single Apply of the folded delta would record.
+func composeLineage(chain []*TableDelta) *TableDelta {
+	arity := chain[len(chain)-1].Arity
+	if arity == 0 {
+		return nil // nullary relations are 0/1-row; a rescan is trivial
+	}
+	total := 0
+	for _, st := range chain {
+		if st.Arity != arity {
+			return nil
+		}
+		total += st.AddedRows() + st.RemovedRows()
+	}
+	// addedIdx maps a row to its 1-based position in the composed added list
+	// (0 = previously added but cancelled); dead marks cancelled positions.
+	addedIdx := NewTupleMap(arity, total)
+	var added []Value
+	var dead []bool
+	removedSet := NewTupleMap(arity, total)
+	var removed []Value
+	for _, st := range chain {
+		for i := 0; i+arity <= len(st.Removed); i += arity {
+			row := st.Removed[i : i+arity]
+			if slot := addedIdx.Find(row); slot >= 0 {
+				if pos := addedIdx.Val(slot); pos > 0 {
+					// Cancels an add earlier in the window.
+					dead[pos-1] = true
+					addedIdx.Add(row, -pos)
+					continue
+				}
+			}
+			// A base-table row went away (recorded once even if re-added and
+			// re-removed later — deletes apply first, so once is enough).
+			if _, isNew := removedSet.Insert(row); isNew {
+				removed = append(removed, row...)
+			}
+		}
+		for i := 0; i+arity <= len(st.Added); i += arity {
+			row := st.Added[i : i+arity]
+			slot, _ := addedIdx.Insert(row)
+			if addedIdx.Val(slot) > 0 {
+				continue // already live; cannot happen for well-formed chains
+			}
+			added = append(added, row...)
+			dead = append(dead, false)
+			addedIdx.Add(row, int64(len(dead)))
+		}
+	}
+	out := &TableDelta{Parent: chain[0].Parent, Arity: arity, Removed: removed}
+	if len(added) > 0 {
+		keep := make([]Value, 0, len(added))
+		for r := 0; r < len(dead); r++ {
+			if dead[r] {
+				continue
+			}
+			keep = append(keep, added[r*arity:(r+1)*arity]...)
+		}
+		out.Added = keep
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+// patchWithLineage reconstructs a table's flat data from an ancestor table
+// plus a (possibly composed) lineage delta, following the applyToTable
+// contract: survivors keep their relative order, added rows follow.
+func patchWithLineage(old *Table, td *TableDelta) []Value {
+	arity := td.Arity
+	var rem *TupleMap
+	if len(td.Removed) > 0 {
+		rem = NewTupleMap(arity, len(td.Removed)/arity)
+		for i := 0; i+arity <= len(td.Removed); i += arity {
+			rem.Insert(td.Removed[i : i+arity])
+		}
+	}
+	var data []Value
+	if old != nil {
+		for i := 0; i < old.Rows(); i++ {
+			row := old.Row(i)
+			if rem != nil && rem.Find(row) >= 0 {
+				continue
+			}
+			data = append(data, row...)
+		}
+	}
+	return append(data, td.Added...)
+}
+
+// TestLineageFromComposesChains drives a random Apply chain and asserts that
+// for every ancestor snapshot the composed lineage patches the ancestor's
+// table to the final table byte-identically (survivor order and append order
+// included) — the exact contract incremental atom rebinding relies on.
+func TestLineageFromComposesChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := cq.Database{}
+	for i := 0; i < 200; i++ {
+		base.Add("R", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i%17))
+	}
+	sdb := compileT(t, base)
+
+	snaps := []*DB{sdb}
+	cur := sdb
+	for step := 0; step < 12; step++ {
+		d := NewDelta()
+		// Small deltas against a big table so the size bound keeps chaining.
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			d.Add("R", fmt.Sprintf("n%d-%d", step, k), fmt.Sprintf("b%d", rng.Intn(17)))
+		}
+		if rng.Intn(2) == 0 {
+			// Delete an existing row (base or previously added).
+			tb := cur.Table("R")
+			row := tb.Row(rng.Intn(tb.Rows()))
+			d.Remove("R", cur.Dict.Name(row[0]), cur.Dict.Name(row[1]))
+		}
+		next, err := cur.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, next)
+		cur = next
+	}
+
+	final := cur
+	want := final.Table("R").Data
+	composedOnce := false
+	for i, snap := range snaps[:len(snaps)-1] {
+		old := snap.Table("R")
+		td, steps := final.LineageFrom("R", old)
+		if td == nil {
+			// The chain may be truncated for the oldest ancestors; that is a
+			// rescan fallback, not an error.
+			continue
+		}
+		if steps > 1 {
+			composedOnce = true
+		}
+		if td.Parent != old {
+			t.Fatalf("snapshot %d: composed parent mismatch", i)
+		}
+		got := patchWithLineage(old, td)
+		if !slices.Equal(got, want) {
+			t.Fatalf("snapshot %d (%d steps): patched table differs from final\n got %v\nwant %v",
+				i, steps, got, want)
+		}
+	}
+	if !composedOnce {
+		t.Fatal("no multi-step composition exercised — chain bounds too tight for the test workload")
+	}
+}
+
+// TestLineageComposeRemoveReadd pins the subtle overlap case: a base row
+// removed in one Apply and re-inserted in a later one must appear in both
+// halves of the composed delta (deletes apply first), re-appended at its
+// final position.
+func TestLineageComposeRemoveReadd(t *testing.T) {
+	base := cq.Database{}
+	for i := 0; i < 64; i++ {
+		base.Add("R", fmt.Sprintf("x%d", i), "c")
+	}
+	sdb := compileT(t, base)
+	mid, err := sdb.Apply(NewDelta().Remove("R", "x3", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := mid.Apply(NewDelta().Add("R", "x3", "c").Add("R", "fresh", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, steps := fin.LineageFrom("R", sdb.Table("R"))
+	if td == nil || steps != 2 {
+		t.Fatalf("LineageFrom = %v steps %d, want composed 2-step delta", td, steps)
+	}
+	if td.RemovedRows() != 1 || td.AddedRows() != 2 {
+		t.Fatalf("composed rows: removed %d added %d, want 1/2 (remove-then-readd keeps both)",
+			td.RemovedRows(), td.AddedRows())
+	}
+	if got := patchWithLineage(sdb.Table("R"), td); !slices.Equal(got, fin.Table("R").Data) {
+		t.Fatalf("patched table differs from final:\n got %v\nwant %v", got, fin.Table("R").Data)
+	}
+	// And the inverse overlap: added then removed inside the window cancels.
+	a, err := sdb.Apply(NewDelta().Add("R", "tmp", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Apply(NewDelta().Remove("R", "tmp", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td2, steps2 := b.LineageFrom("R", sdb.Table("R"))
+	if td2 == nil || steps2 != 2 {
+		t.Fatalf("LineageFrom = %v steps %d, want composed 2-step delta", td2, steps2)
+	}
+	if td2.AddedRows() != 0 || td2.RemovedRows() != 0 {
+		t.Fatalf("add-then-remove should cancel, got added %d removed %d",
+			td2.AddedRows(), td2.RemovedRows())
+	}
+	if got := patchWithLineage(sdb.Table("R"), td2); !slices.Equal(got, b.Table("R").Data) {
+		t.Fatal("empty composed delta should patch to an identical table")
+	}
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Open-loop load smoke for the O(change) flush path, run from the repo root
+# (CI runs it after the unit suite). It starts a durable d2cqd, drives it
+# with a short d2cqload run (registered queries, Zipf-popular SSE watchers,
+# fixed-rate submits), and writes the latency report to load_ci.json (CI
+# uploads it as an artifact). The submit-ack p99 is compared against the
+# committed BENCH_pr7.json baseline: the line is always printed, and the run
+# fails only when p99 blows past a generous multiple of the baseline — CI
+# machines are noisy, so the gate catches order-of-magnitude regressions
+# (a submit waiting behind flush engine work), not jitter.
+set -euo pipefail
+
+PORT="${PORT:-8346}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+OUT="${OUT:-load_ci.json}"
+RATE="${RATE:-150}"
+DURATION="${DURATION:-5s}"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "load_smoke: $*" >&2
+  exit 1
+}
+
+go build -o "$WORK/d2cqd" ./cmd/d2cqd
+go build -o "$WORK/d2cqload" ./cmd/d2cqload
+
+"$WORK/d2cqd" -addr "127.0.0.1:$PORT" -data-dir "$WORK/data" -fsync 5ms &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/stats" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/stats" >/dev/null || fail "daemon did not come up on $BASE"
+
+"$WORK/d2cqload" -addr "127.0.0.1:$PORT" -queries 6 -watchers 12 \
+  -rate "$RATE" -duration "$DURATION" -out "$OUT"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+run = json.load(open(sys.argv[1]))
+base = json.load(open("BENCH_pr7.json"))
+got = run["submit_ack"]["p99_ms"]
+ref = base["submit_ack"]["p99_ms"]
+# Generous gate: order-of-magnitude regressions only, with an absolute floor
+# so a sub-millisecond baseline doesn't make the gate hair-triggered.
+limit = max(10 * ref, 50.0)
+print("submit-ack p99: %.2fms (baseline %.2fms, limit %.1fms)" % (got, ref, limit))
+print("submit-notify p99: %.2fms over %d notifications" % (
+    run["submit_notify"]["p99_ms"], run["submit_notify"]["count"]))
+flush = run.get("store", {}).get("flush", {})
+if flush:
+    print("flush: max lock hold %.3fms, last stage %.3fms" % (
+        flush["max_lock_hold_ns"] / 1e6, flush["last_stage_ns"] / 1e6))
+if run["submit_notify"]["count"] == 0:
+    sys.exit("load_smoke: no submit-to-notification latencies recorded")
+if got > limit:
+    sys.exit("load_smoke: submit-ack p99 %.2fms exceeds %.1fms" % (got, limit))
+EOF
+
+echo "load_smoke: OK"

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	d2cqd [-addr 127.0.0.1:8344] [-db file] [-max-batch 256] [-max-latency 25ms] [-buffer 16] [-parallelism n]
-//	      [-data-dir dir] [-fsync always|off|duration] [-checkpoint-every 64]
+//	      [-shards n] [-data-dir dir] [-fsync always|off|duration] [-checkpoint-every 64]
 //
 // With -data-dir the store is durable: every applied batch and registration
 // is written to a write-ahead log under the directory before it becomes
@@ -15,6 +15,13 @@
 // over the same directory resumes at the exact pre-crash state. -fsync picks
 // the durability/latency trade-off: "always" fsyncs per flush, a duration
 // ("100ms") fsyncs on that interval, "off" leaves flushing to the OS.
+//
+// With -shards N > 1 the daemon serves a live.ShardedStore: N independent
+// store shards each own the relations hashing to them, a router splits
+// every update by owning shard and fans flushes out in parallel, and all
+// endpoints route through it unchanged (per-shard stats nest under "shard"
+// in /stats). In durable mode each shard logs under data-dir/shard-<i>, so
+// a restart must use the same -shards value.
 //
 // Endpoints:
 //
@@ -51,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
@@ -92,6 +100,7 @@ func run(args []string, out io.Writer) error {
 	maxLatency := fs.Duration("max-latency", 0, "flush the coalesced batch at the latest this long after the first pending tuple (0: default 25ms)")
 	buffer := fs.Int("buffer", 0, "per-watcher notification buffer before drops (0: default 16)")
 	parallelism := fs.Int("parallelism", 0, "engine worker pool for evaluation passes (0/1: sequential, -1: one per CPU)")
+	shards := fs.Int("shards", 1, "shard the live store across this many stores behind a router (1: single store)")
 	dataDir := fs.String("data-dir", "", "durable mode: write-ahead log + checkpoints under this directory; restarts resume the pre-crash state")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always (per flush), off, or an interval duration like 100ms")
 	ckptEvery := fs.Int("checkpoint-every", 0, "flushes between snapshot checkpoints in durable mode (0: default 64)")
@@ -113,7 +122,10 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts, engine.WithParallelism(*parallelism))
 	}
 	cfg := live.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency, Buffer: *buffer}
-	var store *live.Store
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", *shards)
+	}
+	var store live.Service
 	var err error
 	if *dataDir != "" {
 		if *dbPath != "" {
@@ -121,26 +133,47 @@ func run(args []string, out io.Writer) error {
 			// loading a -db file would make restarts diverge from it.
 			return fmt.Errorf("-db and -data-dir are mutually exclusive (feed initial data through POST /update)")
 		}
-		mode, interval, err := parseFsync(*fsync)
-		if err != nil {
-			return err
+		mode, interval, err2 := parseFsync(*fsync)
+		if err2 != nil {
+			return err2
 		}
-		backend, err := wal.NewFS(*dataDir)
-		if err != nil {
-			return err
+		if *shards > 1 {
+			backends := make([]wal.Backend, *shards)
+			for i := range backends {
+				if backends[i], err = wal.NewFS(filepath.Join(*dataDir, fmt.Sprintf("shard-%d", i))); err != nil {
+					return err
+				}
+			}
+			store, err = live.OpenSharded(context.Background(), engine.NewEngine(opts...), live.DurableShardedConfig{
+				ShardedConfig:   live.ShardedConfig{Config: cfg, Shards: *shards},
+				Backends:        backends,
+				SyncMode:        mode,
+				SyncInterval:    interval,
+				CheckpointEvery: *ckptEvery,
+			})
+		} else {
+			var backend wal.Backend
+			if backend, err = wal.NewFS(*dataDir); err != nil {
+				return err
+			}
+			store, err = live.Open(context.Background(), engine.NewEngine(opts...), live.DurableConfig{
+				Config:          cfg,
+				Backend:         backend,
+				SyncMode:        mode,
+				SyncInterval:    interval,
+				CheckpointEvery: *ckptEvery,
+			})
 		}
-		store, err = live.Open(context.Background(), engine.NewEngine(opts...), live.DurableConfig{
-			Config:          cfg,
-			Backend:         backend,
-			SyncMode:        mode,
-			SyncInterval:    interval,
-			CheckpointEvery: *ckptEvery,
-		})
 		if err != nil {
 			return err
 		}
 	} else {
-		store, err = live.NewStore(context.Background(), engine.NewEngine(opts...), db, cfg)
+		if *shards > 1 {
+			store, err = live.NewShardedStore(context.Background(), engine.NewEngine(opts...), db,
+				live.ShardedConfig{Config: cfg, Shards: *shards})
+		} else {
+			store, err = live.NewStore(context.Background(), engine.NewEngine(opts...), db, cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -176,15 +209,16 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// server routes the HTTP API onto one live.Store.
+// server routes the HTTP API onto one live.Service — a single store or a
+// sharded router, transparently.
 type server struct {
-	store *live.Store
+	store live.Service
 	mux   *http.ServeMux
 }
 
 // newServer returns the daemon's HTTP handler over the given store — the
 // seam the integration tests drive without a process boundary.
-func newServer(store *live.Store) http.Handler {
+func newServer(store live.Service) http.Handler {
 	s := &server{store: store, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
@@ -312,8 +346,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st := s.store.Stats()
-	writeJSON(w, updateResponse{Version: st.Version, PendingTuples: st.PendingTuples})
+	writeJSON(w, updateResponse{Version: s.store.Version(), PendingTuples: s.store.PendingTuples()})
 }
 
 // snapshotEvent is the first SSE event of a watch stream: where the
@@ -422,5 +455,5 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.store.Stats())
+	writeJSON(w, s.store.ServiceStats())
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/live"
+)
+
+// TestDaemonSharded drives the daemon's handler over a live.ShardedStore —
+// the -shards N topology — through the same end-to-end flow as the
+// single-store smoke: register, watch, async and sync updates, and the
+// /stats payload with per-shard sections nested under "shard".
+func TestDaemonSharded(t *testing.T) {
+	db := cq.Database{}
+	db.Add("R", "a", "b")
+	db.Add("S", "b", "c")
+	store, err := live.NewShardedStore(context.Background(), nil, db,
+		live.ShardedConfig{Config: live.Config{MaxLatency: 5 * time.Millisecond}, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ts := httptest.NewServer(newServer(store))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"name": "paths", "query": "R(x,y), S(y,z)", "limit": -1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status = %d: %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Count int64      `json:"count"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("bad /query body %s: %v", body, err)
+	}
+	if qr.Count != 1 || len(qr.Rows) != 1 || fmt.Sprint(qr.Rows[0]) != "[a b c]" {
+		t.Fatalf("/query = %+v, want count 1 row [a b c]", qr)
+	}
+
+	events, cancelWatch := watchStream(t, ts.URL, "paths")
+	defer cancelWatch()
+	snap := awaitEvent(t, events, "snapshot")
+	var sv snapshotEvent
+	if err := json.Unmarshal([]byte(snap.data), &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Count != 1 || sv.Query != "paths" {
+		t.Fatalf("snapshot = %+v, want count 1 for paths", sv)
+	}
+
+	// Async update through the router's coalescing pipeline, flushed by the
+	// router's max-latency trigger.
+	resp, body = postJSON(t, ts.URL+"/update", map[string]any{
+		"insert": map[string][][]string{"R": {{"a", "b2"}}, "S": {{"b2", "c2"}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/update status = %d: %s", resp.StatusCode, body)
+	}
+	var change live.Notification
+	if err := json.Unmarshal([]byte(awaitEvent(t, events, "change").data), &change); err != nil {
+		t.Fatal(err)
+	}
+	if change.Count != 2 || len(change.Added) != 1 || fmt.Sprint(change.Added[0]) != "[a b2 c2]" {
+		t.Fatalf("change = %+v, want one added row [a b2 c2]", change)
+	}
+
+	// Sync update: the response returns only after the router flush round.
+	resp, body = postJSON(t, ts.URL+"/update?sync=1", map[string]any{
+		"delete": map[string][][]string{"R": {{"a", "b"}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/update?sync=1 status = %d: %s", resp.StatusCode, body)
+	}
+	var ur updateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.PendingTuples != 0 {
+		t.Fatalf("sync update left %d pending tuples", ur.PendingTuples)
+	}
+	if err := json.Unmarshal([]byte(awaitEvent(t, events, "change").data), &change); err != nil {
+		t.Fatal(err)
+	}
+	if change.Count != 1 || len(change.Removed) != 1 || fmt.Sprint(change.Removed[0]) != "[a b c]" {
+		t.Fatalf("change = %+v, want one removed row [a b c]", change)
+	}
+
+	// /stats carries the router payload: topology counters at the top, one
+	// full single-store Stats per shard under "shard".
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st live.ShardedStats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if st.Shards != 4 || len(st.Shard) != 4 {
+		t.Fatalf("stats topology = %d shards with %d sections, want 4/4", st.Shards, len(st.Shard))
+	}
+	if st.Queries != 1 || st.FlushRounds < 2 {
+		t.Fatalf("stats = %+v, want 1 query and ≥2 flush rounds", st)
+	}
+	subs := 0
+	for _, ss := range st.Shard {
+		subs += ss.Subscribers
+	}
+	if subs != 1 {
+		t.Fatalf("per-shard subscriber total = %d, want 1", subs)
+	}
+}

@@ -192,9 +192,7 @@ func bindAtomRelation(a cq.Atom, t *storage.Table, dict *Dict) (*Relation, error
 			emit(t.Row(int(ri)))
 		}
 	} else {
-		for i := 0; i < t.Rows(); i++ {
-			emit(t.Row(i))
-		}
+		t.Scan(emit)
 	}
 	out.Dedup()
 	return out, nil

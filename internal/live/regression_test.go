@@ -1,0 +1,179 @@
+package live
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/storage"
+)
+
+// TestRegisterRejectsPendingArityConflict pins the poison-batch fix: an
+// insert coalesced into the pending batch fixes an unknown relation's arity
+// exactly as a committed table would, so a registration whose atom demands a
+// different arity must be rejected at Register time. Before the fix the
+// registration was admitted and the next flush's Rebind failed
+// deterministically — stageFail dropped the whole batch as poison, losing
+// every other submitter's tuples.
+func TestRegisterRejectsPendingArityConflict(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewStore(ctx, nil, cq.Database{}, manualConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// T is unknown to the store; this submit pins it at arity 3 inside the
+	// pending batch only — nothing is committed yet.
+	if err := s.Submit(storage.NewDelta().Add("T", "a", "b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := cq.ParseQuery("T(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Register(ctx, "bad", q2)
+	if err == nil {
+		t.Fatal("Register admitted a query whose atom conflicts with pending tuples")
+	}
+	if !strings.Contains(err.Error(), "already pending") {
+		t.Fatalf("want a pending-arity error, got: %v", err)
+	}
+
+	// The batch must not have been poisoned: the pending tuples flush
+	// cleanly and a matching-arity registration still works.
+	if err := s.Flush(ctx); err != nil {
+		t.Fatalf("flush after rejected registration: %v", err)
+	}
+	st := s.Stats()
+	if st.FlushErrors != 0 || st.Version != 2 || st.PendingTuples != 0 {
+		t.Fatalf("flush errors=%d version=%d pending=%d, want 0/2/0 (%s)",
+			st.FlushErrors, st.Version, st.PendingTuples, st.LastError)
+	}
+	q3, err := cq.ParseQuery("T(x,y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ctx, "good", q3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := s.Count("good"); err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v; want 1", n, err)
+	}
+}
+
+// TestRegisterRollsBackArityReservations checks the failure path of the
+// reservation scheme guarding the fix above: a registration that reserves
+// arities for unknown relations and then fails must release them, or the
+// dead query would pin arities forever.
+func TestRegisterRollsBackArityReservations(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewStore(ctx, nil, cq.Database{}, manualConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Submit(storage.NewDelta().Add("U", "a", "b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	// V(x,y) reserves V at arity 2, then the U(x,y) atom conflicts with the
+	// pending 3-ary U tuples and the whole registration fails.
+	q, err := cq.ParseQuery("V(x,y), U(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ctx, "fails", q); err == nil {
+		t.Fatal("Register admitted a conflicting query")
+	}
+	// V's reservation must be gone: a 3-ary V submit and registration work.
+	if err := s.Submit(storage.NewDelta().Add("V", "p", "q", "r")); err != nil {
+		t.Fatalf("V reservation leaked into Submit validation: %v", err)
+	}
+	q3, err := cq.ParseQuery("V(x,y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ctx, "v3", q3); err != nil {
+		t.Fatalf("V reservation leaked into Register: %v", err)
+	}
+}
+
+// TestRestoreKicksFullBatch pins the stalled-flush fix: when a transient
+// flush failure restores the batch and the restored batch is already at or
+// past MaxBatch — because submits landed while the stage ran — restore must
+// kick the flusher like Submit would. Before the fix the full batch sat out
+// the whole MaxLatency (an hour here; the test timed out) before retrying.
+func TestRestoreKicksFullBatch(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewStore(ctx, nil, cq.Database{}, Config{MaxBatch: 3, MaxLatency: time.Hour, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 2 tuples pending: below MaxBatch, so Submit arms only the timer.
+	if err := s.Submit(storage.NewDelta().Add("R", "a1", "b1").Add("R", "a2", "b2")); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-stage, two more tuples land; the restored batch merges to 4 >= 3.
+	s.stageHook = func() {
+		if err := s.Submit(storage.NewDelta().Add("R", "a3", "b3").Add("R", "a4", "b4")); err != nil {
+			t.Errorf("mid-stage submit: %v", err)
+		}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.Flush(cctx); err == nil {
+		t.Fatal("flush with a cancelled context should fail transiently")
+	}
+	s.stageHook = nil
+
+	// The kick must make the background flusher (context.Background, so the
+	// retry succeeds) apply the restored batch promptly — not at MaxLatency.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Version == 2 && st.PendingTuples == 0 {
+			if st.FlushedTuples != 4 {
+				t.Fatalf("flushed %d tuples, want the full merged batch of 4", st.FlushedTuples)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored full batch never flushed: version=%d pending=%d (restore did not kick the flusher)",
+				st.Version, st.PendingTuples)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCommitStatsSampledOnce pins the stats-skew fix: one flush's commit
+// duration must land identically in the cumulative and last-flush counters.
+// Before the fix flushSerialized sampled time.Since(commitStart) twice, so
+// CommitNs and LastCommitNs disagreed for the same flush, with LastCommitNs
+// also absorbing the stats writes between the two samples.
+func TestCommitStatsSampledOnce(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewStore(ctx, nil, cq.Database{}, manualConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Submit(storage.NewDelta().Add("R", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", st.Flushes)
+	}
+	if st.Flush.CommitNs != st.Flush.LastCommitNs {
+		t.Fatalf("after one flush CommitNs=%d != LastCommitNs=%d: commit duration sampled twice",
+			st.Flush.CommitNs, st.Flush.LastCommitNs)
+	}
+}

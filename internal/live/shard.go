@@ -1,0 +1,783 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/engine"
+	"d2cq/internal/storage"
+	"d2cq/internal/wal"
+)
+
+// Service is the live-store surface cmd/d2cqd serves, implemented by both
+// *Store and *ShardedStore so the daemon routes through either behind one
+// -shards flag.
+type Service interface {
+	Register(ctx context.Context, name string, q cq.Query) error
+	Submit(delta *storage.Delta) error
+	Flush(ctx context.Context) error
+	Watch(name string) (*Subscription, error)
+	WatchFrom(name string, fromSeq uint64) (*Subscription, bool, error)
+	Count(name string) (int64, uint64, error)
+	Info(name string) (QueryInfo, error)
+	Queries() []QueryInfo
+	Solutions(ctx context.Context, name string, limit int) ([][]string, uint64, error)
+	Version() uint64
+	// PendingTuples is the coalesced pending tuple count (summed across
+	// shards for a router; cross-shard replicas count once per replica).
+	PendingTuples() int
+	// ServiceStats is the /stats payload: Stats for a single store,
+	// ShardedStats (per-shard nested) for a router.
+	ServiceStats() any
+	Close() error
+}
+
+var (
+	_ Service = (*Store)(nil)
+	_ Service = (*ShardedStore)(nil)
+)
+
+// PendingTuples returns the coalesced pending batch's tuple count.
+func (s *Store) PendingTuples() int { return s.pendingSize() }
+
+// ServiceStats returns Stats as the generic /stats payload.
+func (s *Store) ServiceStats() any { return s.Stats() }
+
+// neverLatency is the per-shard MaxLatency: a shard must never self-flush
+// (the router owns all flush triggers and version sequencing), so its own
+// latency trigger is pushed out of reach.
+const neverLatency = time.Duration(1) << 60 // ~36 years
+
+// shardOfRel maps a relation name to its home shard. Deterministic across
+// processes and restarts (unseeded FNV-1a), so a router reopened over the
+// same shard directories routes every relation exactly as before.
+func shardOfRel(rel string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(rel))
+	return int(h.Sum32() % uint32(n))
+}
+
+// shardConfig derives the per-shard Store config from the router's: the
+// router owns the flush triggers, so the shards' own triggers are pushed
+// out of reach and only the subscriber-facing knobs pass through.
+func shardConfig(rcfg Config) Config {
+	return Config{MaxBatch: 1 << 30, MaxLatency: neverLatency, Buffer: rcfg.Buffer, History: rcfg.History}
+}
+
+// ShardedConfig configures a ShardedStore. The embedded Config's flush
+// triggers (MaxBatch, MaxLatency) apply at the router — see ShardedStore.
+type ShardedConfig struct {
+	Config
+	// Shards is the number of independent Store shards (<= 0 means 1).
+	Shards int
+}
+
+// DurableShardedConfig configures OpenSharded: the sharded topology plus
+// one WAL backend per shard and the durability knobs every shard shares.
+type DurableShardedConfig struct {
+	ShardedConfig
+	// Backends supplies one log backend per shard, index-aligned with the
+	// shard numbering (len must equal Shards).
+	Backends []wal.Backend
+
+	SyncMode        wal.SyncMode
+	SyncInterval    time.Duration
+	SegmentBytes    int64
+	CheckpointEvery int
+	KeepCheckpoints int
+}
+
+// ShardedStore shards the live store: N independent Stores, each owning the
+// relations whose name hashes to it, behind a router that splits submitted
+// deltas by owning shard, fans flushes out in parallel, and issues one
+// global version sequence so per-query watch streams keep the exact
+// single-store contract.
+//
+// # Topology
+//
+// Every relation has a deterministic home shard (shardOfRel). A query is
+// pinned to the single shard owning its largest relation; when its atoms
+// span relations homed on different shards, the missing relations are
+// REPLICATED into the pin shard — backfilled from the home snapshots at
+// registration time, and every later delta touching them fans out to the
+// home shard and all replicating shards alike (the routes map). Cross-shard
+// queries therefore cost duplicated storage and ingest work proportional to
+// the replicated relations; a true cross-shard join transport is future
+// work (see ROADMAP).
+//
+// # Versions and watch streams
+//
+// Shards never flush themselves (their triggers are pushed out of reach,
+// see shardConfig): the router owns MaxBatch/MaxLatency, and every router
+// flush round drives all shards in parallel at router version+1
+// (Store.flushAs), bumping the router version once when any shard applied a
+// batch. Each query lives on exactly one shard, so its notification stream
+// — versions, counts, exact tuple diffs, Lagged accounting, WatchFrom
+// resume — is produced by the unmodified per-shard machinery and is
+// identical to a single store flushing the same coalesced batches at the
+// same boundaries. A shard a round does not touch keeps its older version;
+// that version is still current for all data that shard owns, and every
+// cursor a client holds for a query came from that query's own shard, so
+// the cursor arithmetic stays exact.
+//
+// # Lock protocol
+//
+// flushMu serialises flush rounds and registrations; mu guards the routing
+// tables, the router version and the submit path. Order: router.flushMu <
+// router.mu < shard.flushMu < shard.mu — the router calls into shards while
+// holding its own locks, never the reverse.
+type ShardedStore struct {
+	eng    *engine.Engine
+	cfg    Config
+	shards []*Store
+
+	flushMu sync.Mutex // serialises flush rounds and registrations; before mu
+
+	mu           sync.Mutex
+	version      uint64
+	closed       bool
+	queryShard   map[string]int          // query name -> pin shard
+	routes       map[string]map[int]bool // relation -> replica shards beyond its home
+	pendingSince time.Time
+	rstats       routerCounters
+
+	kick    chan struct{}
+	closeCh chan struct{}
+	doneCh  chan struct{}
+	timer   *time.Timer
+}
+
+// routerCounters are the router-level monotonic stats, guarded by mu.
+type routerCounters struct {
+	deltasSubmitted uint64
+	tuplesSubmitted uint64
+	flushRounds     uint64
+	flushErrors     uint64
+	lastError       string
+}
+
+// NewShardedStore compiles db once — split by home shard — and starts the
+// router's background flusher. A nil engine gets a fresh default one; all
+// shards share it (and its decomposition cache).
+func NewShardedStore(ctx context.Context, eng *engine.Engine, db cq.Database, cfg ShardedConfig) (*ShardedStore, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if eng == nil {
+		eng = engine.NewEngine()
+	}
+	parts := make([]cq.Database, n)
+	for i := range parts {
+		parts[i] = cq.Database{}
+	}
+	for rel, tuples := range db {
+		parts[shardOfRel(rel, n)][rel] = tuples
+	}
+	rcfg := cfg.Config.withDefaults()
+	shards := make([]*Store, n)
+	for i := range shards {
+		s, err := NewStore(ctx, eng, parts[i], shardConfig(rcfg))
+		if err != nil {
+			for j := 0; j < i; j++ {
+				shards[j].Close()
+			}
+			return nil, err
+		}
+		shards[i] = s
+	}
+	return newRouter(eng, rcfg, shards, 1, map[string]int{}, map[string]map[int]bool{}), nil
+}
+
+// OpenSharded opens a durable ShardedStore: each shard recovers from its
+// own backend (newest checkpoint + log-suffix replay), and the router state
+// is derived from the recovered shards — queries live where they recovered,
+// a replication route exists wherever a recovered query reads a relation
+// homed elsewhere, and the router version is the max shard version (a round
+// bumps the router version only when some shard commits at it, so the max
+// is exactly the last version the router issued that stuck).
+func OpenSharded(ctx context.Context, eng *engine.Engine, cfg DurableShardedConfig) (*ShardedStore, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if len(cfg.Backends) != n {
+		return nil, fmt.Errorf("live: OpenSharded needs %d backends, got %d", n, len(cfg.Backends))
+	}
+	if eng == nil {
+		eng = engine.NewEngine()
+	}
+	rcfg := cfg.Config.withDefaults()
+	shards := make([]*Store, n)
+	closeAll := func() {
+		for _, s := range shards {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i := range shards {
+		s, err := Open(ctx, eng, DurableConfig{
+			Config:          shardConfig(rcfg),
+			Backend:         cfg.Backends[i],
+			SyncMode:        cfg.SyncMode,
+			SyncInterval:    cfg.SyncInterval,
+			SegmentBytes:    cfg.SegmentBytes,
+			CheckpointEvery: cfg.CheckpointEvery,
+			KeepCheckpoints: cfg.KeepCheckpoints,
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("live: opening shard %d: %w", i, err)
+		}
+		shards[i] = s
+	}
+	version := uint64(1)
+	queryShard := map[string]int{}
+	routes := map[string]map[int]bool{}
+	for si, s := range shards {
+		if v := s.Version(); v > version {
+			version = v
+		}
+		for _, qi := range s.Queries() {
+			if prev, dup := queryShard[qi.Name]; dup {
+				closeAll()
+				return nil, fmt.Errorf("live: query %q recovered on shards %d and %d", qi.Name, prev, si)
+			}
+			queryShard[qi.Name] = si
+			q, err := cq.ParseQuery(qi.Query)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("live: recovered query %q: %w", qi.Name, err)
+			}
+			for _, a := range q.Atoms {
+				if home := shardOfRel(a.Rel, n); home != si {
+					m := routes[a.Rel]
+					if m == nil {
+						m = map[int]bool{}
+						routes[a.Rel] = m
+					}
+					m[si] = true
+				}
+			}
+		}
+	}
+	return newRouter(eng, rcfg, shards, version, queryShard, routes), nil
+}
+
+func newRouter(eng *engine.Engine, rcfg Config, shards []*Store, version uint64, queryShard map[string]int, routes map[string]map[int]bool) *ShardedStore {
+	r := &ShardedStore{
+		eng:        eng,
+		cfg:        rcfg,
+		shards:     shards,
+		version:    version,
+		queryShard: queryShard,
+		routes:     routes,
+		kick:       make(chan struct{}, 1),
+		closeCh:    make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	r.timer = time.NewTimer(time.Hour)
+	if !r.timer.Stop() {
+		<-r.timer.C
+	}
+	go r.flusher()
+	return r
+}
+
+// Engine returns the engine all shards evaluate with.
+func (r *ShardedStore) Engine() *engine.Engine { return r.eng }
+
+// Shards returns the shard count.
+func (r *ShardedStore) Shards() int { return len(r.shards) }
+
+// targetsLocked returns the shards a relation's tuples must reach: its home
+// shard plus every shard a cross-shard query replicated it to, sorted.
+func (r *ShardedStore) targetsLocked(rel string) []int {
+	home := shardOfRel(rel, len(r.shards))
+	targets := []int{home}
+	for si := range r.routes[rel] {
+		if si != home {
+			targets = append(targets, si)
+		}
+	}
+	sort.Ints(targets)
+	return targets
+}
+
+// splitLocked splits a delta into per-shard sub-deltas by relation. The
+// tuple slices are shared, never copied — shards treat submitted tuples as
+// immutable, exactly like Store.Submit.
+func (r *ShardedStore) splitLocked(d *storage.Delta) map[int]*storage.Delta {
+	out := map[int]*storage.Delta{}
+	get := func(si int) *storage.Delta {
+		sd := out[si]
+		if sd == nil {
+			sd = storage.NewDelta()
+			out[si] = sd
+		}
+		return sd
+	}
+	for rel, ts := range d.Insert {
+		if len(ts) == 0 {
+			continue
+		}
+		for _, si := range r.targetsLocked(rel) {
+			get(si).Insert[rel] = ts
+		}
+	}
+	for rel, ts := range d.Delete {
+		if len(ts) == 0 {
+			continue
+		}
+		for _, si := range r.targetsLocked(rel) {
+			get(si).Delete[rel] = ts
+		}
+	}
+	return out
+}
+
+// Submit splits the delta by owning shard (home plus replicas) and fans the
+// sub-deltas out. All-or-nothing like Store.Submit: every target shard
+// validates its sub-delta before any shard's pending batch is touched. The
+// validate-then-merge split cannot flip pass→fail in between — the only
+// concurrent shard-state change is a flush round moving pending tuples into
+// the committed snapshot, which preserves every arity fact validation used
+// (a pending insert's arity becomes the table's arity), and registrations
+// are excluded by the router mutex.
+func (r *ShardedStore) Submit(delta *storage.Delta) error {
+	if delta.Empty() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	parts := r.splitLocked(delta)
+	sids := make([]int, 0, len(parts))
+	for si := range parts {
+		sids = append(sids, si)
+	}
+	sort.Ints(sids)
+	for _, si := range sids {
+		if err := r.shards[si].validateDelta(parts[si]); err != nil {
+			return err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sids))
+	for i, si := range sids {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			errs[i] = r.shards[si].Submit(parts[si])
+		}(i, si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Unreachable by the argument above; surface it loudly rather
+			// than silently dropping a sub-delta.
+			r.rstats.lastError = err.Error()
+			return err
+		}
+	}
+	r.rstats.deltasSubmitted++
+	r.rstats.tuplesSubmitted += uint64(delta.Size())
+	if r.pendingSince.IsZero() {
+		r.pendingSince = time.Now()
+		r.timer.Reset(r.cfg.MaxLatency)
+	}
+	if r.pendingLocked() >= r.cfg.MaxBatch {
+		select {
+		case r.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// pendingLocked sums the shards' pending tuple counts. A replicated tuple
+// counts once per replica — it costs ingest work per replica, so the size
+// trigger should see it that way.
+func (r *ShardedStore) pendingLocked() int {
+	n := 0
+	for _, s := range r.shards {
+		n += s.pendingSize()
+	}
+	return n
+}
+
+// flusher is the router's background flush loop, firing on the size kick or
+// the latency timer exactly like a single store's.
+func (r *ShardedStore) flusher() {
+	defer close(r.doneCh)
+	for {
+		select {
+		case <-r.closeCh:
+			return
+		case <-r.kick:
+		case <-r.timer.C:
+		}
+		_ = r.Flush(context.Background())
+	}
+}
+
+// Flush runs one router flush round now: every shard's pending batch is
+// staged and committed in parallel at one router-issued version. Error
+// semantics per shard match Store.Flush — a transient failure restores that
+// shard's batch and the router re-arms its triggers; a poison sub-delta is
+// dropped by its shard alone.
+func (r *ShardedStore) Flush(ctx context.Context) error {
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.mu.Unlock()
+	return r.flushRound(ctx)
+}
+
+// flushRound drives one parallel flush across all shards at version+1 and
+// bumps the router version when any shard committed. Caller holds flushMu
+// (not mu).
+func (r *ShardedStore) flushRound(ctx context.Context) error {
+	r.mu.Lock()
+	v := r.version
+	r.pendingSince = time.Time{}
+	r.mu.Unlock()
+	applied, err := r.flushShards(ctx, v+1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if applied {
+		r.version = v + 1
+		r.rstats.flushRounds++
+	}
+	if err != nil {
+		r.rstats.flushErrors++
+		r.rstats.lastError = err.Error()
+		if !r.closed {
+			// Mirror Store's restore path at the router level: a shard that
+			// restored its batch must not wait on triggers nobody re-arms.
+			if pending := r.pendingLocked(); pending > 0 {
+				r.pendingSince = time.Now()
+				r.timer.Reset(r.cfg.MaxLatency)
+				if pending >= r.cfg.MaxBatch {
+					select {
+					case r.kick <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}
+	}
+	return err
+}
+
+// flushShards fans flushAs(version) out to every shard and joins, reporting
+// whether any shard applied a batch and the first error.
+func (r *ShardedStore) flushShards(ctx context.Context, version uint64) (bool, error) {
+	var wg sync.WaitGroup
+	applied := make([]bool, len(r.shards))
+	errs := make([]error, len(r.shards))
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *Store) {
+			defer wg.Done()
+			applied[i], errs[i] = s.flushAs(ctx, version)
+		}(i, s)
+	}
+	wg.Wait()
+	any := false
+	var first error
+	for i := range r.shards {
+		any = any || applied[i]
+		if errs[i] != nil && first == nil {
+			first = errs[i]
+		}
+	}
+	return any, first
+}
+
+// Register pins the named query to the shard owning its largest relation
+// and registers it there. Relations the query reads that are homed on other
+// shards are replicated into the pin shard first: all shards are drained,
+// the missing relations are backfilled from their home snapshots, and from
+// then on every delta touching them fans out to the pin shard too. The
+// backfill commits at the CURRENT router version — no version bump and no
+// notifications are needed, because no query already pinned to that shard
+// reads the backfilled relations (each existing query had all ITS relations
+// routed there at its own registration).
+//
+// Registration holds the router flush lock end to end, so the snapshots it
+// bases the backfill on cannot move; submits keep flowing (they only need
+// the router mutex, which is released around the expensive shard Bind).
+func (r *ShardedStore) Register(ctx context.Context, name string, q cq.Query) error {
+	if name == "" {
+		return errors.New("live: empty query name")
+	}
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if si, ok := r.queryShard[name]; ok {
+		// Idempotent re-registration and name conflicts are decided by the
+		// owning shard, which remembers the canonical query text.
+		r.mu.Unlock()
+		return r.shards[si].Register(ctx, name, q)
+	}
+	n := len(r.shards)
+	rels := map[string]bool{}
+	for _, a := range q.Atoms {
+		rels[a.Rel] = true
+	}
+	relNames := make([]string, 0, len(rels))
+	for rel := range rels {
+		relNames = append(relNames, rel)
+	}
+	sort.Strings(relNames)
+	// Pin: the home shard of the largest relation, ties to the lowest shard
+	// index. A query over only absent relations (or none) pins to the first
+	// candidate — any shard serves an empty result equally well.
+	pin, bestRows := 0, -1
+	for _, rel := range relNames {
+		home := shardOfRel(rel, n)
+		rows := r.shards[home].snapshotCDB().RelationRows(rel)
+		if rows > bestRows || (rows == bestRows && home < pin) {
+			pin, bestRows = home, rows
+		}
+	}
+	var missing []string
+	for _, rel := range relNames {
+		if shardOfRel(rel, n) == pin || r.routes[rel][pin] {
+			continue
+		}
+		missing = append(missing, rel)
+	}
+	if len(missing) > 0 {
+		// Drain every shard so the home snapshots the backfill copies from
+		// include everything submitted so far. Holding mu keeps new submits
+		// out for the duration of the drain + backfill.
+		v := r.version
+		applied, err := r.flushShards(ctx, v+1)
+		if applied {
+			r.version = v + 1
+			r.rstats.flushRounds++
+		}
+		if err != nil {
+			r.rstats.flushErrors++
+			r.rstats.lastError = err.Error()
+			r.mu.Unlock()
+			return fmt.Errorf("live: draining shards to register %q: %w", name, err)
+		}
+		bf := storage.NewDelta()
+		for _, rel := range missing {
+			for _, tuple := range r.shards[shardOfRel(rel, n)].snapshotCDB().RelationTuples(rel) {
+				bf.Add(rel, tuple...)
+			}
+		}
+		if !bf.Empty() {
+			if err := r.shards[pin].Submit(bf); err != nil {
+				r.mu.Unlock()
+				return fmt.Errorf("live: backfilling shard %d for %q: %w", pin, name, err)
+			}
+			if _, err := r.shards[pin].flushAs(ctx, r.version); err != nil {
+				r.mu.Unlock()
+				return fmt.Errorf("live: backfilling shard %d for %q: %w", pin, name, err)
+			}
+		}
+		// Record the routes before registering: from here on every delta
+		// touching these relations replicates to the pin shard, so the
+		// replica can never fall behind its home. If the shard registration
+		// below fails, the routes (and the copied tuples) stay — harmless
+		// extra replication, cleaned up only by a restart.
+		for _, rel := range missing {
+			m := r.routes[rel]
+			if m == nil {
+				m = map[int]bool{}
+				r.routes[rel] = m
+			}
+			m[pin] = true
+		}
+	}
+	r.mu.Unlock()
+	if err := r.shards[pin].Register(ctx, name, q); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.queryShard[name] = pin
+	r.mu.Unlock()
+	return nil
+}
+
+// shardFor resolves the shard owning the named query.
+func (r *ShardedStore) shardFor(name string) (*Store, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if si, ok := r.queryShard[name]; ok {
+		return r.shards[si], nil
+	}
+	return nil, fmt.Errorf("live: unknown query %q", name)
+}
+
+// Watch subscribes to the named query's change notifications; the stream is
+// produced by the query's own shard and carries router-issued versions.
+func (r *ShardedStore) Watch(name string) (*Subscription, error) {
+	s, err := r.shardFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Watch(name)
+}
+
+// WatchFrom is Watch resuming from a cursor, with Store.WatchFrom's exact
+// semantics — the cursor came from this query's shard, so its history ring
+// and version arithmetic apply unchanged.
+func (r *ShardedStore) WatchFrom(name string, fromSeq uint64) (*Subscription, bool, error) {
+	s, err := r.shardFor(name)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.WatchFrom(name, fromSeq)
+}
+
+// Count returns the named query's maintained count and the version of its
+// shard's snapshot — internally consistent with the stream Watch delivers.
+func (r *ShardedStore) Count(name string) (int64, uint64, error) {
+	s, err := r.shardFor(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Count(name)
+}
+
+// Info returns the named query's summary from its shard.
+func (r *ShardedStore) Info(name string) (QueryInfo, error) {
+	s, err := r.shardFor(name)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	return s.Info(name)
+}
+
+// Queries lists every registered query across all shards, sorted by name.
+func (r *ShardedStore) Queries() []QueryInfo {
+	var out []QueryInfo
+	for _, s := range r.shards {
+		out = append(out, s.Queries()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Solutions streams the named query's solutions from its shard.
+func (r *ShardedStore) Solutions(ctx context.Context, name string, limit int) ([][]string, uint64, error) {
+	s, err := r.shardFor(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.Solutions(ctx, name, limit)
+}
+
+// Version returns the router's version — the last version any shard
+// committed at.
+func (r *ShardedStore) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// PendingTuples sums the shards' pending tuple counts.
+func (r *ShardedStore) PendingTuples() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pendingLocked()
+}
+
+// ShardedStats is the router's stats payload: aggregate traffic counters,
+// the topology, and every shard's full single-store Stats nested under
+// Shard (index-aligned with the shard numbering).
+type ShardedStats struct {
+	Version         uint64  `json:"version"`
+	Shards          int     `json:"shards"`
+	Queries         int     `json:"queries"`
+	PendingTuples   int     `json:"pending_tuples"`
+	DeltasSubmitted uint64  `json:"deltas_submitted"`
+	TuplesSubmitted uint64  `json:"tuples_submitted"`
+	FlushRounds     uint64  `json:"flush_rounds"`
+	FlushErrors     uint64  `json:"flush_errors"`
+	LastError       string  `json:"last_error,omitempty"`
+	Replicated      int     `json:"replicated_relations"`
+	Shard           []Stats `json:"shard"`
+}
+
+// Stats returns the router counters plus each shard's Stats.
+func (r *ShardedStore) Stats() ShardedStats {
+	r.mu.Lock()
+	st := ShardedStats{
+		Version:         r.version,
+		Shards:          len(r.shards),
+		Queries:         len(r.queryShard),
+		DeltasSubmitted: r.rstats.deltasSubmitted,
+		TuplesSubmitted: r.rstats.tuplesSubmitted,
+		FlushRounds:     r.rstats.flushRounds,
+		FlushErrors:     r.rstats.flushErrors,
+		LastError:       r.rstats.lastError,
+		Replicated:      len(r.routes),
+	}
+	r.mu.Unlock()
+	for _, s := range r.shards {
+		ss := s.Stats()
+		st.PendingTuples += ss.PendingTuples
+		st.Shard = append(st.Shard, ss)
+	}
+	return st
+}
+
+// ServiceStats returns ShardedStats as the generic /stats payload.
+func (r *ShardedStore) ServiceStats() any { return r.Stats() }
+
+// Close drains all shards through one final round, closes them (their
+// subscribers get the last notifications before the channels close) and
+// stops the router flusher. Idempotent.
+func (r *ShardedStore) Close() error {
+	r.flushMu.Lock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.flushMu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.timer.Stop()
+	v := r.version
+	r.mu.Unlock()
+	applied, err := r.flushShards(context.Background(), v+1)
+	if applied {
+		r.mu.Lock()
+		r.version = v + 1
+		r.rstats.flushRounds++
+		r.mu.Unlock()
+	}
+	for _, s := range r.shards {
+		if cerr := s.Close(); cerr != nil && err == nil && !errors.Is(cerr, ErrClosed) {
+			err = cerr
+		}
+	}
+	r.flushMu.Unlock()
+	close(r.closeCh)
+	<-r.doneCh
+	return err
+}

@@ -1,0 +1,560 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/engine"
+	"d2cq/internal/storage"
+	"d2cq/internal/wal"
+)
+
+// shardedManualConfig mirrors manualConfig at the router: the router owns
+// the flush triggers, so pushing them out of reach gives tests exact
+// control of round boundaries.
+func shardedManualConfig(shards, buffer int) ShardedConfig {
+	return ShardedConfig{Config: manualConfig(buffer), Shards: shards}
+}
+
+// TestShardedWatchDifferential is TestWatchDifferential over the router:
+// for every PR-3 query shape and shard count 1, 2 and 4, a ShardedStore
+// driven through a ≥100-step random delta stream must emit, per flush
+// round, exactly the reference diff between consecutive snapshots — the
+// single-store Watch contract survives sharding unchanged. Run under -race
+// this also exercises the router's concurrent fan-out.
+func TestShardedWatchDifferential(t *testing.T) {
+	const steps = 100
+	for _, shards := range []int{1, 2, 4} {
+		for _, sh := range watchShapes {
+			sh := sh
+			shards := shards
+			t.Run(fmt.Sprintf("%s/shards=%d", sh.name, shards), func(t *testing.T) {
+				t.Parallel()
+				ctx := context.Background()
+				q := mustQuery(t, sh.query)
+				relNames := make([]string, 0, len(sh.rels))
+				for r := range sh.rels {
+					relNames = append(relNames, r)
+				}
+				slices.Sort(relNames)
+				rng := rand.New(rand.NewSource(int64(41 + shards)))
+				mirror := cq.Database{}
+				for i := 0; i < 4; i++ {
+					rel := relNames[rng.Intn(len(relNames))]
+					tuple := make([]string, sh.rels[rel])
+					for j := range tuple {
+						tuple[j] = fmt.Sprintf("c%d", rng.Intn(5))
+					}
+					mirror.Add(rel, tuple...)
+				}
+				store, err := NewShardedStore(ctx, engine.NewEngine(sh.opts...), mirror,
+					shardedManualConfig(shards, steps+4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer store.Close()
+				if got := store.Shards(); got != shards {
+					t.Fatalf("Shards() = %d, want %d", got, shards)
+				}
+				if err := store.Register(ctx, "q", q); err != nil {
+					t.Fatal(err)
+				}
+				sub, err := store.Watch("q")
+				if err != nil {
+					t.Fatal(err)
+				}
+				refEng := engine.NewEngine(sh.opts...)
+				prep, err := refEng.Prepare(ctx, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev := resultSet(t, prep, mirror)
+				for s := 0; s < steps; s++ {
+					delta := genDelta(rng, sh, relNames)
+					if err := store.Submit(delta); err != nil {
+						t.Fatalf("step %d: Submit: %v", s, err)
+					}
+					if err := store.Flush(ctx); err != nil {
+						t.Fatalf("step %d: Flush: %v", s, err)
+					}
+					version := store.Version()
+					delta.ApplyToDatabase(mirror)
+					cur := resultSet(t, prep, mirror)
+					var expAdd, expRem []string
+					for k := range cur {
+						if !prev[k] {
+							expAdd = append(expAdd, k)
+						}
+					}
+					for k := range prev {
+						if !cur[k] {
+							expRem = append(expRem, k)
+						}
+					}
+					slices.Sort(expAdd)
+					slices.Sort(expRem)
+					if len(expAdd) == 0 && len(expRem) == 0 {
+						select {
+						case n := <-sub.C:
+							t.Fatalf("step %d: unchanged result but notification %+v", s, n)
+						default:
+						}
+					} else {
+						var n Notification
+						select {
+						case n = <-sub.C:
+						default:
+							t.Fatalf("step %d: result changed (+%d/-%d) but no notification", s, len(expAdd), len(expRem))
+						}
+						if n.Query != "q" || n.Version != version {
+							t.Fatalf("step %d: notification query/version %s/%d, want q/%d (router-issued)", s, n.Query, n.Version, version)
+						}
+						if n.Lagged != 0 {
+							t.Fatalf("step %d: unexpected lag %d with an oversized buffer", s, n.Lagged)
+						}
+						if int(n.Count) != len(cur) || int(n.PrevCount) != len(prev) {
+							t.Fatalf("step %d: counts %d←%d, want %d←%d", s, n.Count, n.PrevCount, len(cur), len(prev))
+						}
+						if got := rowKeys(n.Added); !slices.Equal(got, expAdd) {
+							t.Fatalf("step %d: added %v, want %v", s, got, expAdd)
+						}
+						if got := rowKeys(n.Removed); !slices.Equal(got, expRem) {
+							t.Fatalf("step %d: removed %v, want %v", s, got, expRem)
+						}
+					}
+					// Count and Solutions agree with the oracle at every round.
+					if n, _, err := store.Count("q"); err != nil || int(n) != len(cur) {
+						t.Fatalf("step %d: Count = %d, %v; want %d", s, n, err, len(cur))
+					}
+					prev = cur
+				}
+				rows, _, err := store.Solutions(ctx, "q", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := rowKeys(rows); !slices.Equal(got, setKeys(prev)) {
+					t.Fatalf("final solutions %v, want %v", got, setKeys(prev))
+				}
+			})
+		}
+	}
+}
+
+// TestShardedMatchesSingleStore drives one recorded delta stream through a
+// single Store and a 3-shard ShardedStore with identical flush boundaries
+// and asserts the two stay byte-identical at every round: version sequence,
+// counts, sorted solutions, and the full notification stream.
+func TestShardedMatchesSingleStore(t *testing.T) {
+	ctx := context.Background()
+	sh := watchShapes[0] // path: R,S,T (+Zed noise)
+	q := mustQuery(t, sh.query)
+	relNames := []string{"R", "S", "T", "Zed"}
+	const steps = 120
+
+	rng := rand.New(rand.NewSource(99))
+	script := make([]*storage.Delta, steps)
+	for i := range script {
+		script[i] = genDelta(rng, sh, relNames)
+	}
+	initial := cq.Database{}
+	initial.Add("R", "c0", "c1")
+	initial.Add("S", "c1", "c2")
+	initial.Add("T", "c2", "c3")
+
+	single, err := NewStore(ctx, engine.NewEngine(), initial, manualConfig(steps+4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sharded, err := NewShardedStore(ctx, engine.NewEngine(), initial, shardedManualConfig(3, steps+4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	for _, s := range []Service{single, sharded} {
+		if err := s.Register(ctx, "q", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subSingle, err := single.Watch("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subSharded, err := sharded.Watch("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, d := range script {
+		if err := single.Submit(d.Clone()); err != nil {
+			t.Fatalf("step %d: single Submit: %v", i, err)
+		}
+		if err := sharded.Submit(d.Clone()); err != nil {
+			t.Fatalf("step %d: sharded Submit: %v", i, err)
+		}
+		if err := single.Flush(ctx); err != nil {
+			t.Fatalf("step %d: single Flush: %v", i, err)
+		}
+		if err := sharded.Flush(ctx); err != nil {
+			t.Fatalf("step %d: sharded Flush: %v", i, err)
+		}
+		if sv, rv := single.Version(), sharded.Version(); sv != rv {
+			t.Fatalf("step %d: versions diverged: single %d, sharded %d", i, sv, rv)
+		}
+		sn, _, err := single.Count("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, _, err := sharded.Count("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn != rn {
+			t.Fatalf("step %d: counts diverged: single %d, sharded %d", i, sn, rn)
+		}
+		srows, _, err := single.Solutions(ctx, "q", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrows, _, err := sharded.Solutions(ctx, "q", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rowKeys(rrows), rowKeys(srows); !slices.Equal(got, want) {
+			t.Fatalf("step %d: solutions diverged:\nsharded %v\nsingle  %v", i, got, want)
+		}
+	}
+	sNotifs, rNotifs := drain(subSingle), drain(subSharded)
+	if len(sNotifs) != len(rNotifs) {
+		t.Fatalf("notification streams diverged: single %d, sharded %d", len(sNotifs), len(rNotifs))
+	}
+	for i := range sNotifs {
+		a, b := sNotifs[i], rNotifs[i]
+		if a.Version != b.Version || a.Count != b.Count || a.PrevCount != b.PrevCount {
+			t.Fatalf("notification %d header diverged: single %+v, sharded %+v", i, a, b)
+		}
+		if !slices.Equal(rowKeys(a.Added), rowKeys(b.Added)) || !slices.Equal(rowKeys(a.Removed), rowKeys(b.Removed)) {
+			t.Fatalf("notification %d diff diverged: single %+v, sharded %+v", i, a, b)
+		}
+	}
+}
+
+// distinctHomes returns two relation names with different home shards for
+// the given shard count — so a test can force a cross-shard query
+// deterministically, whatever the hash happens to be.
+func distinctHomes(t *testing.T, n int) (string, string) {
+	t.Helper()
+	const a = "Alpha"
+	for _, b := range []string{"Beta", "Gamma", "Delta", "Omega", "Sigma", "Theta"} {
+		if shardOfRel(b, n) != shardOfRel(a, n) {
+			return a, b
+		}
+	}
+	t.Fatalf("no candidate relation hashes away from %s with %d shards", a, n)
+	return "", ""
+}
+
+// TestShardedCrossShardQuery pins the replication design: a query whose
+// atoms span relations homed on different shards is pinned to one shard,
+// the foreign relations are backfilled there at registration, and every
+// later delta touching them reaches the replica — so counts, solutions and
+// live notifications all behave exactly as on a single store.
+func TestShardedCrossShardQuery(t *testing.T) {
+	ctx := context.Background()
+	const n = 4
+	relA, relB := distinctHomes(t, n)
+
+	db := cq.Database{}
+	for i := 0; i < 8; i++ {
+		db.Add(relA, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+	}
+	db.Add(relB, "b0", "z")
+	s, err := NewShardedStore(ctx, engine.NewEngine(), db, shardedManualConfig(n, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	q := mustQuery(t, fmt.Sprintf("%s(x,y), %s(y,z)", relA, relB))
+	if err := s.Register(ctx, "join", q); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Replicated == 0 {
+		t.Fatalf("cross-shard query (%s on %d, %s on %d) registered without replicating anything",
+			relA, shardOfRel(relA, n), relB, shardOfRel(relB, n))
+	}
+	if cnt, _, err := s.Count("join"); err != nil || cnt != 1 {
+		t.Fatalf("Count = %d, %v; want 1 (backfilled join)", cnt, err)
+	}
+
+	sub, err := s.Watch("join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delta to the replicated foreign relation must reach the replica and
+	// change the pinned query's live result.
+	if err := s.Submit(storage.NewDelta().Add(relB, "b3", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case note := <-sub.C:
+		if note.Count != 2 || len(note.Added) != 1 {
+			t.Fatalf("notification %+v, want count 2 with 1 added row", note)
+		}
+	default:
+		t.Fatal("replicated delta produced no notification on the pinned query")
+	}
+	rows, _, err := s.Solutions(ctx, "join", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		strings.Join([]string{"a0", "b0", "z"}, "\x00"),
+		strings.Join([]string{"a3", "b3", "w"}, "\x00"),
+	}
+	slices.Sort(want)
+	if got := rowKeys(rows); !slices.Equal(got, want) {
+		t.Fatalf("solutions %v, want %v", got, want)
+	}
+}
+
+// TestShardedRegisterConflicts checks that the router surfaces the single
+// store's registration semantics unchanged: idempotent re-registration,
+// name conflicts, and the pending-arity rejection of the poison-batch fix.
+func TestShardedRegisterConflicts(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewShardedStore(ctx, engine.NewEngine(), cq.Database{}, shardedManualConfig(4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	q := mustQuery(t, "R(x,y), S(y,z)")
+	if err := s.Register(ctx, "q", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ctx, "q", mustQuery(t, "R(x,y), S(y,z)")); err != nil {
+		t.Fatalf("idempotent re-registration failed: %v", err)
+	}
+	if err := s.Register(ctx, "q", mustQuery(t, "R(x,y)")); err == nil {
+		t.Fatal("conflicting registration under an existing name was admitted")
+	}
+
+	// The poison-batch fix through the router: pending tuples pin an unknown
+	// relation's arity before anything commits.
+	if err := s.Submit(storage.NewDelta().Add("Z", "a", "b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ctx, "bad", mustQuery(t, "Z(x,y)")); err == nil {
+		t.Fatal("registration conflicting with pending tuples was admitted")
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatalf("flush after rejected registration: %v", err)
+	}
+	if st := s.Stats(); st.FlushErrors != 0 || st.PendingTuples != 0 {
+		t.Fatalf("flush errors=%d pending=%d after rejected registration, want 0/0 (%s)",
+			st.FlushErrors, st.PendingTuples, st.LastError)
+	}
+	if err := s.Register(ctx, "good", mustQuery(t, "Z(x,y,z)")); err != nil {
+		t.Fatal(err)
+	}
+	if cnt, _, err := s.Count("good"); err != nil || cnt != 1 {
+		t.Fatalf("Count = %d, %v; want 1", cnt, err)
+	}
+}
+
+// TestShardedDurableRestart closes a durable 3-shard store and reopens it
+// over the same per-shard backends: queries, counts, the router version and
+// the cross-shard replication routes must all be re-derived, and a watcher
+// reconnecting with its pre-restart cursor resumes the exact diff stream.
+func TestShardedDurableRestart(t *testing.T) {
+	ctx := context.Background()
+	const n = 3
+	relA, relB := distinctHomes(t, n)
+	backends := make([]wal.Backend, n)
+	for i := range backends {
+		backends[i] = wal.NewMem()
+	}
+	cfg := DurableShardedConfig{
+		ShardedConfig:   shardedManualConfig(n, 64),
+		Backends:        backends,
+		SyncMode:        wal.SyncOff,
+		CheckpointEvery: 1 << 30,
+	}
+
+	s, err := OpenSharded(ctx, engine.NewEngine(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		d := storage.NewDelta().
+			Add(relA, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)).
+			Add(relB, fmt.Sprintf("b%d", i), fmt.Sprintf("z%d", i%2))
+		if err := s.Submit(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := mustQuery(t, fmt.Sprintf("%s(x,y), %s(y,z)", relA, relB))
+	if err := s.Register(ctx, "join", q); err != nil {
+		t.Fatal(err)
+	}
+	wantCount, _, err := s.Count("join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCount != 6 {
+		t.Fatalf("pre-restart count %d, want 6", wantCount)
+	}
+	wantRows, _, err := s.Solutions(ctx, "join", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVersion := s.Version()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(ctx, engine.NewEngine(), cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Version(); got != wantVersion {
+		t.Fatalf("recovered version %d, want %d", got, wantVersion)
+	}
+	if got, _, err := s2.Count("join"); err != nil || got != wantCount {
+		t.Fatalf("recovered count %d, %v; want %d", got, err, wantCount)
+	}
+	rows, _, err := s2.Solutions(ctx, "join", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(rowKeys(rows), rowKeys(wantRows)) {
+		t.Fatal("recovered solutions diverge from pre-restart solutions")
+	}
+	if st := s2.Stats(); st.Replicated == 0 {
+		t.Fatal("replication routes were not re-derived from the recovered queries")
+	}
+
+	// A watcher reconnecting at the recovered head must resume (no lagged
+	// reset) and then see exactly the diffs of post-restart traffic — the
+	// replicated relation keeps flowing to the pinned shard.
+	sub, resumed, err := s2.WatchFrom("join", wantVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("cursor at the recovered head did not resume")
+	}
+	if err := s2.Submit(storage.NewDelta().Add(relB, "b0", "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case note := <-sub.C:
+		if note.Version != wantVersion+1 || len(note.Added) != 1 {
+			t.Fatalf("post-restart notification %+v, want version %d with 1 added row", note, wantVersion+1)
+		}
+	default:
+		t.Fatal("post-restart delta to a replicated relation produced no notification")
+	}
+}
+
+// TestShardedConcurrentSubmit hammers the router's two-phase cross-shard
+// submit and automatic flush triggers from many goroutines (run under -race
+// this is the fan-out's data-race check): disjoint insert-only streams must
+// all land exactly once, watch versions must be strictly increasing, and
+// the final count must equal the union of everything submitted.
+func TestShardedConcurrentSubmit(t *testing.T) {
+	ctx := context.Background()
+	const (
+		n          = 4
+		goroutines = 6
+		perG       = 40
+	)
+	s, err := NewShardedStore(ctx, engine.NewEngine(), cq.Database{},
+		ShardedConfig{Config: Config{MaxBatch: 16, MaxLatency: 2 * time.Millisecond, Buffer: 4096}, Shards: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register(ctx, "k", mustQuery(t, "K(x,y)")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Watch("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d := storage.NewDelta().
+					Add("K", fmt.Sprintf("g%d-%d", g, i), "x").
+					Add("L", fmt.Sprintf("g%d-%d", g, i), "noise")
+				if err := s.Submit(d); err != nil {
+					t.Errorf("goroutine %d: Submit: %v", g, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := int64(goroutines * perG)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := s.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cnt, _, err := s.Count("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt == want && s.PendingTuples() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("count %d pending %d, want %d/0", cnt, s.PendingTuples(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var last uint64
+	total := 0
+	for _, note := range drain(sub) {
+		if note.Version <= last {
+			t.Fatalf("watch versions not strictly increasing: %d after %d", note.Version, last)
+		}
+		last = note.Version
+		total += len(note.Added) - len(note.Removed)
+	}
+	if total != int(want) {
+		t.Fatalf("concatenated watch diffs sum to %d rows, want %d", total, want)
+	}
+	st := s.Stats()
+	if st.FlushErrors != 0 {
+		t.Fatalf("flush errors under concurrent load: %d (%s)", st.FlushErrors, st.LastError)
+	}
+	if len(st.Shard) != n {
+		t.Fatalf("stats nest %d shards, want %d", len(st.Shard), n)
+	}
+}

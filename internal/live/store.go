@@ -264,30 +264,55 @@ func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt boo
 	}
 	// Reject atoms whose arity conflicts with what earlier registrations
 	// fixed for an absent relation (Bind cannot catch that — it binds an
-	// empty relation at any arity): once tuples arrive, one of the two
-	// queries would fail every Rebind, and stageFail would then drop whole
-	// batches as poison. Conflicts against existing tables fail in Bind
+	// empty relation at any arity), or with what the PENDING batch already
+	// fixed: an insert coalesced into s.pending pins an unknown relation's
+	// arity exactly as a committed table would, and admitting a conflicting
+	// registration would make the next flush's Rebind fail deterministically
+	// — stageFail would then drop the whole batch as poison, losing other
+	// submitters' tuples. Conflicts against existing tables fail in Bind
 	// below with the same engine error.
 	for _, a := range q.Atoms {
-		if want, ok := s.relArity[a.Rel]; ok && want != len(a.Args) {
+		if err := s.atomArityLocked(a); err != nil {
 			s.mu.Unlock()
-			return fmt.Errorf("live: atom %s has arity %d, but relation %s is registered with arity %d",
-				a.Rel, len(a.Args), a.Rel, want)
+			return err
+		}
+	}
+	// Reserve the atoms' arities before releasing mu for Bind: Submit holds
+	// only mu, so without the reservation an insert landing mid-Bind could
+	// fix a conflicting arity for a relation this query reads — reopening
+	// the poison window the check above just closed. First registration
+	// wins, exactly as the commit below used to record; on failure the
+	// reservations are rolled back.
+	var reserved []string
+	for _, a := range q.Atoms {
+		if _, ok := s.relArity[a.Rel]; !ok {
+			s.relArity[a.Rel] = len(a.Args)
+			reserved = append(reserved, a.Rel)
 		}
 	}
 	s.mu.Unlock()
+	unreserve := func() {
+		s.mu.Lock()
+		for _, rel := range reserved {
+			delete(s.relArity, rel)
+		}
+		s.mu.Unlock()
+	}
 	bound, err := prep.Bind(ctx, s.cdb)
 	if err != nil {
+		unreserve()
 		return err
 	}
 	count, err := bound.Count(ctx)
 	if err != nil {
+		unreserve()
 		return err
 	}
 	// Prime the enumeration cache too: the full reduction and indexes are
 	// cached before streaming begins, so stopping at the first yield builds
 	// the whole state without walking the result set.
 	if err := bound.Enumerate(ctx, func(engine.Solution) bool { return false }); err != nil {
+		unreserve()
 		return err
 	}
 	// Log the registration before committing it: recovery must re-register
@@ -295,22 +320,34 @@ func (s *Store) register(ctx context.Context, name string, q cq.Query, logIt boo
 	// and diffs could diverge from what the live store computed.
 	if logIt && s.dur != nil {
 		if err := s.dur.appendQuery(name, src); err != nil {
+			unreserve()
 			return fmt.Errorf("live: logging registration: %w", err)
 		}
 	}
 	s.mu.Lock()
 	s.queries[name] = &liveQuery{name: name, src: src, query: q, bound: bound, count: count, histFloor: s.version}
-	// Record the arity each atom demands of its relation: Submit validation
-	// rejects deltas that would create a relation no registered query could
-	// ever bind against (Bind would fail the whole flush otherwise). First
-	// registration wins — a query disagreeing with an already-recorded arity
-	// could never see that relation non-empty anyway.
-	for _, a := range q.Atoms {
-		if _, ok := s.relArity[a.Rel]; !ok {
-			s.relArity[a.Rel] = len(a.Args)
-		}
-	}
+	// The arity each atom demands of its relation was recorded by the
+	// reservation above and stays: Submit validation rejects deltas that
+	// would create a relation no registered query could ever bind against
+	// (Bind would fail the whole flush otherwise).
 	s.mu.Unlock()
+	return nil
+}
+
+// atomArityLocked rejects a query atom whose arity conflicts with what an
+// earlier registration (s.relArity) or an insert already coalesced into the
+// pending batch has fixed for its relation. Pending() may still list inserts
+// a later delete tombstoned, but every insert accepted into the batch passed
+// Submit's arity validation, so any of them pins the right arity.
+func (s *Store) atomArityLocked(a cq.Atom) error {
+	if want, ok := s.relArity[a.Rel]; ok && want != len(a.Args) {
+		return fmt.Errorf("live: atom %s has arity %d, but relation %s is registered with arity %d",
+			a.Rel, len(a.Args), a.Rel, want)
+	}
+	if ts := s.pending.Pending().Insert[a.Rel]; len(ts) > 0 && len(ts[0]) != len(a.Args) {
+		return fmt.Errorf("live: atom %s has arity %d, but %d-ary tuples for %s are already pending",
+			a.Rel, len(a.Args), len(ts[0]), a.Rel)
+	}
 	return nil
 }
 
@@ -453,19 +490,34 @@ func (s *Store) Flush(ctx context.Context) error {
 	return s.flushSerialized(ctx)
 }
 
-// flushSerialized runs one take → stage → WAL append → commit cycle. The
-// caller holds flushMu; mu is taken only for the take and commit steps (and
-// the error bookkeeping), never across engine work.
+// flushSerialized is flushSerializedAt with the store's own version
+// sequencing (each flush commits at version+1).
 func (s *Store) flushSerialized(ctx context.Context) error {
+	_, err := s.flushSerializedAt(ctx, 0)
+	return err
+}
+
+// flushSerializedAt runs one take → stage → WAL append → commit cycle,
+// committing at the given version (0 means self-sequenced: version+1). A
+// sharding router drives its shards with explicit versions so one router
+// flush round commits at one version on every shard it touches; the version
+// must be at least the store's current version. The caller holds flushMu;
+// mu is taken only for the take and commit steps (and the error
+// bookkeeping), never across engine work. Reports whether a non-empty batch
+// was committed.
+func (s *Store) flushSerializedAt(ctx context.Context, version uint64) (bool, error) {
 	t0 := time.Now()
 	s.mu.Lock()
 	if s.pending.Empty() {
 		s.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	batch := s.pending.Take()
 	s.pendingSince = time.Time{}
 	s.mu.Unlock()
+	if version == 0 {
+		version = s.version + 1 // version is stable under flushMu
+	}
 	takeHold := time.Since(t0)
 	fail := func(err error) error {
 		s.mu.Lock()
@@ -489,6 +541,16 @@ func (s *Store) flushSerialized(ctx context.Context) error {
 		s.pendingSince = time.Now()
 		if !s.closed {
 			s.timer.Reset(s.cfg.MaxLatency)
+			// The restored batch (plus whatever merged in mid-stage) can
+			// already be at or past the size trigger: kick the flusher like
+			// Submit would, or a full batch would sit out the whole
+			// MaxLatency before retrying.
+			if s.pending.Size() >= s.cfg.MaxBatch {
+				select {
+				case s.kick <- struct{}{}:
+				default: // a kick is already queued
+				}
+			}
 		}
 		s.stats.flushErrors++
 		s.stats.lastError = err.Error()
@@ -507,10 +569,10 @@ func (s *Store) flushSerialized(ctx context.Context) error {
 		return fail(err)
 	}
 	stageStart := time.Now()
-	st, err := s.stage(ctx, batch, s.version+1)
+	st, err := s.stage(ctx, batch, version)
 	stageDur := time.Since(stageStart)
 	if err != nil {
-		return stageFail(err)
+		return false, stageFail(err)
 	}
 	// Log-then-commit: once the batch is staged (so it can no longer fail),
 	// persist it before any subscriber can observe the new version. Only
@@ -522,20 +584,24 @@ func (s *Store) flushSerialized(ctx context.Context) error {
 	if s.dur != nil {
 		walStart := time.Now()
 		if err := s.dur.appendDelta(st.version, batch); err != nil {
-			return restore(err)
+			return false, restore(err)
 		}
 		walDur = time.Since(walStart)
 	}
 	commitStart := time.Now()
 	s.mu.Lock()
 	s.commitLocked(st, true)
+	// One sample for both counters: sampling twice made commitNs and
+	// lastCommitNs disagree for the same flush, with lastCommitNs also
+	// absorbing the stats writes in between.
+	commitDur := time.Since(commitStart)
 	s.stats.flushes++
 	s.stats.flushedTuples += uint64(batch.Size())
 	s.stats.stageNs += uint64(stageDur.Nanoseconds())
-	s.stats.commitNs += uint64(time.Since(commitStart).Nanoseconds())
+	s.stats.commitNs += uint64(commitDur.Nanoseconds())
 	s.stats.walNs += uint64(walDur.Nanoseconds())
 	s.stats.lastStageNs = uint64(stageDur.Nanoseconds())
-	s.stats.lastCommitNs = uint64(time.Since(commitStart).Nanoseconds())
+	s.stats.lastCommitNs = uint64(commitDur.Nanoseconds())
 	s.stats.lastWalNs = uint64(walDur.Nanoseconds())
 	hold := uint64((takeHold + time.Since(commitStart)).Nanoseconds())
 	s.stats.lockHoldNs += hold
@@ -549,7 +615,49 @@ func (s *Store) flushSerialized(ctx context.Context) error {
 	if s.dur != nil {
 		s.dur.maybeCheckpoint(s)
 	}
-	return nil
+	return true, nil
+}
+
+// flushAs is Flush with a router-assigned version: a ShardedStore drives
+// every shard's flushes itself, so all shards a round touches commit at the
+// same router-issued version. Reports whether a non-empty batch committed.
+func (s *Store) flushAs(ctx context.Context, version uint64) (bool, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	s.mu.Unlock()
+	return s.flushSerializedAt(ctx, version)
+}
+
+// validateDelta checks a delta against the same rules Submit enforces,
+// without enqueueing it — the first phase of the router's all-or-nothing
+// cross-shard submit.
+func (s *Store) validateDelta(delta *storage.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.validateLocked(delta)
+}
+
+// pendingSize returns the coalesced pending batch's current tuple count.
+func (s *Store) pendingSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending.Size()
+}
+
+// snapshotCDB returns the current committed snapshot — the router reads
+// relation sizes (query pinning) and tuples (cross-shard backfill) from it.
+func (s *Store) snapshotCDB() *engine.CompiledDB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cdb
 }
 
 // staged is one query's next state, computed against the candidate snapshot

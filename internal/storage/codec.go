@@ -208,13 +208,18 @@ func EncodeDB(w io.Writer, db *DB) error {
 		t := db.tables[rel]
 		b := appendString(scratch[:0], rel)
 		b = appendUvarint(b, uint64(t.Arity))
-		b = appendUvarint(b, uint64(len(t.Data)))
+		b = appendUvarint(b, uint64(t.dataLen()))
 		if err := put(b); err != nil {
 			return err
 		}
-		for _, v := range t.Data {
-			if err := put(appendUvarint(scratch[:0], uint64(uint32(v)))); err != nil {
-				return err
+		// Rows are written in global row order across both layouts; DecodeDB
+		// always rebuilds flat, and a recovered table re-partitions on its
+		// first large Apply (the partitioning is a cache, not canon).
+		for _, seg := range t.segments() {
+			for _, v := range seg {
+				if err := put(appendUvarint(scratch[:0], uint64(uint32(v)))); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -10,13 +10,20 @@ import (
 )
 
 // Table is one compiled relation: tuples interned and laid out flat, row i
-// occupying Data[i*Arity:(i+1)*Arity]. The tuple data is immutable after
-// Compile; the lazily built per-column-set indexes and statistics are
-// guarded by a mutex, so a Table is safe for concurrent use.
+// occupying Data[i*Arity:(i+1)*Arity]. Large relations use a tuple-hash
+// partitioned layout instead (see partition.go): Data is nil and parts holds
+// the rows, each partition itself flat, with row i living at global position
+// partOff[p] + (local index) so Apply can rewrite only touched partitions.
+// The tuple data is immutable either way after Compile/Apply; the lazily
+// built per-column-set indexes and statistics are guarded by a mutex, so a
+// Table is safe for concurrent use.
 type Table struct {
 	Name  string
 	Arity int
 	Data  []Value
+
+	parts   [][]Value // tuple-hash partitions; nil for the flat layout
+	partOff []int     // cumulative row offsets, len(parts)+1 entries
 
 	mu      sync.Mutex
 	indexes map[string]*Index
@@ -25,15 +32,69 @@ type Table struct {
 
 // Rows returns the number of tuples.
 func (t *Table) Rows() int {
+	if t.parts != nil {
+		return t.partOff[len(t.parts)]
+	}
 	if t.Arity == 0 {
 		return len(t.Data)
 	}
 	return len(t.Data) / t.Arity
 }
 
-// Row returns the i-th tuple as a slice view (do not mutate).
+// Row returns the i-th tuple as a slice view (do not mutate). Partitioned
+// tables pay a binary search per call; full scans should use Scan.
 func (t *Table) Row(i int) []Value {
+	if t.parts != nil {
+		p := sort.SearchInts(t.partOff, i+1) - 1
+		j := i - t.partOff[p]
+		return t.parts[p][j*t.Arity : (j+1)*t.Arity]
+	}
 	return t.Data[i*t.Arity : (i+1)*t.Arity]
+}
+
+// Scan calls f for every row in global row order — the allocation-free full
+// scan that works across both layouts without Row's per-call partition
+// search. The row slice is a view; do not mutate or retain it across calls.
+func (t *Table) Scan(f func(row []Value)) {
+	if t.parts == nil {
+		n := t.Rows()
+		for i := 0; i < n; i++ {
+			f(t.Row(i))
+		}
+		return
+	}
+	a := t.Arity
+	for _, part := range t.parts {
+		for i := 0; i+a <= len(part); i += a {
+			f(part[i : i+a])
+		}
+	}
+}
+
+// Partitions returns the number of tuple-hash partitions (0 for the flat
+// layout) — layout introspection for stats and tests.
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// segments returns the row storage as flat chunks in global row order: the
+// single Data slice for flat tables, the partitions otherwise.
+func (t *Table) segments() [][]Value {
+	if t.parts != nil {
+		return t.parts
+	}
+	return [][]Value{t.Data}
+}
+
+// dataLen returns the total number of stored values (rows × stride, where
+// the stride is max(Arity, 1) — nullary tables store one sentinel per row).
+func (t *Table) dataLen() int {
+	if t.parts == nil {
+		return len(t.Data)
+	}
+	n := 0
+	for _, p := range t.parts {
+		n += len(p)
+	}
+	return n
 }
 
 // colsKey renders a column set as a cache key.
@@ -62,7 +123,12 @@ func (t *Table) Index(cols ...int) *Index {
 		return ix
 	}
 	t.mu.Unlock()
-	ix := BuildIndex(t.Data, t.Arity, cols)
+	var ix *Index
+	if t.parts != nil {
+		ix = buildIndexParts(t.parts, t.partOff, t.Arity, cols)
+	} else {
+		ix = BuildIndex(t.Data, t.Arity, cols)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if cached, ok := t.indexes[key]; ok {
@@ -94,10 +160,11 @@ func (t *Table) Stats() TableStats {
 		buf := make([]Value, 1)
 		for c := 0; c < t.Arity; c++ {
 			m := NewTupleMap(1, st.Rows)
-			for i := 0; i < st.Rows; i++ {
-				buf[0] = t.Data[i*t.Arity+c]
+			col := c
+			t.Scan(func(row []Value) {
+				buf[0] = row[col]
 				m.Insert(buf)
-			}
+			})
 			st.Distinct[c] = m.Len()
 		}
 		t.stats = st
@@ -182,6 +249,26 @@ func (db *DB) Relations() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// RelationTuples returns the named relation's tuples decoded back to
+// constant strings, in global row order; nil when the relation is absent.
+// The sharded live router uses it to replicate a relation into the shard a
+// cross-shard query is pinned to.
+func (db *DB) RelationTuples(name string) [][]string {
+	t := db.tables[name]
+	if t == nil {
+		return nil
+	}
+	out := make([][]string, 0, t.Rows())
+	t.Scan(func(row []Value) {
+		tuple := make([]string, len(row))
+		for i, v := range row {
+			tuple[i] = db.Dict.Name(v)
+		}
+		out = append(out, tuple)
+	})
+	return out
 }
 
 // DBStats summarises a compiled database.

@@ -247,12 +247,17 @@ func (d *Delta) ApplyToDatabase(db cq.Database) {
 }
 
 // TableDelta is the row-level lineage of one relation across a single Apply:
-// the interned rows removed from the parent snapshot's table and the rows
-// appended after the survivors, both laid out flat like Table.Data. The
-// surviving parent rows keep their relative order and the added rows follow
-// them, so parent + lineage fully determine the child table without a scan —
-// the contract incremental atom rebinding relies on. Parent is the relation's
-// table in the parent snapshot (nil when the relation was empty).
+// the interned rows removed from the parent snapshot's table and the net-new
+// rows added to it, both laid out flat like a table's row storage. Parent +
+// lineage determine the child table's CONTENT without a scan — the contract
+// incremental atom rebinding relies on. Row order is layout-dependent: a
+// flat child keeps the surviving parent rows in order with the added rows
+// after them, while a tuple-hash partitioned child (see partition.go) adds
+// rows at the end of their own partitions, interleaving survivors and added
+// rows in the global order. Every lineage consumer composes and patches
+// set-wise, so only order differs between layouts, never content. Parent is
+// the relation's table in the parent snapshot (nil when the relation was
+// empty).
 type TableDelta struct {
 	Parent  *Table
 	Arity   int
@@ -379,6 +384,20 @@ func applyToTable(name string, old *Table, dict *Dict, inserts, deletes [][]stri
 	oldRows := 0
 	if old != nil {
 		oldRows = old.Rows()
+	}
+
+	// Large relations take the tuple-hash partitioned path, which rewrites
+	// only the partitions the delta touches. Hysteresis both ways: a flat
+	// table partitions once it would reach partitionMinRows, a partitioned
+	// table flattens only after shrinking well below it (see partition.go).
+	if arity > 0 {
+		parted := old != nil && old.parts != nil
+		if parted && oldRows+len(inserts) >= partitionMinRows/partitionHysteresis {
+			return applyPartitioned(name, old, dict, inserts, deletes, arity)
+		}
+		if !parted && oldRows+len(inserts) >= partitionMinRows {
+			return applyPartitioned(name, old, dict, inserts, deletes, arity)
+		}
 	}
 
 	// Interned delete set. A delete tuple with a constant the dictionary has

@@ -1,0 +1,222 @@
+package storage
+
+// Tuple-hash partitioning of large tables. A flat Table pays O(rows) per
+// Apply to copy the survivors even for a one-tuple delta; past a size
+// threshold the row storage is split into power-of-two many partitions by
+// full-tuple hash, and applyToTable rewrites only the partitions a delta
+// touches — every untouched partition shares its row slice with the parent
+// snapshot. Hashing the WHOLE interned tuple (not a key prefix) keeps the
+// per-partition insert dedup exact: equal tuples always land in the same
+// partition, so a partition-local membership map sees every duplicate.
+//
+// The partitioned layout changes the table's global row order: Table.Row
+// numbers rows partition by partition (concatenated-partition order), and a
+// delta's added rows land at the end of their own partitions instead of at
+// the end of the table. The TableDelta contract weakens accordingly — Added
+// still lists exactly the net-new rows and Removed exactly the rows that
+// left, but the child's global order interleaves survivors and added rows.
+// Every lineage consumer composes and patches set-wise (composeLineage,
+// the engine's rebindAtomDelta), so only row ORDER differs from the flat
+// contract, never content; the order divergence can at worst make the
+// engine's elementwise absorption checks (relEqual) miss an equality and
+// recompute — extra work, never a wrong answer.
+//
+// The layout is a cache-like property of the apply history, not part of the
+// canonical encoding: EncodeDB writes rows in global row order and DecodeDB
+// always rebuilds flat tables, so a recovered snapshot re-partitions on its
+// first large Apply (possibly at different boundaries — content, counts and
+// diffs are unaffected).
+
+const (
+	// partitionMinRows is the table size at which Apply switches a flat
+	// relation to the partitioned layout. Tables below it stay flat — the
+	// survivors copy is cheap and the flat layout scans faster.
+	partitionMinRows = 4096
+
+	// partitionTargetRows is the aimed-for rows per partition when a
+	// partition count is (re)chosen.
+	partitionTargetRows = 2048
+
+	// maxPartitions bounds the partition count regardless of table size, so
+	// the per-Apply partition bookkeeping stays O(1)-ish.
+	maxPartitions = 64
+
+	// partitionHysteresis keeps an existing partition count until the ideal
+	// count drifts this factor away, and keeps a table partitioned until it
+	// shrinks below partitionMinRows/partitionHysteresis — regrouping and
+	// flattening both copy the whole table, so they must not flap at a
+	// threshold boundary.
+	partitionHysteresis = 4
+)
+
+// partitionCount returns the power-of-two partition count for a table of
+// the given row count: enough partitions that each holds about
+// partitionTargetRows, capped at maxPartitions.
+func partitionCount(rows int) int {
+	p := 1
+	for p < maxPartitions && rows > p*partitionTargetRows {
+		p <<= 1
+	}
+	return p
+}
+
+// partitionOf assigns an interned row to a partition; p is a power of two.
+// HashTuple is deterministic (FNV-1a), so the same dictionary lineage
+// always produces the same grouping.
+func partitionOf(row []Value, p int) int {
+	return int(HashTuple(row) & uint64(p-1))
+}
+
+// applyPartitioned is applyToTable for large relations: deletes and inserts
+// are grouped by tuple-hash partition and only touched partitions are
+// rewritten; untouched partitions share their row storage with the parent.
+// The caller has already validated arities (arity > 0) and decided the
+// partitioned layout applies.
+func applyPartitioned(name string, old *Table, dict *Dict, inserts, deletes [][]string, arity int) (*Table, *TableDelta, error) {
+	oldRows := 0
+	if old != nil {
+		oldRows = old.Rows()
+	}
+	p := partitionCount(oldRows + len(inserts))
+	regroup := old == nil || old.parts == nil
+	if !regroup && len(old.parts) != p {
+		// Hysteresis: keep the current grouping while the ideal count is
+		// within a factor of it — a regroup copies the whole table.
+		cur := len(old.parts)
+		if p < cur*partitionHysteresis && cur < p*partitionHysteresis {
+			p = cur
+		} else {
+			regroup = true
+		}
+	}
+
+	// The parent rows, grouped. A layout transition (flat parent, or a
+	// regroup) buckets every old row once — O(rows), paid only when the
+	// partition count changes; steady state reuses the parent's partitions
+	// and shares the untouched ones below.
+	var oldParts [][]Value
+	if !regroup {
+		oldParts = old.parts
+	} else {
+		oldParts = make([][]Value, p)
+		if old != nil {
+			old.Scan(func(row []Value) {
+				q := partitionOf(row, p)
+				oldParts[q] = append(oldParts[q], row...)
+			})
+		}
+	}
+
+	// Interned per-partition delete sets. A delete tuple with a constant the
+	// dictionary has never seen cannot match anything; skip it without
+	// interning (deletes must not grow the dictionary).
+	var dels []*TupleMap
+	if len(deletes) > 0 && oldRows > 0 {
+		buf := make([]Value, arity)
+		for _, tuple := range deletes {
+			ok := true
+			for i, c := range tuple {
+				v, found := dict.Lookup(c)
+				if !found {
+					ok = false
+					break
+				}
+				buf[i] = v
+			}
+			if !ok {
+				continue
+			}
+			q := partitionOf(buf, p)
+			if dels == nil {
+				dels = make([]*TupleMap, p)
+			}
+			if dels[q] == nil {
+				dels[q] = NewTupleMap(arity, 4)
+			}
+			dels[q].Insert(buf)
+		}
+	}
+
+	// Interned per-partition inserts, in submission order within each
+	// partition (dedup happens against the partition's survivors below).
+	var ins [][]Value
+	if len(inserts) > 0 {
+		ins = make([][]Value, p)
+		ibuf := make([]Value, arity)
+		for _, tuple := range inserts {
+			for i, c := range tuple {
+				ibuf[i] = dict.Intern(c)
+			}
+			ins[partitionOf(ibuf, p)] = append(ins[partitionOf(ibuf, p)], ibuf...)
+		}
+	}
+
+	parts := make([][]Value, p)
+	var added, removed []Value
+	totalRows := 0
+	for q := 0; q < p; q++ {
+		opart := oldParts[q]
+		var del *TupleMap
+		if dels != nil {
+			del = dels[q]
+		}
+		var pins []Value
+		if ins != nil {
+			pins = ins[q]
+		}
+		if del == nil && len(pins) == 0 {
+			parts[q] = opart // untouched: share the parent's rows
+			totalRows += len(opart) / arity
+			continue
+		}
+		out := make([]Value, 0, len(opart)+len(pins))
+		var present *TupleMap
+		if len(pins) > 0 {
+			present = NewTupleMap(arity, (len(opart)+len(pins))/arity)
+		}
+		for i := 0; i+arity <= len(opart); i += arity {
+			row := opart[i : i+arity]
+			if del != nil && del.Find(row) >= 0 {
+				removed = append(removed, row...)
+				continue
+			}
+			out = append(out, row...)
+			if present != nil {
+				present.Insert(row)
+			}
+		}
+		for i := 0; i+arity <= len(pins); i += arity {
+			row := pins[i : i+arity]
+			if _, isNew := present.Insert(row); !isNew {
+				continue
+			}
+			out = append(out, row...)
+			added = append(added, row...)
+		}
+		parts[q] = out
+		totalRows += len(out) / arity
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		// Content unchanged: keep the parent pointer (and its layout) so the
+		// pointer-diff dirty set stays precise, even when the grouping was
+		// recomputed above.
+		return old, nil, nil
+	}
+	td := &TableDelta{Parent: old, Arity: arity, Added: added, Removed: removed}
+	if totalRows == 0 {
+		return nil, td, nil
+	}
+	if totalRows < partitionMinRows/partitionHysteresis {
+		// The delta shrank the relation well below the threshold: flatten.
+		data := make([]Value, 0, totalRows*arity)
+		for q := 0; q < p; q++ {
+			data = append(data, parts[q]...)
+		}
+		return &Table{Name: name, Arity: arity, Data: data}, td, nil
+	}
+	nt := &Table{Name: name, Arity: arity, parts: parts, partOff: make([]int, p+1)}
+	for q := 0; q < p; q++ {
+		nt.partOff[q+1] = nt.partOff[q] + len(parts[q])/arity
+	}
+	return nt, td, nil
+}

@@ -1,0 +1,314 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"slices"
+	"sort"
+	"testing"
+
+	"d2cq/internal/cq"
+)
+
+// bigDelta returns a delta inserting rows lo..hi (exclusive) of the
+// synthetic arity-2 relation rel.
+func bigDelta(rel string, lo, hi int) *Delta {
+	d := NewDelta()
+	for i := lo; i < hi; i++ {
+		d.Add(rel, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i%97))
+	}
+	return d
+}
+
+// tupleSetOf renders a table's content as a sorted list of decoded rows —
+// the layout-independent comparison key.
+func tupleSetOf(db *DB, rel string) []string {
+	tuples := db.RelationTuples(rel)
+	out := make([]string, 0, len(tuples))
+	for _, tu := range tuples {
+		key := ""
+		for _, c := range tu {
+			key += c + "\x00"
+		}
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mirrorSet(db cq.Database, rel string) []string {
+	out := make([]string, 0, len(db[rel]))
+	for _, tu := range db[rel] {
+		key := ""
+		for _, c := range tu {
+			key += c + "\x00"
+		}
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPartitionedApplyMatchesFlatOracle drives a relation across the
+// partitioning threshold and back with random deltas and checks every
+// snapshot's content against an uncompiled mirror maintained by
+// ApplyToDatabase — the same oracle the engine differential suites trust.
+func TestPartitionedApplyMatchesFlatOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sdb, err := Compile(cq.Database{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := cq.Database{}
+	sawPartitioned := false
+
+	apply := func(d *Delta) {
+		t.Helper()
+		next, err := sdb.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ApplyToDatabase(mirror)
+		sdb = next
+		if got, want := tupleSetOf(sdb, "R"), mirrorSet(mirror, "R"); !slices.Equal(got, want) {
+			t.Fatalf("content diverged: %d rows vs mirror %d", len(got), len(want))
+		}
+		if tab := sdb.Table("R"); tab != nil && tab.Partitions() > 0 {
+			sawPartitioned = true
+		}
+	}
+
+	// Grow past the threshold in chunks, interleaving random deletes.
+	for lo := 0; lo < 8*partitionMinRows; lo += 1500 {
+		d := bigDelta("R", lo, lo+1500)
+		for k := 0; k < 40; k++ {
+			i := rng.Intn(lo + 1500)
+			d.Remove("R", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i%97))
+		}
+		apply(d)
+	}
+	if !sawPartitioned {
+		t.Fatal("relation never switched to the partitioned layout")
+	}
+	if got := sdb.Table("R").Partitions(); got < 2 {
+		t.Fatalf("expected several partitions, got %d", got)
+	}
+
+	// Shrink back below the flatten threshold.
+	for len(mirror["R"]) > partitionMinRows/partitionHysteresis/2 {
+		d := NewDelta()
+		for k := 0; k < 2000 && k < len(mirror["R"]); k++ {
+			tu := mirror["R"][k]
+			d.Remove("R", tu...)
+		}
+		apply(d)
+	}
+	if tab := sdb.Table("R"); tab != nil && tab.Partitions() > 0 {
+		t.Fatalf("table did not flatten at %d rows", tab.Rows())
+	}
+}
+
+// TestPartitionedSharesUntouchedParts checks the point of the layout: a
+// small delta against a large partitioned table rewrites only the touched
+// partitions, sharing every other partition's row storage with the parent.
+func TestPartitionedSharesUntouchedParts(t *testing.T) {
+	sdb, err := Compile(cq.Database{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err = sdb.Apply(bigDelta("R", 0, 3*partitionMinRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := sdb.Table("R")
+	if parent.Partitions() < 2 {
+		t.Fatalf("want a partitioned parent, got %d partitions", parent.Partitions())
+	}
+
+	d := NewDelta()
+	d.Add("R", "fresh", "row")
+	d.Remove("R", "a7", "b7")
+	next, err := sdb.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := next.Table("R")
+	if child.Partitions() != parent.Partitions() {
+		t.Fatalf("partition count moved %d -> %d on a 2-tuple delta", parent.Partitions(), child.Partitions())
+	}
+	shared := 0
+	for p := 0; p < child.Partitions(); p++ {
+		cp, pp := child.parts[p], parent.parts[p]
+		if len(cp) > 0 && len(pp) > 0 && &cp[0] == &pp[0] && len(cp) == len(pp) {
+			shared++
+		}
+	}
+	// One insert and one delete touch at most two partitions.
+	if shared < child.Partitions()-2 {
+		t.Fatalf("only %d of %d partitions shared with the parent", shared, child.Partitions())
+	}
+}
+
+// TestPartitionedAccessorsAgree checks Row, Scan, Index and Stats against
+// each other on a partitioned table.
+func TestPartitionedAccessorsAgree(t *testing.T) {
+	sdb, err := Compile(cq.Database{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err = sdb.Apply(bigDelta("R", 0, 2*partitionMinRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := sdb.Table("R")
+	if tab.Partitions() == 0 {
+		t.Fatal("want a partitioned table")
+	}
+
+	var scanned [][]Value
+	tab.Scan(func(row []Value) {
+		scanned = append(scanned, append([]Value(nil), row...))
+	})
+	if len(scanned) != tab.Rows() {
+		t.Fatalf("Scan visited %d rows, Rows()=%d", len(scanned), tab.Rows())
+	}
+	for i, want := range scanned {
+		if !slices.Equal(tab.Row(i), want) {
+			t.Fatalf("Row(%d)=%v, Scan saw %v", i, tab.Row(i), want)
+		}
+	}
+
+	for _, cols := range [][]int{{0}, {1}, {0, 1}} {
+		ix := tab.Index(cols...)
+		// Every row must find itself via the index, at its own global row id.
+		for i, row := range scanned {
+			key := make([]Value, len(cols))
+			for j, c := range cols {
+				key[j] = row[c]
+			}
+			if !slices.Contains(ix.Lookup(key), int32(i)) {
+				t.Fatalf("index %v: row %d not in Lookup result", cols, i)
+			}
+		}
+	}
+
+	st := tab.Stats()
+	for c := 0; c < tab.Arity; c++ {
+		distinct := map[Value]bool{}
+		for _, row := range scanned {
+			distinct[row[c]] = true
+		}
+		if st.Distinct[c] != len(distinct) {
+			t.Fatalf("Stats.Distinct[%d]=%d, scan says %d", c, st.Distinct[c], len(distinct))
+		}
+	}
+}
+
+// TestPartitionedCodecRoundtrip checks that a partitioned snapshot encodes
+// in global row order and decodes back (flat) with identical content and
+// dictionary.
+func TestPartitionedCodecRoundtrip(t *testing.T) {
+	sdb, err := Compile(cq.Database{"S": {{"x"}, {"y"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err = sdb.Apply(bigDelta("R", 0, 2*partitionMinRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdb.Table("R").Partitions() == 0 {
+		t.Fatal("want a partitioned table")
+	}
+	var buf bytes.Buffer
+	if err := EncodeDB(&buf, sdb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table("R").Partitions() != 0 {
+		t.Fatal("decoded table should be flat")
+	}
+	// Exact order equality: encode walks global row order, decode preserves it.
+	if !reflect.DeepEqual(got.RelationTuples("R"), sdb.RelationTuples("R")) {
+		t.Fatal("decoded tuples differ from encoded")
+	}
+	if !reflect.DeepEqual(got.Dict.Names(), sdb.Dict.Names()) {
+		t.Fatal("decoded dictionary differs")
+	}
+}
+
+// TestPartitionedLineage checks that parent content + lineage determine the
+// child content set-wise across the partitioned apply path.
+func TestPartitionedLineage(t *testing.T) {
+	sdb, err := Compile(cq.Database{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err = sdb.Apply(bigDelta("R", 0, 2*partitionMinRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta()
+	d.Add("R", "fresh", "one")
+	d.Add("R", "fresh", "two")
+	d.Remove("R", "a3", "b3")
+	next, err := sdb.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := next.Lineage("R")
+	if td == nil || td.Parent != sdb.Table("R") {
+		t.Fatal("lineage missing or parent mismatch")
+	}
+	if td.AddedRows() != 2 || td.RemovedRows() != 1 {
+		t.Fatalf("lineage added=%d removed=%d, want 2/1", td.AddedRows(), td.RemovedRows())
+	}
+	// Patch the parent set-wise and compare against the child.
+	set := map[string]bool{}
+	key := func(row []Value) string {
+		return fmt.Sprint(row)
+	}
+	td.Parent.Scan(func(row []Value) { set[key(row)] = true })
+	for i := 0; i+td.Arity <= len(td.Removed); i += td.Arity {
+		delete(set, key(td.Removed[i:i+td.Arity]))
+	}
+	for i := 0; i+td.Arity <= len(td.Added); i += td.Arity {
+		set[key(td.Added[i:i+td.Arity])] = true
+	}
+	child := map[string]bool{}
+	next.Table("R").Scan(func(row []Value) { child[key(row)] = true })
+	if !reflect.DeepEqual(set, child) {
+		t.Fatalf("patched parent has %d rows, child %d", len(set), len(child))
+	}
+}
+
+// TestPartitionedUnchangedKeepsPointer checks the pointer-diff contract: a
+// vacuous delta against a partitioned table returns the same *Table.
+func TestPartitionedUnchangedKeepsPointer(t *testing.T) {
+	sdb, err := Compile(cq.Database{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err = sdb.Apply(bigDelta("R", 0, 2*partitionMinRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := sdb.Table("R")
+	d := NewDelta()
+	d.Add("R", "a1", "b1")           // already present
+	d.Remove("R", "nosuch", "tuple") // absent
+	next, err := sdb.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Table("R") != old {
+		t.Fatal("vacuous delta moved the table pointer")
+	}
+	if next.Lineage("R") != nil && next.Lineage("R").Parent == old {
+		t.Fatal("vacuous delta recorded fresh lineage")
+	}
+}

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Open-loop load smoke for the O(change) flush path, run from the repo root
-# (CI runs it after the unit suite). It starts a durable d2cqd, drives it
-# with a short d2cqload run (registered queries, Zipf-popular SSE watchers,
-# fixed-rate submits), and writes the latency report to load_ci.json (CI
-# uploads it as an artifact). The submit-ack p99 is compared against the
-# committed BENCH_pr7.json baseline: the line is always printed, and the run
-# fails only when p99 blows past a generous multiple of the baseline — CI
-# machines are noisy, so the gate catches order-of-magnitude regressions
-# (a submit waiting behind flush engine work), not jitter.
+# (CI runs it after the unit suite). Each leg starts a durable d2cqd, drives
+# it with a short d2cqload run (registered queries, Zipf-popular SSE
+# watchers, fixed-rate submits), and writes the latency report to
+# load_ci*.json (CI uploads them as artifacts). The submit-ack p99 is
+# compared against the committed BENCH_pr7.json baseline: the line is always
+# printed, and the run fails only when p99 blows past a generous multiple of
+# the baseline — CI machines are noisy, so the gate catches
+# order-of-magnitude regressions (a submit waiting behind flush engine
+# work), not jitter. Two legs run: the single store and the -shards 4
+# router, held to the same gate.
 set -euo pipefail
 
 PORT="${PORT:-8346}"
@@ -32,24 +34,30 @@ fail() {
 go build -o "$WORK/d2cqd" ./cmd/d2cqd
 go build -o "$WORK/d2cqload" ./cmd/d2cqload
 
-"$WORK/d2cqd" -addr "127.0.0.1:$PORT" -data-dir "$WORK/data" -fsync 5ms &
-PID=$!
-for _ in $(seq 1 100); do
-  curl -fsS "$BASE/stats" >/dev/null 2>&1 && break
-  sleep 0.1
-done
-curl -fsS "$BASE/stats" >/dev/null || fail "daemon did not come up on $BASE"
+# run_leg <leg-name> <report-file> <extra d2cqd flags...>
+run_leg() {
+  local leg="$1" out="$2"
+  shift 2
 
-"$WORK/d2cqload" -addr "127.0.0.1:$PORT" -queries 6 -watchers 12 \
-  -rate "$RATE" -duration "$DURATION" -out "$OUT"
+  "$WORK/d2cqd" -addr "127.0.0.1:$PORT" -data-dir "$WORK/data-$leg" -fsync 5ms "$@" &
+  PID=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/stats" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fsS "$BASE/stats" >/dev/null || fail "daemon ($leg) did not come up on $BASE"
 
-kill "$PID"
-wait "$PID" 2>/dev/null || true
-PID=""
+  "$WORK/d2cqload" -addr "127.0.0.1:$PORT" -queries 6 -watchers 12 \
+    -rate "$RATE" -duration "$DURATION" -out "$out"
 
-python3 - "$OUT" <<'EOF'
-import json, sys
+  kill "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
 
+  LEG="$leg" python3 - "$out" <<'EOF'
+import json, os, sys
+
+leg = os.environ["LEG"]
 run = json.load(open(sys.argv[1]))
 base = json.load(open("BENCH_pr7.json"))
 got = run["submit_ack"]["p99_ms"]
@@ -57,17 +65,25 @@ ref = base["submit_ack"]["p99_ms"]
 # Generous gate: order-of-magnitude regressions only, with an absolute floor
 # so a sub-millisecond baseline doesn't make the gate hair-triggered.
 limit = max(10 * ref, 50.0)
-print("submit-ack p99: %.2fms (baseline %.2fms, limit %.1fms)" % (got, ref, limit))
-print("submit-notify p99: %.2fms over %d notifications" % (
-    run["submit_notify"]["p99_ms"], run["submit_notify"]["count"]))
-flush = run.get("store", {}).get("flush", {})
+print("[%s] submit-ack p99: %.2fms (baseline %.2fms, limit %.1fms)" % (leg, got, ref, limit))
+print("[%s] submit-notify p99: %.2fms over %d notifications" % (
+    leg, run["submit_notify"]["p99_ms"], run["submit_notify"]["count"]))
+store = run.get("store", {})
+flush = store.get("flush", {})
 if flush:
-    print("flush: max lock hold %.3fms, last stage %.3fms" % (
-        flush["max_lock_hold_ns"] / 1e6, flush["last_stage_ns"] / 1e6))
+    print("[%s] flush: max lock hold %.3fms, last stage %.3fms" % (
+        leg, flush["max_lock_hold_ns"] / 1e6, flush["last_stage_ns"] / 1e6))
+for i, shard in enumerate(store.get("shard") or []):
+    print("[%s] shard %d: version %d, %d flushes, %d tuples" % (
+        leg, i, shard["version"], shard["flushes"], shard["flushed_tuples"]))
 if run["submit_notify"]["count"] == 0:
-    sys.exit("load_smoke: no submit-to-notification latencies recorded")
+    sys.exit("load_smoke (%s): no submit-to-notification latencies recorded" % leg)
 if got > limit:
-    sys.exit("load_smoke: submit-ack p99 %.2fms exceeds %.1fms" % (got, limit))
+    sys.exit("load_smoke (%s): submit-ack p99 %.2fms exceeds %.1fms" % (leg, got, limit))
 EOF
+}
+
+run_leg single "$OUT"
+run_leg sharded "${OUT%.json}_shards4.json" -shards 4
 
 echo "load_smoke: OK"

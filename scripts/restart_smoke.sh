@@ -7,13 +7,14 @@
 # write-ahead log and (b) an SSE watcher reconnecting with Last-Event-ID
 # resumes mid-stream — the missed change events arrive with their version
 # ids and no snapshot event — while an out-of-window cursor falls back to a
-# lagged snapshot.
+# lagged snapshot. The scenario runs twice: against the single store and
+# against the -shards 4 router (per-shard WALs, routes re-derived on
+# recovery).
 set -euo pipefail
 
 PORT="${PORT:-8344}"
 BASE="http://127.0.0.1:$PORT"
 WORK="$(mktemp -d)"
-DATA_DIR="$WORK/data"
 BIN="$WORK/d2cqd"
 PID=""
 
@@ -48,57 +49,82 @@ print(rep)
 " "$1"
 }
 
+# Records replayed at startup: top-level durability section on a single
+# store, summed across the per-shard sections on a sharded one.
+replayed_records() {
+  curl -fsS "$BASE/stats" | python3 -c "
+import json, sys
+rep = json.load(sys.stdin)
+if 'shard' in rep:
+    print(sum(s['durability']['replayed_records'] for s in rep['shard']))
+else:
+    print(rep['durability']['replayed_records'])
+"
+}
+
 go build -o "$BIN" ./cmd/d2cqd
 
-"$BIN" -addr "127.0.0.1:$PORT" -data-dir "$DATA_DIR" -fsync always -max-latency 5ms &
-PID=$!
-wait_up
+# run_scenario <leg-name> <extra d2cqd flags...>
+run_scenario() {
+  local leg="$1"
+  shift
+  local data_dir="$WORK/data-$leg"
 
-curl -fsS -X POST "$BASE/query" \
-  -d '{"name":"paths","query":"R(x,y), S(y,z)"}' >/dev/null
-curl -fsS -X POST "$BASE/update?sync=1" \
-  -d '{"insert":{"R":[["a","b"]],"S":[["b","c1"]]}}' >/dev/null
-curl -fsS -X POST "$BASE/update?sync=1" \
-  -d '{"insert":{"S":[["b","c2"]]}}' >/dev/null
-curl -fsS -X POST "$BASE/update?sync=1" \
-  -d '{"delete":{"S":[["b","c1"]]}}' >/dev/null
+  "$BIN" -addr "127.0.0.1:$PORT" -data-dir "$data_dir" -fsync always -max-latency 5ms "$@" &
+  PID=$!
+  wait_up
 
-version="$(stat_field version)"
-[ "$version" = "4" ] || fail "pre-crash version $version, want 4"
+  curl -fsS -X POST "$BASE/query" \
+    -d '{"name":"paths","query":"R(x,y), S(y,z)"}' >/dev/null
+  curl -fsS -X POST "$BASE/update?sync=1" \
+    -d '{"insert":{"R":[["a","b"]],"S":[["b","c1"]]}}' >/dev/null
+  curl -fsS -X POST "$BASE/update?sync=1" \
+    -d '{"insert":{"S":[["b","c2"]]}}' >/dev/null
+  curl -fsS -X POST "$BASE/update?sync=1" \
+    -d '{"delete":{"S":[["b","c1"]]}}' >/dev/null
 
-# The crash: no shutdown hook runs, no final checkpoint is written. The WAL
-# (fsync always) is the only thing the restart has.
-kill -9 "$PID"
-wait "$PID" 2>/dev/null || true
-PID=""
+  version="$(stat_field version)"
+  [ "$version" = "4" ] || fail "$leg: pre-crash version $version, want 4"
 
-"$BIN" -addr "127.0.0.1:$PORT" -data-dir "$DATA_DIR" -fsync always -max-latency 5ms &
-PID=$!
-wait_up
+  # The crash: no shutdown hook runs, no final checkpoint is written. The
+  # WAL (fsync always) is the only thing the restart has.
+  kill -9 "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
 
-version="$(stat_field version)"
-[ "$version" = "4" ] || fail "recovered version $version, want 4"
-replayed="$(stat_field durability.replayed_records)"
-[ "$replayed" -gt 0 ] || fail "recovery replayed no WAL records"
-count="$(stat_field queries)"
-[ "$count" = "1" ] || fail "recovered $count queries, want 1"
+  "$BIN" -addr "127.0.0.1:$PORT" -data-dir "$data_dir" -fsync always -max-latency 5ms "$@" &
+  PID=$!
+  wait_up
 
-# Reconnect as a watcher that had processed through version 2: the stream
-# must resume with the missed changes (ids 3 and 4) and no snapshot.
-resumed="$(timeout 3 curl -fsS -N -H 'Last-Event-ID: 2' "$BASE/watch?query=paths" || true)"
-echo "$resumed" | grep -q '^id: 3$' || fail "resumed stream missing change id 3: $resumed"
-echo "$resumed" | grep -q '^id: 4$' || fail "resumed stream missing change id 4: $resumed"
-if echo "$resumed" | grep -q '^event: snapshot$'; then
-  fail "resumable cursor got a snapshot instead of resuming: $resumed"
-fi
+  version="$(stat_field version)"
+  [ "$version" = "4" ] || fail "$leg: recovered version $version, want 4"
+  replayed="$(replayed_records)"
+  [ "$replayed" -gt 0 ] || fail "$leg: recovery replayed no WAL records"
+  count="$(stat_field queries)"
+  [ "$count" = "1" ] || fail "$leg: recovered $count queries, want 1"
 
-# A cursor the recovered store cannot cover falls back to a lagged snapshot.
-lagged="$(timeout 3 curl -fsS -N -H 'Last-Event-ID: 99' "$BASE/watch?query=paths" || true)"
-echo "$lagged" | grep -q '^event: snapshot$' || fail "out-of-window cursor got no snapshot: $lagged"
-echo "$lagged" | grep -q '"lagged":true' || fail "out-of-window snapshot not flagged lagged: $lagged"
+  # Reconnect as a watcher that had processed through version 2: the stream
+  # must resume with the missed changes (ids 3 and 4) and no snapshot.
+  resumed="$(timeout 3 curl -fsS -N -H 'Last-Event-ID: 2' "$BASE/watch?query=paths" || true)"
+  echo "$resumed" | grep -q '^id: 3$' || fail "$leg: resumed stream missing change id 3: $resumed"
+  echo "$resumed" | grep -q '^id: 4$' || fail "$leg: resumed stream missing change id 4: $resumed"
+  if echo "$resumed" | grep -q '^event: snapshot$'; then
+    fail "$leg: resumable cursor got a snapshot instead of resuming: $resumed"
+  fi
 
-kill "$PID"
-wait "$PID" 2>/dev/null || true
-PID=""
+  # A cursor the recovered store cannot cover falls back to a lagged snapshot.
+  lagged="$(timeout 3 curl -fsS -N -H 'Last-Event-ID: 99' "$BASE/watch?query=paths" || true)"
+  echo "$lagged" | grep -q '^event: snapshot$' || fail "$leg: out-of-window cursor got no snapshot: $lagged"
+  echo "$lagged" | grep -q '"lagged":true' || fail "$leg: out-of-window snapshot not flagged lagged: $lagged"
 
-echo "restart_smoke: OK (version $version recovered, $replayed records replayed, cursor resumed)"
+  kill "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
+
+  echo "restart_smoke [$leg]: version $version recovered, $replayed records replayed, cursor resumed"
+}
+
+run_scenario single
+run_scenario sharded -shards 4
+
+echo "restart_smoke: OK"

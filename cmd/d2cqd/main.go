@@ -98,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	dbPath := fs.String("db", "", "initial database file, one ground atom per line (empty: start with an empty database)")
 	maxBatch := fs.Int("max-batch", 0, "flush the coalesced batch at this many pending tuples (0: default 256)")
 	maxLatency := fs.Duration("max-latency", 0, "flush the coalesced batch at the latest this long after the first pending tuple (0: default 25ms)")
-	buffer := fs.Int("buffer", 0, "per-watcher notification buffer before drops (0: default 16)")
+	buffer := fs.Int("buffer", 0, "per-query broadcast ring capacity before slow watchers drop (0: default 16)")
 	parallelism := fs.Int("parallelism", 0, "engine worker pool for evaluation passes (0/1: sequential, -1: one per CPU)")
 	shards := fs.Int("shards", 1, "shard the live store across this many stores behind a router (1: single store)")
 	dataDir := fs.String("data-dir", "", "durable mode: write-ahead log + checkpoints under this directory; restarts resume the pre-crash state")
@@ -194,8 +194,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	case <-stop:
 		fmt.Fprintln(out, "d2cqd shutting down")
-		// Close the store first: that closes every subscription channel,
-		// which is what makes the in-flight /watch handlers return —
+		// Close the store first: that ends every subscription (Next returns
+		// false), which is what makes the in-flight /watch handlers return —
 		// srv.Shutdown alone would wait its full timeout on them (it never
 		// cancels in-flight request contexts).
 		cerr := store.Close()
@@ -440,16 +440,15 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for {
-		select {
-		case <-r.Context().Done():
+		// Next blocks on the query's shared broadcast ring — no per-watcher
+		// buffer — and returns false when the store closes, the subscription
+		// ends, or the client goes away (the request context).
+		n, ok := sub.Next(r.Context())
+		if !ok {
 			return
-		case n, ok := <-sub.C:
-			if !ok {
-				return // store closed
-			}
-			if !event("change", n.Version, n) {
-				return
-			}
+		}
+		if !event("change", n.Version, n) {
+			return
 		}
 	}
 }

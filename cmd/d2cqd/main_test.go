@@ -154,6 +154,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/update status = %d: %s", resp.StatusCode, body)
 	}
+	// Notifications are immutable once published (their Added/Removed rows
+	// alias the query's shared broadcast ring on the server side); decoding
+	// the SSE payload into a fresh value is the deep copy that makes the
+	// client's view safe to mutate.
 	var change live.Notification
 	if err := json.Unmarshal([]byte(awaitEvent(t, events, "change").data), &change); err != nil {
 		t.Fatal(err)

@@ -16,7 +16,13 @@
 // Usage:
 //
 //	d2cqload [-addr 127.0.0.1:8344] [-queries 8] [-watchers 16] [-zipf 1.3]
-//	         [-rate 200] [-duration 10s] [-grace 2s] [-out BENCH_pr7.json]
+//	         [-hot-query] [-rate 200] [-duration 10s] [-grace 2s]
+//	         [-out BENCH_pr7.json]
+//
+// -hot-query pins every watcher to q0 instead of spreading them by Zipf: the
+// mass-fan-out shape (one hot query, many subscribers) that exercises the
+// store's shared broadcast ring. Submits keep their Zipf distribution, under
+// which q0 is already the hottest query.
 package main
 
 import (
@@ -39,6 +45,7 @@ type config struct {
 	addr     string
 	queries  int
 	watchers int
+	hotQuery bool
 	zipfS    float64
 	rate     float64
 	duration time.Duration
@@ -60,6 +67,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&c.addr, "addr", "127.0.0.1:8344", "d2cqd address (host:port)")
 	fs.IntVar(&c.queries, "queries", 8, "registered queries (each over its own two relations)")
 	fs.IntVar(&c.watchers, "watchers", 16, "SSE watcher connections, spread over queries by Zipf popularity")
+	fs.BoolVar(&c.hotQuery, "hot-query", false, "pin every watcher to q0 (mass fan-out of one hot query)")
 	fs.Float64Var(&c.zipfS, "zipf", 1.3, "Zipf skew for watch and submit popularity (must be > 1)")
 	fs.Float64Var(&c.rate, "rate", 200, "scheduled submits per second (open loop)")
 	fs.DurationVar(&c.duration, "duration", 10*time.Second, "submit phase length")
@@ -156,6 +164,7 @@ type report struct {
 	Config struct {
 		Queries  int     `json:"queries"`
 		Watchers int     `json:"watchers"`
+		HotQuery bool    `json:"hot_query,omitempty"`
 		Zipf     float64 `json:"zipf"`
 		Rate     float64 `json:"rate_per_s"`
 		Duration string  `json:"duration"`
@@ -249,7 +258,10 @@ func run(args []string, out io.Writer) error {
 	done := make(chan struct{})
 	var watchersReady sync.WaitGroup
 	for w := 0; w < cfg.watchers; w++ {
-		qi := int(zipf.Uint64())
+		qi := 0
+		if !cfg.hotQuery {
+			qi = int(zipf.Uint64())
+		}
 		watched[qi] = true
 		watchersReady.Add(1)
 		go watcher(cl, queryName(qi), &pendingMarks, notifyRec, done, &watchersReady)
@@ -308,6 +320,7 @@ func run(args []string, out io.Writer) error {
 	var rep report
 	rep.Config.Queries = cfg.queries
 	rep.Config.Watchers = cfg.watchers
+	rep.Config.HotQuery = cfg.hotQuery
 	rep.Config.Zipf = cfg.zipfS
 	rep.Config.Rate = cfg.rate
 	rep.Config.Duration = cfg.duration.String()

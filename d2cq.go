@@ -325,7 +325,8 @@ type LiveStats = live.Stats
 // loss surfaced as Lagged.
 type Notification = live.Notification
 
-// Subscription is one Watch registration; receive from C, Cancel to detach.
+// Subscription is one Watch registration: a cursor into the query's shared
+// broadcast ring. Receive with Next/TryNext, Cancel to detach.
 type Subscription = live.Subscription
 
 // ErrLiveClosed is returned by operations on a closed LiveStore.

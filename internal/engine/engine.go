@@ -114,6 +114,17 @@ func (e *Engine) par() int {
 	return e.parallelism
 }
 
+// Parallelism returns the engine's effective worker bound for evaluation
+// passes, always at least 1. Callers fanning independent engine work of
+// their own — the live store stages its per-query Rebinds on a pool of this
+// size — share the same bound instead of inventing a second knob.
+func (e *Engine) Parallelism() int {
+	if p := e.par(); p > 1 {
+		return p
+	}
+	return 1
+}
+
 // ordered reports whether parallel enumeration must preserve the sequential
 // yield order.
 func (e *Engine) ordered() bool {

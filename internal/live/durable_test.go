@@ -65,15 +65,11 @@ func storageKey(tuple []string) string {
 func drain(sub *Subscription) []Notification {
 	var out []Notification
 	for {
-		select {
-		case n, ok := <-sub.C:
-			if !ok {
-				return out
-			}
-			out = append(out, normNotification(n))
-		default:
+		n, ok := sub.TryNext()
+		if !ok {
 			return out
 		}
+		out = append(out, normNotification(n))
 	}
 }
 

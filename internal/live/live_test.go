@@ -74,6 +74,19 @@ func manualConfig(buffer int) Config {
 	return Config{MaxBatch: 1 << 30, MaxLatency: time.Hour, Buffer: buffer}
 }
 
+// awaitNext blocks for the subscription's next notification with a test
+// timeout; the stream ending (or the timeout) is fatal.
+func awaitNext(t *testing.T, sub *Subscription) Notification {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n, ok := sub.Next(ctx)
+	if !ok {
+		t.Fatal("subscription yielded no notification within 5s")
+	}
+	return n
+}
+
 // resultSet renders a query's full answer over a plain database as a set of
 // decoded row keys, via a reference engine that shares nothing with the
 // store under test.
@@ -187,16 +200,12 @@ func TestWatchDifferential(t *testing.T) {
 				sort.Strings(expAdd)
 				sort.Strings(expRem)
 				if len(expAdd) == 0 && len(expRem) == 0 {
-					select {
-					case n := <-sub.C:
+					if n, ok := sub.TryNext(); ok {
 						t.Fatalf("step %d: unchanged result but notification %+v", s, n)
-					default:
 					}
 				} else {
-					var n Notification
-					select {
-					case n = <-sub.C:
-					default:
+					n, ok := sub.TryNext()
+					if !ok {
 						t.Fatalf("step %d: result changed (+%d/-%d) but no notification", s, len(expAdd), len(expRem))
 					}
 					if n.Query != "q" || n.Version != version {
@@ -312,9 +321,12 @@ func TestCoalescedIngestionIdentical(t *testing.T) {
 	}
 }
 
-// TestSlowSubscriberLag: a subscriber that never drains its buffer loses
-// notifications without ever blocking a flush, and the loss surfaces as
-// Lagged on the next delivered notification.
+// TestSlowSubscriberLag: a subscriber that never drains loses notifications
+// without ever blocking a flush, and the loss surfaces as Lagged on the next
+// delivered notification. The shared broadcast ring retains the NEWEST
+// entries — a lagging cursor falls off the tail, so the oldest unread
+// notifications are the ones lost and the consumer resumes at the freshest
+// retained state.
 func TestSlowSubscriberLag(t *testing.T) {
 	ctx := context.Background()
 	db := cq.Database{}
@@ -344,23 +356,29 @@ func TestSlowSubscriberLag(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Four changing flushes against a 1-slot buffer: the first is buffered,
-	// the next three are dropped.
+	// Four changing flushes (versions 2..5) against a 1-slot ring: only the
+	// newest survives, the three older ones fell off the tail unread.
 	for i := 0; i < 4; i++ {
 		change(i)
 	}
-	n1 := <-sub.C
-	if n1.Lagged != 0 || n1.Version != 2 {
-		t.Fatalf("first notification lag/version = %d/%d, want 0/2", n1.Lagged, n1.Version)
+	n1, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("no notification pending after four changes")
 	}
-	// Buffer drained: the next change is delivered, carrying the gap.
+	if n1.Lagged != 3 || n1.Version != 5 {
+		t.Fatalf("first delivery lag/version = %d/%d, want 3/5 (newest retained, drops surfaced)", n1.Lagged, n1.Version)
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("ring drained but another notification was pending")
+	}
+	// Caught up: the next change is delivered with no gap.
 	change(4)
-	n2 := <-sub.C
-	if n2.Lagged != 3 {
-		t.Fatalf("lag after three drops = %d, want 3", n2.Lagged)
+	n2, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("no notification after catching up")
 	}
-	if n2.Version != 6 {
-		t.Fatalf("post-lag version = %d, want 6", n2.Version)
+	if n2.Lagged != 0 || n2.Version != 6 {
+		t.Fatalf("post-catch-up lag/version = %d/%d, want 0/6", n2.Lagged, n2.Version)
 	}
 	if st := store.Stats(); st.Dropped != 3 {
 		t.Fatalf("Stats.Dropped = %d, want 3", st.Dropped)
@@ -384,10 +402,10 @@ func awaitGoroutines(t *testing.T, baseline int) {
 	}
 }
 
-// TestWatchCancelAndCloseTeardown: Cancel closes the subscription channel
-// and unregisters it; Close flushes, closes every remaining subscription and
-// stops the background flusher without leaking goroutines; every operation
-// on the closed store reports ErrClosed.
+// TestWatchCancelAndCloseTeardown: Cancel ends the subscription's stream
+// and unregisters it; Close flushes, ends every remaining stream (drained
+// first, then over) and stops the background flusher without leaking
+// goroutines; every operation on the closed store reports ErrClosed.
 func TestWatchCancelAndCloseTeardown(t *testing.T) {
 	ctx := context.Background()
 	baseline := runtime.NumGoroutine()
@@ -414,8 +432,8 @@ func TestWatchCancelAndCloseTeardown(t *testing.T) {
 	}
 	sub1.Cancel()
 	sub1.Cancel() // idempotent
-	if _, ok := <-sub1.C; ok {
-		t.Fatal("cancelled subscription channel still open")
+	if _, ok := sub1.Next(ctx); ok {
+		t.Fatal("cancelled subscription still delivers")
 	}
 	// A flush after the cancel reaches only the live subscriber.
 	if err := store.Submit(storage.NewDelta().Add("R", "b")); err != nil {
@@ -424,8 +442,12 @@ func TestWatchCancelAndCloseTeardown(t *testing.T) {
 	if err := store.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if n := <-sub2.C; len(n.Added) != 1 {
+	if n := awaitNext(t, sub2); len(n.Added) != 1 {
 		t.Fatalf("live subscriber got %+v, want one added row", n)
+	}
+	// …and the cancelled one saw nothing of it.
+	if n, ok := sub1.TryNext(); ok {
+		t.Fatalf("cancelled subscription received a post-cancel flush: %+v", n)
 	}
 	// Close flushes the still-pending batch before tearing down…
 	if err := store.Submit(storage.NewDelta().Add("R", "c")); err != nil {
@@ -434,11 +456,11 @@ func TestWatchCancelAndCloseTeardown(t *testing.T) {
 	if err := store.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if n, ok := <-sub2.C; !ok || len(n.Added) != 1 {
+	if n, ok := sub2.Next(ctx); !ok || len(n.Added) != 1 {
 		t.Fatalf("close-time flush notification = %+v (ok=%v), want one added row", n, ok)
 	}
-	if _, ok := <-sub2.C; ok {
-		t.Fatal("subscription channel still open after Close")
+	if _, ok := sub2.Next(ctx); ok {
+		t.Fatal("subscription still delivering after Close drained")
 	}
 	// …and every later operation reports the closed store.
 	if err := store.Submit(storage.NewDelta().Add("R", "d")); err != ErrClosed {
@@ -468,16 +490,7 @@ func TestAutomaticFlushTriggers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	await := func(t *testing.T, sub *Subscription) Notification {
-		t.Helper()
-		select {
-		case n := <-sub.C:
-			return n
-		case <-time.After(5 * time.Second):
-			t.Fatal("no notification within 5s")
-			return Notification{}
-		}
-	}
+	await := awaitNext
 	t.Run("size", func(t *testing.T) {
 		db := cq.Database{}
 		db.Add("R", "a")

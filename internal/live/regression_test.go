@@ -150,6 +150,173 @@ func TestRestoreKicksFullBatch(t *testing.T) {
 	}
 }
 
+// TestRestorePreservesDeadline pins the flush-latency fix in restore: a
+// transiently failed flush re-queues its batch with the ORIGINAL pendingSince
+// deadline. Before the fix restore stamped time.Now(), so a batch whose
+// flush failed near its deadline waited up to ~2× MaxLatency before the
+// retry fired.
+func TestRestorePreservesDeadline(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewStore(ctx, nil, cq.Database{}, manualConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Submit(storage.NewDelta().Add("R", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	since0 := s.pendingSince
+	s.mu.Unlock()
+	if since0.IsZero() {
+		t.Fatal("submit did not stamp pendingSince")
+	}
+	// Make sure a buggy restore (stamping time.Now()) would produce a
+	// strictly later timestamp than the original.
+	time.Sleep(10 * time.Millisecond)
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.Flush(cctx); err == nil {
+		t.Fatal("flush with a cancelled context should fail transiently")
+	}
+	s.mu.Lock()
+	since1 := s.pendingSince
+	s.mu.Unlock()
+	if !since1.Equal(since0) {
+		t.Fatalf("restore moved the batch deadline: pendingSince %v, want the original %v (waits ~2x MaxLatency)",
+			since1, since0)
+	}
+}
+
+// TestRestoreRetriesAtOriginalDeadline is the end-to-end half of the fix
+// above: a batch whose flush fails late in its latency window is retried by
+// the background flusher at the ORIGINAL deadline, not a fresh MaxLatency
+// after the failure. Bounds are generous — the fixed path flushes at
+// ~MaxLatency after submit, the buggy path at ~1.8× — so the assertion has
+// slack on both sides.
+func TestRestoreRetriesAtOriginalDeadline(t *testing.T) {
+	ctx := context.Background()
+	const maxLat = time.Second
+	s, err := NewStore(ctx, nil, cq.Database{}, Config{MaxBatch: 1 << 30, MaxLatency: maxLat, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	t0 := time.Now()
+	if err := s.Submit(storage.NewDelta().Add("R", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a flush at ~80% of the latency window. The restored batch's
+	// deadline stays t0+1s; the buggy reset would move it to ~t0+1.8s.
+	time.Sleep(800 * time.Millisecond)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.Flush(cctx); err == nil {
+		t.Fatal("flush with a cancelled context should fail transiently")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Version == 2 && st.PendingTuples == 0 {
+			if elapsed := time.Since(t0); elapsed > 1600*time.Millisecond {
+				t.Fatalf("restored batch flushed %v after submit, want ~MaxLatency (%v): restore reset the deadline",
+					elapsed.Round(time.Millisecond), maxLat)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored batch never flushed: version=%d pending=%d", st.Version, st.PendingTuples)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRegisterDuringSlowStage races Register and Watch against an in-flight
+// stage. The stage snapshots the query registry in one mu section before
+// fanning per-query work over the engine pool; before that fix it read
+// s.queries while walking it outside mu, racing with registration. Run under
+// -race this pins the snapshot discipline; functionally it checks that a
+// registration landing mid-stage is simply sequenced after the flush and
+// included in the next one.
+func TestRegisterDuringSlowStage(t *testing.T) {
+	ctx := context.Background()
+	db := cq.Database{}
+	db.Add("R", "c0", "c1")
+	s, err := NewStore(ctx, nil, db, manualConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q1, err := cq.ParseQuery("R(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(ctx, "q1", q1); err != nil {
+		t.Fatal(err)
+	}
+
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s.stageHook = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	if err := s.Submit(storage.NewDelta().Add("R", "c2", "c3")); err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- s.Flush(ctx) }()
+	<-entered // mid-stage: flushMu held, mu free
+
+	// Register and Watch both serialise on flushMu, so they must block
+	// behind the stage and complete right after it — never observe a
+	// half-staged registry.
+	regDone := make(chan error, 1)
+	watchDone := make(chan error, 1)
+	go func() {
+		q2, err := cq.ParseQuery("R(x,x)")
+		if err != nil {
+			regDone <- err
+			return
+		}
+		regDone <- s.Register(ctx, "q2", q2)
+	}()
+	go func() {
+		sub, err := s.Watch("q1")
+		if err == nil {
+			defer sub.Cancel()
+		}
+		watchDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // give both a chance to hit flushMu
+	s.stageHook = nil
+	close(hold)
+	if err := <-flushDone; err != nil {
+		t.Fatalf("held flush: %v", err)
+	}
+	if err := <-regDone; err != nil {
+		t.Fatalf("Register racing a slow stage: %v", err)
+	}
+	if err := <-watchDone; err != nil {
+		t.Fatalf("Watch racing a slow stage: %v", err)
+	}
+
+	// The new registration is picked up by the next stage.
+	if err := s.Submit(storage.NewDelta().Add("R", "c4", "c4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := s.Count("q2"); err != nil || n != 1 {
+		t.Fatalf("Count(q2) = %d, %v; want 1 (registration lost by the staged flush)", n, err)
+	}
+}
+
 // TestCommitStatsSampledOnce pins the stats-skew fix: one flush's commit
 // duration must land identically in the cumulative and last-flush counters.
 // Before the fix flushSerialized sampled time.Since(commitStart) twice, so

@@ -101,16 +101,12 @@ func TestShardedWatchDifferential(t *testing.T) {
 					slices.Sort(expAdd)
 					slices.Sort(expRem)
 					if len(expAdd) == 0 && len(expRem) == 0 {
-						select {
-						case n := <-sub.C:
+						if n, ok := sub.TryNext(); ok {
 							t.Fatalf("step %d: unchanged result but notification %+v", s, n)
-						default:
 						}
 					} else {
-						var n Notification
-						select {
-						case n = <-sub.C:
-						default:
+						n, ok := sub.TryNext()
+						if !ok {
 							t.Fatalf("step %d: result changed (+%d/-%d) but no notification", s, len(expAdd), len(expRem))
 						}
 						if n.Query != "q" || n.Version != version {
@@ -306,13 +302,10 @@ func TestShardedCrossShardQuery(t *testing.T) {
 	if err := s.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case note := <-sub.C:
-		if note.Count != 2 || len(note.Added) != 1 {
-			t.Fatalf("notification %+v, want count 2 with 1 added row", note)
-		}
-	default:
+	if note, ok := sub.TryNext(); !ok {
 		t.Fatal("replicated delta produced no notification on the pinned query")
+	} else if note.Count != 2 || len(note.Added) != 1 {
+		t.Fatalf("notification %+v, want count 2 with 1 added row", note)
 	}
 	rows, _, err := s.Solutions(ctx, "join", 0)
 	if err != nil {
@@ -465,13 +458,10 @@ func TestShardedDurableRestart(t *testing.T) {
 	if err := s2.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case note := <-sub.C:
-		if note.Version != wantVersion+1 || len(note.Added) != 1 {
-			t.Fatalf("post-restart notification %+v, want version %d with 1 added row", note, wantVersion+1)
-		}
-	default:
+	if note, ok := sub.TryNext(); !ok {
 		t.Fatal("post-restart delta to a replicated relation produced no notification")
+	} else if note.Version != wantVersion+1 || len(note.Added) != 1 {
+		t.Fatalf("post-restart notification %+v, want version %d with 1 added row", note, wantVersion+1)
 	}
 }
 

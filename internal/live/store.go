@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"d2cq/internal/cq"
@@ -35,15 +36,19 @@ type Config struct {
 	// after its first tuple arrived. Default 25ms. Tests that want fully
 	// deterministic snapshots set both knobs high and call Flush directly.
 	MaxLatency time.Duration
-	// Buffer is the per-subscription notification channel capacity; a
-	// subscriber that falls further behind starts losing notifications
-	// (counted, see Notification.Lagged). Default 16.
+	// Buffer is how many notifications a slow subscriber may fall behind
+	// before it starts losing the oldest unread ones (counted, see
+	// Notification.Lagged). All subscribers of a query share one broadcast
+	// ring sized max(Buffer, History), so the bound is on lag, not on
+	// per-subscriber memory. Default 16.
 	Buffer int
 	// History retains the last History change-notifications per query so a
 	// reconnecting watcher can resume from a version cursor (WatchFrom)
-	// without a fresh snapshot. 0 disables history — WatchFrom then always
-	// reports the cursor as unresumable. Enabling it makes every flush
-	// compute tuple diffs even for unwatched queries (they feed the ring).
+	// without a fresh snapshot; the retained window is the tail of the same
+	// broadcast ring live subscribers read. 0 disables history — WatchFrom
+	// then always reports the cursor as unresumable. Enabling it makes
+	// every flush compute tuple diffs even for unwatched queries (they feed
+	// the ring).
 	History int
 }
 
@@ -163,6 +168,8 @@ type storeCounters struct {
 	lastWalNs     uint64
 	maxLockHoldNs uint64
 	diffRows      uint64
+	lastStagePar  uint64
+	stagedQueries uint64
 }
 
 // liveQuery is one registered query: its prepared plan, the bound snapshot
@@ -175,14 +182,40 @@ type liveQuery struct {
 	count int64
 	subs  []*Subscription
 
-	// hist is the resume ring (Config.History > 0): the most recent change
-	// notifications, oldest first. histFloor maintains the invariant that
-	// every change with Version > histFloor is present in hist — it starts
-	// at the registration version and advances to the evicted entry's
-	// version when the ring overflows. A cursor at or above the floor can
-	// therefore be resumed exactly; below it the subscriber has a hole.
-	hist      []Notification
+	// ring is the query's shared broadcast buffer — ONE copy of each recent
+	// change notification, oldest first, immutable once appended — serving
+	// both live fan-out (every Subscription holds a cursor into it) and
+	// WatchFrom resume. ringStart is the broadcast sequence number of
+	// ring[0]; the sequence is dense and per-query, distinct from snapshot
+	// versions. Physical capacity is Store.ringCap (max of Buffer and
+	// History); appending past it evicts the oldest entry and charges every
+	// subscriber still behind it.
+	//
+	// histFloor backs resumeFloor: it starts at the registration version
+	// and advances to the evicted entry's version when an eviction pushes a
+	// change out of the last History entries. The resume invariant — every
+	// change with Version > resumeFloor() sits within the last History ring
+	// entries — lets a cursor at or above the floor resume exactly; below
+	// it the subscriber has a hole.
+	ring      []Notification
+	ringStart uint64
 	histFloor uint64
+}
+
+// ringEnd returns the broadcast sequence one past the newest ring entry —
+// the cursor of a subscriber that is fully caught up.
+func (lq *liveQuery) ringEnd() uint64 { return lq.ringStart + uint64(len(lq.ring)) }
+
+// resumeFloor returns the WatchFrom floor: the newest change version NOT
+// guaranteed resumable. The ring may physically retain more than History
+// entries (its capacity is max(Buffer, History)), but only the last History
+// of them are promised to cursors, so the floor is the version just below
+// that window when the ring has grown past it.
+func (lq *liveQuery) resumeFloor(history int) uint64 {
+	if history > 0 && len(lq.ring) > history {
+		return lq.ring[len(lq.ring)-history-1].Version
+	}
+	return lq.histFloor
 }
 
 // NewStore compiles db once and starts the background flusher. A nil engine
@@ -513,6 +546,7 @@ func (s *Store) flushSerializedAt(ctx context.Context, version uint64) (bool, er
 		return false, nil
 	}
 	batch := s.pending.Take()
+	batchSince := s.pendingSince
 	s.pendingSince = time.Time{}
 	s.mu.Unlock()
 	if version == 0 {
@@ -538,13 +572,22 @@ func (s *Store) flushSerializedAt(ctx context.Context, version uint64) (bool, er
 		re.Merge(batch)
 		re.Merge(s.pending.Take())
 		s.pending = re
-		s.pendingSince = time.Now()
+		// The restored batch keeps its ORIGINAL deadline: its oldest tuple
+		// has been waiting since before the failed flush began, so stamping
+		// time.Now() here would let it wait up to ~2× MaxLatency. Tuples
+		// submitted mid-stage are younger than the batch and inherit its
+		// deadline, exactly as if they had coalesced in before the take.
+		s.pendingSince = batchSince
 		if !s.closed {
-			s.timer.Reset(s.cfg.MaxLatency)
+			remaining := time.Until(batchSince.Add(s.cfg.MaxLatency))
+			if remaining < 0 {
+				remaining = 0 // deadline already passed: retry immediately
+			}
+			s.timer.Reset(remaining)
 			// The restored batch (plus whatever merged in mid-stage) can
 			// already be at or past the size trigger: kick the flusher like
-			// Submit would, or a full batch would sit out the whole
-			// MaxLatency before retrying.
+			// Submit would, or a full batch would sit out its remaining
+			// latency before retrying.
 			if s.pending.Size() >= s.cfg.MaxBatch {
 				select {
 				case s.kick <- struct{}{}:
@@ -603,6 +646,8 @@ func (s *Store) flushSerializedAt(ctx context.Context, version uint64) (bool, er
 	s.stats.lastStageNs = uint64(stageDur.Nanoseconds())
 	s.stats.lastCommitNs = uint64(commitDur.Nanoseconds())
 	s.stats.lastWalNs = uint64(walDur.Nanoseconds())
+	s.stats.lastStagePar = uint64(st.par)
+	s.stats.stagedQueries += uint64(len(st.next))
 	hold := uint64((takeHold + time.Since(commitStart)).Nanoseconds())
 	s.stats.lockHoldNs += hold
 	if hold > s.stats.maxLockHoldNs {
@@ -673,11 +718,13 @@ type staged struct {
 }
 
 // stagedFlush is a fully-staged batch application: the successor snapshot,
-// its version, and every query's next state. Committing it cannot fail.
+// its version, and every query's next state in sorted-name order. par is the
+// worker count the stage actually used. Committing it cannot fail.
 type stagedFlush struct {
 	cdb     *engine.CompiledDB
 	version uint64
 	next    []staged
+	par     int
 }
 
 // stage computes the successor snapshot and every query's next state against
@@ -687,11 +734,18 @@ type stagedFlush struct {
 // The caller holds flushMu and NOT mu: s.cdb, the registry shape and each
 // lq.bound/count are stable under flushMu alone (they only change under both
 // locks), while the subscriber lists — written under mu alone — are sampled
-// in one short mu section. Watch admission also holds flushMu, so a
-// subscriber admitted after that sample sees its first notification on the
-// next flush, never a torn one. Recovery replay shares this path so a
-// replayed batch goes through the exact engine calls the original flush
-// made.
+// in one short mu section, together with the names and liveQuery pointers so
+// the stage reads the registry map only under mu. Watch admission also holds
+// flushMu, so a subscriber admitted after that sample sees its first
+// notification on the next flush, never a torn one. Recovery replay shares
+// this path so a replayed batch goes through the exact engine calls the
+// original flush made.
+//
+// The per-query work fans out over the engine's worker bound: queries are
+// independent once the shared successor snapshot exists (BoundQuery is
+// immutable, engine counters are atomic, table index builds are locked), and
+// next keeps sorted-name order by index, so commit, WAL and notification
+// order are byte-identical to the sequential stage.
 func (s *Store) stage(ctx context.Context, batch *storage.Delta, version uint64) (stagedFlush, error) {
 	if h := s.stageHook; h != nil {
 		h()
@@ -700,27 +754,29 @@ func (s *Store) stage(ctx context.Context, batch *storage.Delta, version uint64)
 	if err != nil {
 		return stagedFlush{}, err
 	}
+	s.mu.Lock()
 	names := make([]string, 0, len(s.queries))
 	for name := range s.queries {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	watched := make(map[string]bool, len(names))
-	s.mu.Lock()
-	for _, name := range names {
-		watched[name] = len(s.queries[name].subs) > 0
+	lqs := make([]*liveQuery, len(names))
+	watched := make([]bool, len(names))
+	for i, name := range names {
+		lqs[i] = s.queries[name]
+		watched[i] = len(lqs[i].subs) > 0
 	}
 	s.mu.Unlock()
-	next := make([]staged, 0, len(names))
-	for _, name := range names {
-		lq := s.queries[name]
+	next := make([]staged, len(names))
+	stageOne := func(ctx context.Context, i int) error {
+		lq := lqs[i]
 		nb, err := lq.bound.Rebind(ctx, ncdb)
 		if err != nil {
-			return stagedFlush{}, fmt.Errorf("rebind %s: %w", name, err)
+			return fmt.Errorf("rebind %s: %w", lq.name, err)
 		}
 		count, err := nb.Count(ctx)
 		if err != nil {
-			return stagedFlush{}, fmt.Errorf("count %s: %w", name, err)
+			return fmt.Errorf("count %s: %w", lq.name, err)
 		}
 		st := staged{lq: lq, bound: nb, count: count}
 		// The tuple-level diff exists only to feed notifications and the
@@ -728,10 +784,10 @@ func (s *Store) stage(ctx context.Context, batch *storage.Delta, version uint64)
 		// incremental count and nothing else. With history every query pays
 		// the diff — the ring must hold changes for watchers that have not
 		// connected yet.
-		if watched[name] || s.cfg.History > 0 {
+		if watched[i] || s.cfg.History > 0 {
 			added, removed, err := nb.DiffFrom(ctx, lq.bound)
 			if err != nil {
-				return stagedFlush{}, fmt.Errorf("diff %s: %w", name, err)
+				return fmt.Errorf("diff %s: %w", lq.name, err)
 			}
 			if added.Len()+removed.Len() > 0 {
 				st.diffRows = added.Len() + removed.Len()
@@ -745,18 +801,88 @@ func (s *Store) stage(ctx context.Context, batch *storage.Delta, version uint64)
 				}
 			}
 		}
-		next = append(next, st)
+		next[i] = st
+		return nil
 	}
-	return stagedFlush{cdb: ncdb, version: version, next: next}, nil
+	par := s.eng.Parallelism()
+	if par > len(names) {
+		par = len(names)
+	}
+	if par < 1 {
+		par = 1
+	}
+	if err := parStage(ctx, par, len(names), stageOne); err != nil {
+		return stagedFlush{}, err
+	}
+	return stagedFlush{cdb: ncdb, version: version, next: next, par: par}, nil
+}
+
+// parStage fans f over [0,n) on up to par workers, for the per-query half of
+// a stage. The FIRST error wins: it cancels the context handed to the
+// remaining work — an in-flight Rebind on a sibling query stops early, its
+// speculative result discarded with the old bound state untouched — and is
+// the error parStage returns. Sibling cancellation errors never mask it, so
+// stageFail's transient-vs-deterministic classification still inspects the
+// flush's own context exactly as with the sequential loop.
+func parStage(ctx context.Context, par, n int, f func(context.Context, int) error) error {
+	if par <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := f(cctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // commitLocked makes a staged flush visible: snapshot swap, per-query state,
-// resume rings, and — when fanout is set — subscriber notifications. The
+// broadcast rings, and — when fanout is set — subscriber wake-ups. The
 // caller holds BOTH flushMu and mu; everything here is pointer swaps and
-// ring bookkeeping, so the mu hold is O(registry + notification fanout),
-// independent of batch and result sizes. Recovery replay commits with
-// fanout=false (there is nobody to notify yet, but the rings must fill so
-// pre-crash cursors can resume).
+// ring bookkeeping, so the mu hold is O(registry + subscribers), independent
+// of batch and result sizes. Recovery replay commits with fanout=false
+// (there is nobody to notify yet, but the rings must fill so pre-crash
+// cursors can resume).
 func (s *Store) commitLocked(st stagedFlush, fanout bool) {
 	s.cdb = st.cdb
 	s.version = st.version
@@ -766,17 +892,56 @@ func (s *Store) commitLocked(st stagedFlush, fanout bool) {
 		if q.note == nil {
 			continue // diff not computed, or the batch was invisible to this query
 		}
-		n := *q.note
-		if s.cfg.History > 0 {
-			if len(q.lq.hist) >= s.cfg.History {
-				evict := len(q.lq.hist) - s.cfg.History + 1
-				q.lq.histFloor = q.lq.hist[evict-1].Version
-				q.lq.hist = append(q.lq.hist[:0], q.lq.hist[evict:]...)
-			}
-			q.lq.hist = append(q.lq.hist, n)
+		s.broadcastLocked(q.lq, *q.note, fanout)
+	}
+}
+
+// ringCap is the physical broadcast-ring capacity per query: big enough for
+// Buffer of live-subscriber lag and for the History resume window, in one
+// shared allocation.
+func (s *Store) ringCap() int {
+	if s.cfg.History > s.cfg.Buffer {
+		return s.cfg.History
+	}
+	return s.cfg.Buffer
+}
+
+// broadcastLocked publishes one notification: a single append to the
+// query's shared ring — that append IS the whole fan-out, one slot per
+// flush regardless of subscriber count — followed by a non-blocking wake
+// per subscriber. Appending past capacity evicts the oldest entry: every
+// live subscriber still behind it is charged the loss (surfacing as Lagged
+// on its next delivery) and skipped ahead, and the resume floor advances.
+// The entry is immutable once appended; subscribers copy it out on
+// delivery. fanout=false (recovery replay) fills the ring without waking or
+// counting — there is nobody subscribed yet. Called with BOTH flushMu and
+// mu held.
+func (s *Store) broadcastLocked(lq *liveQuery, n Notification, fanout bool) {
+	if capacity := s.ringCap(); len(lq.ring) >= capacity {
+		evict := len(lq.ring) - capacity + 1
+		newStart := lq.ringStart + uint64(evict)
+		if v := lq.ring[evict-1].Version; v > lq.histFloor {
+			lq.histFloor = v
 		}
-		if fanout && len(q.lq.subs) > 0 {
-			s.fanoutLocked(q.lq, n)
+		for _, sub := range lq.subs {
+			if sub.cursor < newStart {
+				d := newStart - sub.cursor
+				sub.dropped += d
+				sub.cursor = newStart
+				s.stats.dropped += d
+			}
+		}
+		lq.ring = append(lq.ring[:0], lq.ring[evict:]...)
+		lq.ringStart = newStart
+	}
+	lq.ring = append(lq.ring, n)
+	if fanout && len(lq.subs) > 0 {
+		s.stats.notifications++
+		for _, sub := range lq.subs {
+			select {
+			case sub.wake <- struct{}{}:
+			default: // a wake is already queued
+			}
 		}
 	}
 }
@@ -904,6 +1069,10 @@ type Stats struct {
 // flush path only (batch take + commit) — the flat-tail claim of the
 // O(change) flush design is that MaxLockHoldNs stays O(registry +
 // notification size) while StageNs carries all the data-dependent work.
+// LastStagePar is the worker count the most recent stage fanned its
+// per-query work over (bounded by the engine's Parallelism and the registry
+// size); StagedQueries counts per-query stage tasks cumulatively, so
+// StagedQueries/Flushes is the mean fan-out width.
 type FlushStats struct {
 	StageNs       uint64 `json:"stage_ns"`
 	CommitNs      uint64 `json:"commit_ns"`
@@ -914,6 +1083,8 @@ type FlushStats struct {
 	LastWalNs     uint64 `json:"last_wal_ns"`
 	MaxLockHoldNs uint64 `json:"max_lock_hold_ns"`
 	DiffRows      uint64 `json:"diff_rows"`
+	LastStagePar  uint64 `json:"last_stage_par"`
+	StagedQueries uint64 `json:"staged_queries"`
 }
 
 // Stats returns the current counters.
@@ -952,21 +1123,24 @@ func (s *Store) Stats() Stats {
 			LastWalNs:     s.stats.lastWalNs,
 			MaxLockHoldNs: s.stats.maxLockHoldNs,
 			DiffRows:      s.stats.diffRows,
+			LastStagePar:  s.stats.lastStagePar,
+			StagedQueries: s.stats.stagedQueries,
 		},
 		DB:     s.cdb.Stats(),
 		Engine: s.eng.Stats(),
 	}
 }
 
-// Close flushes the pending batch, cancels every subscription (their
-// channels are closed) and stops the background flusher. The returned error
-// is the final flush's, if any. Close is idempotent.
+// Close flushes the pending batch, ends every subscription (pending
+// notifications stay readable, then their streams report over) and stops the
+// background flusher. The returned error is the final flush's, if any. Close
+// is idempotent.
 //
 // Closing first marks the store closed under both locks — so no new submits,
 // registrations or watches are admitted — then runs the final flush through
 // the normal pipeline (flushSerialized does not itself check closed, exactly
 // so this last drain can still commit). Subscribers receive that flush's
-// notifications before their channels close. flushMu is released before
+// notifications before their streams end. flushMu is released before
 // waiting for the flusher goroutine, which may be blocked on it in a Flush
 // that will then observe closed and bow out.
 func (s *Store) Close() error {
@@ -996,7 +1170,8 @@ func (s *Store) Close() error {
 	for _, lq := range s.queries {
 		for _, sub := range lq.subs {
 			sub.closed = true
-			close(sub.ch)
+			sub.limit = lq.ringEnd() // the final flush's entries still drain
+			close(sub.wake)
 		}
 		lq.subs = nil
 	}

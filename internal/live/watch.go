@@ -1,6 +1,10 @@
 package live
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"sort"
+)
 
 // Notification is one result-change event of a watched query: the snapshot
 // version that produced it, the new and previous counts, and the exact
@@ -8,6 +12,14 @@ import "fmt"
 // Concatenating the Added/Removed lists of consecutive notifications
 // reconstructs the full result diff between any two snapshots a subscriber
 // observed — unless Lagged reports a gap.
+//
+// Notifications are IMMUTABLE once published: one copy per flush sits in the
+// query's shared broadcast ring, and every subscriber's delivered value
+// shares its Added/Removed backing arrays with that ring entry and with
+// every other subscriber of the query. Consumers must not mutate the rows;
+// a consumer that needs to edit them (or hand them across a trust boundary)
+// deep-copies first. The one per-subscriber field, Lagged, is set on the
+// delivered copy only — never on the shared entry.
 type Notification struct {
 	Query     string     `json:"query"`
 	Version   uint64     `json:"version"`
@@ -16,34 +28,49 @@ type Notification struct {
 	Added     [][]string `json:"added,omitempty"`
 	Removed   [][]string `json:"removed,omitempty"`
 	// Lagged counts the notifications this subscriber lost immediately
-	// before this one because its buffer was full (slow-consumer drop). A
-	// lagged subscriber's diff stream has a hole: re-read the full result
-	// (Solutions) to resynchronise.
+	// before this one because it fell off the tail of the query's broadcast
+	// ring (slow-consumer drop). A lagged subscriber's diff stream has a
+	// hole: re-read the full result (Solutions) to resynchronise.
 	Lagged uint64 `json:"lagged,omitempty"`
 }
 
-// Subscription is one Watch registration. Receive from C; the channel is
-// closed when the subscription is cancelled or the store closes. Receiving
-// too slowly never blocks the store — notifications are dropped instead and
-// surface as Lagged on the next delivered one.
-type Subscription struct {
-	// C delivers the notifications. Capacity is Config.Buffer.
-	C <-chan Notification
+// noLimit marks a live subscription: Cancel and Store.Close freeze limit at
+// the ring end so entries appended afterwards are never delivered.
+const noLimit = ^uint64(0)
 
-	store   *Store
-	lq      *liveQuery
-	id      int
-	ch      chan Notification
-	dropped uint64 // guarded by store.mu
-	closed  bool   // guarded by store.mu
+// Subscription is one Watch registration: a cursor into the query's shared
+// broadcast ring. Call Next (blocking) or TryNext (non-blocking) to receive;
+// both return ok=false once the stream is over — after Cancel or Store.Close
+// the remaining in-ring notifications drain first, then the stream ends.
+// Receiving too slowly never blocks the store: a cursor that falls off the
+// ring's tail skips ahead instead, and the loss surfaces as Lagged on the
+// next delivered notification.
+//
+// A Subscription holds no per-subscriber buffer — every subscriber of a
+// query reads the same ring entries — so a hot query with many watchers
+// costs one ring slot per flush, not one copy per watcher. Next and TryNext
+// are safe for concurrent use, but each notification is delivered to exactly
+// one caller; a single consumer per subscription is the intended shape.
+type Subscription struct {
+	store *Store
+	lq    *liveQuery
+	id    int
+	wake  chan struct{} // cap 1: signalled on append, closed on Cancel/Close
+
+	// Guarded by store.mu.
+	cursor  uint64 // ring sequence of the next notification to deliver
+	limit   uint64 // end of the stream, frozen at Cancel/Close; noLimit while live
+	dropped uint64 // entries lost off the ring tail since the last delivery
+	closed  bool
 }
 
 // Watch subscribes to result changes of a registered query. Every flush that
 // changes the query's result produces one Notification carrying the exact
 // diff against the previous snapshot; flushes the query's result absorbs are
-// silent. The subscriber owns a bounded buffer: fall behind by more than
-// Config.Buffer notifications and the oldest pending ones are dropped,
-// accounted in Lagged. Cancel (or Store.Close) closes C.
+// silent. Subscribers share the query's broadcast ring: fall behind by more
+// than its capacity (max of Config.Buffer and Config.History) and the oldest
+// unread notifications are lost, accounted in Lagged. Cancel (or
+// Store.Close) ends the stream.
 //
 // Admission holds flushMu, serialising it against the flush pipeline: once
 // Watch returns, every later flush's stage sees the subscriber and computes
@@ -62,10 +89,8 @@ func (s *Store) Watch(name string) (*Subscription, error) {
 	if !ok {
 		return nil, fmt.Errorf("live: unknown query %q", name)
 	}
-	ch := make(chan Notification, s.cfg.Buffer)
-	sub := &Subscription{C: ch, store: s, lq: lq, id: s.nextSubID, ch: ch}
-	s.nextSubID++
-	lq.subs = append(lq.subs, sub)
+	sub := s.newSubLocked(lq)
+	sub.cursor = lq.ringEnd()
 	return sub, nil
 }
 
@@ -73,16 +98,17 @@ func (s *Store) Watch(name string) (*Subscription, error) {
 // is the last snapshot version the subscriber fully processed (the Version
 // of its last received Notification, or the version of the snapshot it
 // loaded). When the store still holds every change past that cursor in the
-// query's resume ring (Config.History), the missed notifications are already
-// queued on C — in order, exactly once, with no gap before the live stream —
-// and resumed reports true. Otherwise resumed is false and C carries only
-// future changes: the subscriber must re-read the full result (Solutions) to
+// query's ring (Config.History), the subscription's cursor is positioned at
+// the first missed notification — Next/TryNext deliver the backlog in order,
+// exactly once, with no gap before the live stream — and resumed reports
+// true. Otherwise resumed is false and the stream carries only future
+// changes: the subscriber must re-read the full result (Solutions) to
 // resynchronise, exactly as after a Lagged drop. Cursors work across a
 // durable store's restart: recovery replay re-fills the rings.
 //
 // Like Watch, admission holds flushMu: the resume backlog and the live
-// stream join at a flush boundary, so the in-order exactly-once guarantee
-// spans the seam.
+// stream are one ring, so the in-order exactly-once guarantee spans the
+// seam.
 func (s *Store) WatchFrom(name string, fromSeq uint64) (*Subscription, bool, error) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
@@ -95,43 +121,114 @@ func (s *Store) WatchFrom(name string, fromSeq uint64) (*Subscription, bool, err
 	if !ok {
 		return nil, false, fmt.Errorf("live: unknown query %q", name)
 	}
-	// The ring invariant: every change with Version > histFloor is in hist.
-	// A cursor at or above the floor (and not from a future the store never
-	// produced) can therefore be resumed exactly.
-	resumed := s.cfg.History > 0 && fromSeq >= lq.histFloor && fromSeq <= s.version
-	var missed []Notification
+	// The resume invariant: every change with Version > the floor is within
+	// the last History ring entries. A cursor at or above the floor (and not
+	// from a future the store never produced) can therefore be resumed
+	// exactly.
+	resumed := s.cfg.History > 0 && fromSeq >= lq.resumeFloor(s.cfg.History) && fromSeq <= s.version
+	sub := s.newSubLocked(lq)
 	if resumed {
-		for _, n := range lq.hist {
-			if n.Version > fromSeq {
-				missed = append(missed, n)
-			}
-		}
+		idx := sort.Search(len(lq.ring), func(i int) bool { return lq.ring[i].Version > fromSeq })
+		sub.cursor = lq.ringStart + uint64(idx)
+	} else {
+		sub.cursor = lq.ringEnd()
 	}
-	// The buffer holds the whole backlog plus the configured headroom, so
-	// queueing the missed notifications can never block or drop.
-	ch := make(chan Notification, len(missed)+s.cfg.Buffer)
-	for _, n := range missed {
-		ch <- n
-	}
-	sub := &Subscription{C: ch, store: s, lq: lq, id: s.nextSubID, ch: ch}
-	s.nextSubID++
-	lq.subs = append(lq.subs, sub)
 	return sub, resumed, nil
 }
 
-// Cancel unsubscribes and closes C. Idempotent; safe concurrently with
-// flushes (fan-out and cancellation serialise on mu, so a send on the closed
-// channel cannot happen). Cancel deliberately does NOT take flushMu — it
-// must stay wait-free even mid-stage; a stage that computed a diff for a
-// just-cancelled subscriber simply fans out to whoever is left.
+// newSubLocked allocates a subscription and registers it on the query. The
+// caller holds flushMu and mu and sets the cursor.
+func (s *Store) newSubLocked(lq *liveQuery) *Subscription {
+	sub := &Subscription{
+		store: s,
+		lq:    lq,
+		id:    s.nextSubID,
+		wake:  make(chan struct{}, 1),
+		limit: noLimit,
+	}
+	s.nextSubID++
+	lq.subs = append(lq.subs, sub)
+	return sub
+}
+
+// Next blocks until the next notification is available and returns it. It
+// returns ok=false when the stream is over — the subscription was cancelled
+// or the store closed, and every notification published before that point
+// has been delivered — or when ctx is done, whichever comes first.
+func (sub *Subscription) Next(ctx context.Context) (Notification, bool) {
+	s := sub.store
+	for {
+		s.mu.Lock()
+		n, ok, over := sub.takeLocked()
+		s.mu.Unlock()
+		if ok {
+			return n, true
+		}
+		if over {
+			return Notification{}, false
+		}
+		select {
+		case <-ctx.Done():
+			return Notification{}, false
+		case <-sub.wake:
+		}
+	}
+}
+
+// TryNext returns the next notification without blocking; ok=false means
+// nothing is pending right now (or the stream is over).
+func (sub *Subscription) TryNext() (Notification, bool) {
+	s := sub.store
+	s.mu.Lock()
+	n, ok, _ := sub.takeLocked()
+	s.mu.Unlock()
+	return n, ok
+}
+
+// takeLocked pops the subscriber's next ring entry. It returns the
+// notification and ok=true, or ok=false with over reporting whether the
+// stream has ended (cancelled/closed and fully drained). The returned value
+// is a copy of the shared ring entry with Lagged set on the copy alone —
+// the entry itself stays immutable for every other subscriber. Called with
+// store.mu held.
+func (sub *Subscription) takeLocked() (Notification, bool, bool) {
+	lq := sub.lq
+	if sub.cursor < lq.ringStart {
+		// Entries evicted under this cursor with nobody accounting for it:
+		// a cancelled subscription left the subscriber list, so append-time
+		// eviction no longer charges it. Catch up here instead.
+		sub.dropped += lq.ringStart - sub.cursor
+		sub.cursor = lq.ringStart
+	}
+	end := lq.ringEnd()
+	if sub.limit < end {
+		end = sub.limit
+	}
+	if sub.cursor < end {
+		n := lq.ring[sub.cursor-lq.ringStart]
+		n.Lagged = sub.dropped
+		sub.dropped = 0
+		sub.cursor++
+		return n, true, false
+	}
+	return Notification{}, false, sub.closed
+}
+
+// Cancel ends the subscription: notifications already published stay
+// readable through Next/TryNext, later ones are never delivered, and once
+// drained the stream reports over. Idempotent; safe concurrently with
+// flushes. Cancel deliberately does NOT take flushMu — it must stay
+// wait-free even mid-stage; a stage that computed a diff for a
+// just-cancelled subscriber simply broadcasts to whoever is left.
 func (sub *Subscription) Cancel() {
 	s := sub.store
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if sub.closed {
+		s.mu.Unlock()
 		return
 	}
 	sub.closed = true
+	sub.limit = sub.lq.ringEnd()
 	subs := sub.lq.subs
 	for i, other := range subs {
 		if other == sub {
@@ -139,23 +236,9 @@ func (sub *Subscription) Cancel() {
 			break
 		}
 	}
-	close(sub.ch)
-}
-
-// fanoutLocked delivers one notification to every subscriber of a query,
-// never blocking: a full buffer drops the notification for that subscriber
-// and the drop surfaces as Lagged on its next delivered one. Called with
-// Store.mu held.
-func (s *Store) fanoutLocked(lq *liveQuery, n Notification) {
-	s.stats.notifications++
-	for _, sub := range lq.subs {
-		n.Lagged = sub.dropped
-		select {
-		case sub.ch <- n:
-			sub.dropped = 0
-		default:
-			sub.dropped++
-			s.stats.dropped++
-		}
-	}
+	s.mu.Unlock()
+	// Removing the subscription from lq.subs above is what makes this safe:
+	// broadcastLocked only signals subscribers still on the list, so no
+	// send can race the close.
+	close(sub.wake)
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Records BENCH_pr9.json: the parallel-staging x mass-fan-out grid for the
+# shared-broadcast-ring store. For every combination of engine stage
+# parallelism (d2cqd -parallelism 1/2/4) and hot-query watcher count
+# (d2cqload -watchers 16/1000/10000 -hot-query) one short open-loop run is
+# recorded; the report keeps each leg's submit-ack / submit-notify
+# percentiles plus the server's flush stats (last_stage_par and
+# staged_queries expose the stage fan-out width, stage_ns its wall time).
+# A final "fanout_allocs" section captures TestFanoutAllocsFlat's
+# AllocsPerRun numbers — per-flush allocations at 16 vs 10k in-process
+# subscribers, which the shared ring keeps flat.
+#
+# Stage parallelism only pays off with real cores: on a single-CPU box the
+# 1/2/4 legs coincide, on the GOMAXPROCS=4 CI runner the >=8-query stage
+# fans out. The grid records both honestly.
+set -euo pipefail
+
+PORT="${PORT:-8348}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+OUT="${OUT:-BENCH_pr9.json}"
+RATE="${RATE:-150}"
+DURATION="${DURATION:-5s}"
+QUERIES="${QUERIES:-8}"
+# Override for a reduced sweep (e.g. CI: PARS="1 4" WATCHERS_SET="16 1000").
+PARS="${PARS:-1 2 4}"
+WATCHERS_SET="${WATCHERS_SET:-16 1000 10000}"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "bench_pr9: $*" >&2
+  exit 1
+}
+
+go build -o "$WORK/d2cqd" ./cmd/d2cqd
+go build -o "$WORK/d2cqload" ./cmd/d2cqload
+
+for PAR in $PARS; do
+  for WATCHERS in $WATCHERS_SET; do
+    leg="par${PAR}_w${WATCHERS}"
+    "$WORK/d2cqd" -addr "127.0.0.1:$PORT" -data-dir "$WORK/data-$leg" \
+      -fsync 5ms -parallelism "$PAR" &
+    PID=$!
+    for _ in $(seq 1 100); do
+      curl -fsS "$BASE/stats" >/dev/null 2>&1 && break
+      sleep 0.1
+    done
+    curl -fsS "$BASE/stats" >/dev/null || fail "daemon ($leg) did not come up"
+
+    "$WORK/d2cqload" -addr "127.0.0.1:$PORT" -queries "$QUERIES" \
+      -watchers "$WATCHERS" -hot-query -rate "$RATE" -duration "$DURATION" \
+      -out "$WORK/$leg.json" >/dev/null
+
+    kill "$PID"
+    wait "$PID" 2>/dev/null || true
+    PID=""
+    echo "bench_pr9: $leg done"
+  done
+done
+
+# Per-flush allocation flatness, measured in-process by the fan-out suite.
+go test ./internal/live/ -run TestFanoutAllocsFlat -v >"$WORK/allocs.txt" 2>&1 ||
+  { cat "$WORK/allocs.txt" >&2; fail "alloc test failed"; }
+
+PARS="$PARS" WATCHERS_SET="$WATCHERS_SET" python3 - "$WORK" "$OUT" <<'EOF'
+import json, os, re, sys
+
+work, out = sys.argv[1], sys.argv[2]
+grid = []
+for par in map(int, os.environ["PARS"].split()):
+    for watchers in map(int, os.environ["WATCHERS_SET"].split()):
+        rep = json.load(open("%s/par%d_w%d.json" % (work, par, watchers)))
+        store = rep.get("store", {})
+        flush = store.get("flush", {})
+        grid.append({
+            "parallelism": par,
+            "watchers": watchers,
+            "submits": rep["submits"],
+            "submit_ack": rep["submit_ack"],
+            "submit_notify": rep["submit_notify"],
+            "flush": {k: flush.get(k) for k in (
+                "stage_ns", "last_stage_ns", "last_stage_par",
+                "staged_queries", "max_lock_hold_ns")},
+            "flushes": store.get("flushes"),
+            "notifications": store.get("notifications"),
+            "dropped": store.get("dropped"),
+        })
+allocs = {}
+for line in open("%s/allocs.txt" % work):
+    m = re.search(r"per-flush allocs: ([\d.]+) at 16 subs, ([\d.]+) at 10000 subs", line)
+    if m:
+        allocs = {"subs_16": float(m.group(1)), "subs_10000": float(m.group(2))}
+json.dump({"grid": grid, "fanout_allocs": allocs}, open(out, "w"), indent=2)
+print("bench_pr9: wrote", out)
+EOF

@@ -8,8 +8,9 @@
 # printed, and the run fails only when p99 blows past a generous multiple of
 # the baseline — CI machines are noisy, so the gate catches
 # order-of-magnitude regressions (a submit waiting behind flush engine
-# work), not jitter. Two legs run: the single store and the -shards 4
-# router, held to the same gate.
+# work), not jitter. Three legs run: the single store, the -shards 4 router,
+# and a mass-fan-out leg (hundreds of SSE watchers pinned to one hot query,
+# exercising the shared broadcast ring), all held to the same gate.
 set -euo pipefail
 
 PORT="${PORT:-8346}"
@@ -35,6 +36,8 @@ go build -o "$WORK/d2cqd" ./cmd/d2cqd
 go build -o "$WORK/d2cqload" ./cmd/d2cqload
 
 # run_leg <leg-name> <report-file> <extra d2cqd flags...>
+# LOAD_FLAGS (env, optional) appends d2cqload flags for the leg; the flag
+# package's last-one-wins parsing lets it override the defaults below.
 run_leg() {
   local leg="$1" out="$2"
   shift 2
@@ -47,8 +50,9 @@ run_leg() {
   done
   curl -fsS "$BASE/stats" >/dev/null || fail "daemon ($leg) did not come up on $BASE"
 
+  # shellcheck disable=SC2086
   "$WORK/d2cqload" -addr "127.0.0.1:$PORT" -queries 6 -watchers 12 \
-    -rate "$RATE" -duration "$DURATION" -out "$out"
+    -rate "$RATE" -duration "$DURATION" -out "$out" ${LOAD_FLAGS:-}
 
   kill "$PID"
   wait "$PID" 2>/dev/null || true
@@ -85,5 +89,6 @@ EOF
 
 run_leg single "$OUT"
 run_leg sharded "${OUT%.json}_shards4.json" -shards 4
+LOAD_FLAGS="-watchers 500 -hot-query" run_leg fanout "${OUT%.json}_fanout.json"
 
 echo "load_smoke: OK"

@@ -7,6 +7,13 @@
 //
 //	d2cqd [-addr 127.0.0.1:8344] [-db file] [-max-batch 256] [-max-latency 25ms] [-buffer 16] [-parallelism n]
 //	      [-shards n] [-data-dir dir] [-fsync always|off|duration] [-checkpoint-every 64]
+//	      [-listen-wire host:port] [-auth-token T]
+//
+// With -listen-wire the daemon also serves the binary wire protocol
+// (internal/wire) on that address, against the same store the HTTP endpoints
+// route to; shutdown drains both listeners. With -auth-token every HTTP
+// request must carry "Authorization: Bearer T" (compared in constant time;
+// 401 otherwise) and every wire handshake must present the same token.
 //
 // With -data-dir the store is durable: every applied batch and registration
 // is written to a write-ahead log under the directory before it becomes
@@ -42,9 +49,13 @@
 //	              stream exactly when the store still holds every change
 //	              past that cursor — otherwise it gets a fresh "snapshot"
 //	              event with "lagged":true and must re-read the result.
+//	GET  /solutions?query=paths&limit=10
+//	              the named query's current rows (limit < 1: all) and the
+//	              snapshot version they were read at.
 //	GET  /stats   store + engine counters as JSON (plus a durability
 //	              section — log size, checkpoints, replay length — when
-//	              -data-dir is set).
+//	              -data-dir is set, and per-query watch backpressure under
+//	              "backpressure" whenever credit-gated wire watchers exist).
 package main
 
 import (
@@ -60,6 +71,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +80,7 @@ import (
 	"d2cq/internal/live"
 	"d2cq/internal/storage"
 	"d2cq/internal/wal"
+	"d2cq/internal/wire"
 )
 
 // parseFsync maps the -fsync flag onto a WAL sync policy.
@@ -104,6 +117,8 @@ func run(args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "durable mode: write-ahead log + checkpoints under this directory; restarts resume the pre-crash state")
 	fsync := fs.String("fsync", "always", "WAL fsync policy: always (per flush), off, or an interval duration like 100ms")
 	ckptEvery := fs.Int("checkpoint-every", 0, "flushes between snapshot checkpoints in durable mode (0: default 64)")
+	listenWire := fs.String("listen-wire", "", "also serve the binary wire protocol on this address (host:port; empty: HTTP only)")
+	authToken := fs.String("auth-token", "", "require this bearer token on every HTTP request and wire handshake (empty: no auth)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,22 +198,41 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "d2cqd listening on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: newServer(store)}
+	srv := &http.Server{Handler: newAuthServer(store, *authToken)}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	select {
-	case err := <-errCh:
-		store.Close()
-		return err
-	case <-stop:
-		fmt.Fprintln(out, "d2cqd shutting down")
+	// The wire listener serves the same store beside HTTP: two protocols,
+	// one state, one token.
+	var wireSrv *wire.Server
+	if *listenWire != "" {
+		wln, err := net.Listen("tcp", *listenWire)
+		if err != nil {
+			ln.Close()
+			store.Close()
+			return err
+		}
+		fmt.Fprintf(out, "d2cqd wire listening on %s\n", wln.Addr())
+		wireSrv = wire.NewServer(store, wire.Options{Token: *authToken})
+		go func() {
+			if werr := wireSrv.Serve(wln); werr != nil {
+				errCh <- werr
+			}
+		}()
+	}
+	shutdown := func() error {
 		// Close the store first: that ends every subscription (Next returns
-		// false), which is what makes the in-flight /watch handlers return —
-		// srv.Shutdown alone would wait its full timeout on them (it never
-		// cancels in-flight request contexts).
+		// false), which is what makes the in-flight /watch handlers and wire
+		// watch pumps drain — srv.Shutdown alone would wait its full timeout
+		// on them (it never cancels in-flight request contexts), and a wire
+		// connection would idle forever on a silent stream.
 		cerr := store.Close()
+		if wireSrv != nil {
+			if werr := wireSrv.Close(); werr != nil && cerr == nil {
+				cerr = werr
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := srv.Shutdown(ctx)
@@ -207,24 +241,51 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	select {
+	case err := <-errCh:
+		shutdown()
+		return err
+	case <-stop:
+		fmt.Fprintln(out, "d2cqd shutting down")
+		return shutdown()
+	}
 }
 
 // server routes the HTTP API onto one live.Service — a single store or a
 // sharded router, transparently.
 type server struct {
 	store live.Service
+	token string
 	mux   *http.ServeMux
 }
 
 // newServer returns the daemon's HTTP handler over the given store — the
 // seam the integration tests drive without a process boundary.
-func newServer(store live.Service) http.Handler {
-	s := &server{store: store, mux: http.NewServeMux()}
+func newServer(store live.Service) http.Handler { return newAuthServer(store, "") }
+
+// newAuthServer is newServer plus a bearer token guarding every endpoint.
+func newAuthServer(store live.Service, token string) http.Handler {
+	s := &server{store: store, token: token, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/watch", s.handleWatch)
+	s.mux.HandleFunc("/solutions", s.handleSolutions)
 	s.mux.HandleFunc("/stats", s.handleStats)
-	return s.mux
+	return s
+}
+
+// ServeHTTP checks the bearer token (the same constant-time predicate the
+// wire handshake uses) before routing.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.token != "" {
+		presented, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || !wire.TokenOK(s.token, presented) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="d2cqd"`)
+			httpError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
 }
 
 // httpError renders an error as a JSON body with the given status.
@@ -451,6 +512,48 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// solutionsResponse is the GET /solutions body: a point-in-time read of a
+// registered query's rows and the version they were read at.
+type solutionsResponse struct {
+	Query   string     `json:"query"`
+	Version uint64     `json:"version"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (s *server) handleSolutions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	name := r.URL.Query().Get("query")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("query parameter is required"))
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: %w", v, err))
+			return
+		}
+		limit = n
+	}
+	rows, version, err := s.store.Solutions(r.Context(), name, limit)
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, live.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	if rows == nil {
+		rows = [][]string{}
+	}
+	writeJSON(w, solutionsResponse{Query: name, Version: version, Rows: rows})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -15,14 +15,29 @@
 //
 // Usage:
 //
-//	d2cqload [-addr 127.0.0.1:8344] [-queries 8] [-watchers 16] [-zipf 1.3]
+//	d2cqload [-addr 127.0.0.1:8344] [-proto http|wire] [-token T]
+//	         [-queries 8] [-watchers 16] [-zipf 1.3]
 //	         [-hot-query] [-rate 200] [-duration 10s] [-grace 2s]
-//	         [-out BENCH_pr7.json]
+//	         [-read-ratio 0] [-out BENCH_pr7.json]
 //
 // -hot-query pins every watcher to q0 instead of spreading them by Zipf: the
 // mass-fan-out shape (one hot query, many subscribers) that exercises the
 // store's shared broadcast ring. Submits keep their Zipf distribution, under
 // which q0 is already the hottest query.
+//
+// -proto wire drives the same schedule over the binary wire protocol
+// (internal/wire) instead of HTTP/JSON + SSE: submits become SUBMIT frames,
+// watchers become credit-gated WATCH streams, reads become QUERY frames —
+// one report shape either way, so the two transports compare directly.
+// -token authenticates both protocols. -read-ratio mixes point-in-time
+// /solutions reads into the open loop: each scheduled tick is a read with
+// that probability, a submit otherwise, and the report carries a separate
+// "read" percentile section.
+//
+// The probe mode (-probe-watch query [-probe-from N] [-probe-count K]) skips
+// the load loop entirely: it opens one wire watch stream, prints the
+// snapshot line and K change lines, and exits — the seam restart_smoke.sh
+// uses to assert cursor resume over the wire protocol after a kill -9.
 package main
 
 import (
@@ -42,16 +57,24 @@ import (
 )
 
 type config struct {
-	addr     string
-	queries  int
-	watchers int
-	hotQuery bool
-	zipfS    float64
-	rate     float64
-	duration time.Duration
-	grace    time.Duration
-	out      string
-	seed     int64
+	addr      string
+	proto     string
+	token     string
+	queries   int
+	watchers  int
+	hotQuery  bool
+	zipfS     float64
+	rate      float64
+	readRatio float64
+	duration  time.Duration
+	grace     time.Duration
+	out       string
+	seed      int64
+
+	probeWatch   string
+	probeFrom    int64
+	probeCount   int
+	probeTimeout time.Duration
 }
 
 func main() {
@@ -64,7 +87,14 @@ func main() {
 func parseFlags(args []string) (config, error) {
 	var c config
 	fs := flag.NewFlagSet("d2cqload", flag.ContinueOnError)
-	fs.StringVar(&c.addr, "addr", "127.0.0.1:8344", "d2cqd address (host:port)")
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8344", "d2cqd address (host:port; with -proto wire, the -listen-wire address)")
+	fs.StringVar(&c.proto, "proto", "http", "transport: http (JSON + SSE) or wire (binary protocol)")
+	fs.StringVar(&c.token, "token", "", "bearer token for -auth-token'd daemons (both protocols)")
+	fs.Float64Var(&c.readRatio, "read-ratio", 0, "probability a scheduled tick is a /solutions read instead of a submit (0..1)")
+	fs.StringVar(&c.probeWatch, "probe-watch", "", "probe mode: open one wire watch on this query, print snapshot + changes, exit")
+	fs.Int64Var(&c.probeFrom, "probe-from", -1, "probe mode: resume cursor (WATCH from=version; -1: fresh watch)")
+	fs.IntVar(&c.probeCount, "probe-count", 0, "probe mode: change notifications to await before exiting")
+	fs.DurationVar(&c.probeTimeout, "probe-timeout", 10*time.Second, "probe mode: overall deadline")
 	fs.IntVar(&c.queries, "queries", 8, "registered queries (each over its own two relations)")
 	fs.IntVar(&c.watchers, "watchers", 16, "SSE watcher connections, spread over queries by Zipf popularity")
 	fs.BoolVar(&c.hotQuery, "hot-query", false, "pin every watcher to q0 (mass fan-out of one hot query)")
@@ -80,13 +110,23 @@ func parseFlags(args []string) (config, error) {
 	if c.queries < 1 || c.watchers < 0 || c.rate <= 0 || c.zipfS <= 1 {
 		return c, fmt.Errorf("need -queries >= 1, -watchers >= 0, -rate > 0, -zipf > 1")
 	}
+	if c.proto != "http" && c.proto != "wire" {
+		return c, fmt.Errorf("-proto must be http or wire (got %q)", c.proto)
+	}
+	if c.readRatio < 0 || c.readRatio > 1 {
+		return c, fmt.Errorf("-read-ratio must be in [0, 1] (got %g)", c.readRatio)
+	}
+	if c.probeWatch != "" && c.proto != "wire" {
+		return c, fmt.Errorf("-probe-watch needs -proto wire")
+	}
 	return c, nil
 }
 
 // client is the tiny HTTP surface the harness needs.
 type client struct {
-	base string
-	http *http.Client
+	base  string
+	token string
+	http  *http.Client
 }
 
 func (cl *client) postJSON(path string, body, into any) error {
@@ -94,7 +134,13 @@ func (cl *client) postJSON(path string, body, into any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := cl.http.Post(cl.base+path, "application/json", bytes.NewReader(data))
+	req, err := http.NewRequest(http.MethodPost, cl.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	cl.authorize(req)
+	resp, err := cl.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -162,17 +208,22 @@ func (l *latencyRecorder) summarise() percentiles {
 // against.
 type report struct {
 	Config struct {
-		Queries  int     `json:"queries"`
-		Watchers int     `json:"watchers"`
-		HotQuery bool    `json:"hot_query,omitempty"`
-		Zipf     float64 `json:"zipf"`
-		Rate     float64 `json:"rate_per_s"`
-		Duration string  `json:"duration"`
+		Proto     string  `json:"proto"`
+		Queries   int     `json:"queries"`
+		Watchers  int     `json:"watchers"`
+		HotQuery  bool    `json:"hot_query,omitempty"`
+		Zipf      float64 `json:"zipf"`
+		Rate      float64 `json:"rate_per_s"`
+		ReadRatio float64 `json:"read_ratio,omitempty"`
+		Duration  string  `json:"duration"`
 	} `json:"config"`
 	Submits      int             `json:"submits"`
 	AckErrors    int             `json:"ack_errors"`
+	Reads        int             `json:"reads,omitempty"`
+	ReadErrors   int             `json:"read_errors,omitempty"`
 	SubmitAck    percentiles     `json:"submit_ack"`
 	SubmitNotify percentiles     `json:"submit_notify"`
+	Read         *percentiles    `json:"read,omitempty"`
 	Store        json.RawMessage `json:"store,omitempty"`
 }
 
@@ -186,6 +237,7 @@ func watcher(cl *client, name string, pendingMarks *sync.Map, notify *latencyRec
 		ready.Done()
 		return
 	}
+	cl.authorize(req)
 	resp, err := cl.http.Do(req)
 	if err != nil || resp.StatusCode != http.StatusOK {
 		if resp != nil {
@@ -237,13 +289,23 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cl := &client{base: "http://" + cfg.addr, http: &http.Client{}}
+	if cfg.probeWatch != "" {
+		return probeWatch(cfg, out)
+	}
+	var be backend
+	if cfg.proto == "wire" {
+		wb, err := newWireBackend(cfg.addr, cfg.token)
+		if err != nil {
+			return err
+		}
+		be = wb
+	} else {
+		be = &httpBackend{cl: &client{base: "http://" + cfg.addr, token: cfg.token, http: &http.Client{}}}
+	}
+	defer be.close()
 
 	for i := 0; i < cfg.queries; i++ {
-		var resp struct {
-			Count int64 `json:"count"`
-		}
-		if err := cl.postJSON("/query", map[string]any{"name": queryName(i), "query": querySrc(i)}, &resp); err != nil {
+		if err := be.register(queryName(i), querySrc(i)); err != nil {
 			return fmt.Errorf("registering %s: %w", queryName(i), err)
 		}
 	}
@@ -253,7 +315,7 @@ func run(args []string, out io.Writer) error {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.queries-1))
 	var pendingMarks sync.Map // marker (column value) → scheduled send time
-	ack, notifyRec := &latencyRecorder{}, &latencyRecorder{}
+	ack, notifyRec, readRec := &latencyRecorder{}, &latencyRecorder{}, &latencyRecorder{}
 	watched := make(map[int]bool)
 	done := make(chan struct{})
 	var watchersReady sync.WaitGroup
@@ -264,7 +326,7 @@ func run(args []string, out io.Writer) error {
 		}
 		watched[qi] = true
 		watchersReady.Add(1)
-		go watcher(cl, queryName(qi), &pendingMarks, notifyRec, done, &watchersReady)
+		go be.watch(queryName(qi), &pendingMarks, notifyRec, done, &watchersReady)
 	}
 	watchersReady.Wait()
 
@@ -273,12 +335,13 @@ func run(args []string, out io.Writer) error {
 	// latency clock still starts at the scheduled instant.
 	interval := time.Duration(float64(time.Second) / cfg.rate)
 	var (
-		inflight  sync.WaitGroup
-		errMu     sync.Mutex
-		ackErrors int
+		inflight   sync.WaitGroup
+		errMu      sync.Mutex
+		ackErrors  int
+		readErrors int
 	)
 	start := time.Now()
-	submits := 0
+	submits, reads := 0, 0
 	for k := 0; ; k++ {
 		sched := start.Add(time.Duration(k) * interval)
 		if sched.Sub(start) >= cfg.duration {
@@ -288,6 +351,24 @@ func run(args []string, out io.Writer) error {
 			time.Sleep(d)
 		}
 		qi := int(zipf.Uint64())
+		// A scheduled tick is a point-in-time read with -read-ratio
+		// probability — mixed into the same open loop, so read latency is
+		// priced under the full submit load, not in isolation.
+		if cfg.readRatio > 0 && rng.Float64() < cfg.readRatio {
+			reads++
+			inflight.Add(1)
+			go func(qi int, sched time.Time) {
+				defer inflight.Done()
+				if err := be.read(queryName(qi), 16); err != nil {
+					errMu.Lock()
+					readErrors++
+					errMu.Unlock()
+					return
+				}
+				readRec.add(time.Since(sched))
+			}(qi, sched)
+			continue
+		}
 		submits++
 		inflight.Add(1)
 		go func(k, qi int, sched time.Time) {
@@ -299,11 +380,7 @@ func run(args []string, out io.Writer) error {
 			}
 			// One linked pair through a fresh middle value: exactly one new
 			// solution (marker, mid, z) of query qi, nothing else affected.
-			body := map[string]any{"insert": map[string][][]string{
-				fmt.Sprintf("R%d", qi): {{marker, mid}},
-				fmt.Sprintf("S%d", qi): {{mid, fmt.Sprintf("z%d_%d", qi, k)}},
-			}}
-			if err := cl.postJSON("/update", body, nil); err != nil {
+			if err := be.submit(qi, marker, mid, fmt.Sprintf("z%d_%d", qi, k)); err != nil {
 				errMu.Lock()
 				ackErrors++
 				errMu.Unlock()
@@ -318,22 +395,26 @@ func run(args []string, out io.Writer) error {
 	close(done)
 
 	var rep report
+	rep.Config.Proto = cfg.proto
 	rep.Config.Queries = cfg.queries
 	rep.Config.Watchers = cfg.watchers
 	rep.Config.HotQuery = cfg.hotQuery
 	rep.Config.Zipf = cfg.zipfS
 	rep.Config.Rate = cfg.rate
+	rep.Config.ReadRatio = cfg.readRatio
 	rep.Config.Duration = cfg.duration.String()
 	rep.Submits = submits
 	rep.AckErrors = ackErrors
+	rep.Reads = reads
+	rep.ReadErrors = readErrors
 	rep.SubmitAck = ack.summarise()
 	rep.SubmitNotify = notifyRec.summarise()
-	if resp, err := cl.http.Get(cl.base + "/stats"); err == nil {
-		raw, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if rerr == nil && resp.StatusCode == http.StatusOK {
-			rep.Store = json.RawMessage(raw)
-		}
+	if reads > 0 {
+		p := readRec.summarise()
+		rep.Read = &p
+	}
+	if raw, err := be.stats(); err == nil {
+		rep.Store = raw
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -346,13 +427,21 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "submits=%d ack_errors=%d\n", rep.Submits, rep.AckErrors)
+	fmt.Fprintf(out, "proto=%s submits=%d ack_errors=%d reads=%d read_errors=%d\n",
+		cfg.proto, rep.Submits, rep.AckErrors, rep.Reads, rep.ReadErrors)
 	fmt.Fprintf(out, "submit-ack     p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms (n=%d)\n",
 		rep.SubmitAck.P50, rep.SubmitAck.P99, rep.SubmitAck.P999, rep.SubmitAck.Max, rep.SubmitAck.Count)
 	fmt.Fprintf(out, "submit-notify  p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms (n=%d)\n",
 		rep.SubmitNotify.P50, rep.SubmitNotify.P99, rep.SubmitNotify.P999, rep.SubmitNotify.Max, rep.SubmitNotify.Count)
+	if rep.Read != nil {
+		fmt.Fprintf(out, "read           p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms (n=%d)\n",
+			rep.Read.P50, rep.Read.P99, rep.Read.P999, rep.Read.Max, rep.Read.Count)
+	}
 	if rep.AckErrors > 0 {
 		return fmt.Errorf("%d submits failed", rep.AckErrors)
+	}
+	if rep.ReadErrors > 0 {
+		return fmt.Errorf("%d reads failed", rep.ReadErrors)
 	}
 	return nil
 }

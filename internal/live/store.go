@@ -200,6 +200,12 @@ type liveQuery struct {
 	ring      []Notification
 	ringStart uint64
 	histFloor uint64
+
+	// resumes counts credit-stall recoveries across this query's credited
+	// subscriptions (Subscription.Grant un-parking a parked cursor) —
+	// cumulative, surviving the subscriptions themselves, so Stats can report
+	// how often watchers of this query stalled and resumed.
+	resumes uint64
 }
 
 // ringEnd returns the broadcast sequence one past the newest ring entry —
@@ -1044,23 +1050,49 @@ func (s *Store) Version() uint64 {
 // cancelled or deduplicated inside a batch were never applied, and
 // Engine.Rebinds counts one Rebind per query per batch — not per delta.
 type Stats struct {
-	Version         uint64          `json:"version"`
-	Queries         int             `json:"queries"`
-	Subscribers     int             `json:"subscribers"`
-	PendingTuples   int             `json:"pending_tuples"`
-	DeltasSubmitted uint64          `json:"deltas_submitted"`
-	TuplesSubmitted uint64          `json:"tuples_submitted"`
-	Flushes         uint64          `json:"flushes"`
-	FlushedTuples   uint64          `json:"flushed_tuples"`
-	Notifications   uint64          `json:"notifications"`
-	Dropped         uint64          `json:"dropped"`
-	FlushErrors     uint64          `json:"flush_errors"`
-	LastError       string          `json:"last_error,omitempty"`
-	Flush           FlushStats      `json:"flush"`
-	DB              storage.DBStats `json:"db"`
-	Engine          engine.Stats    `json:"engine"`
+	Version         uint64     `json:"version"`
+	Queries         int        `json:"queries"`
+	Subscribers     int        `json:"subscribers"`
+	PendingTuples   int        `json:"pending_tuples"`
+	DeltasSubmitted uint64     `json:"deltas_submitted"`
+	TuplesSubmitted uint64     `json:"tuples_submitted"`
+	Flushes         uint64     `json:"flushes"`
+	FlushedTuples   uint64     `json:"flushed_tuples"`
+	Notifications   uint64     `json:"notifications"`
+	Dropped         uint64     `json:"dropped"`
+	FlushErrors     uint64     `json:"flush_errors"`
+	LastError       string     `json:"last_error,omitempty"`
+	Flush           FlushStats `json:"flush"`
+	// Backpressure lists, per query with credit-controlled watch streams,
+	// the explicit flow-control state those streams are in: how much credit
+	// their consumers have outstanding, how many are parked right now
+	// (undelivered changes waiting on credit), and how often a stalled
+	// stream has resumed. Queries with no credited streams and no history of
+	// stalls are omitted.
+	Backpressure []QueryBackpressure `json:"backpressure,omitempty"`
+	DB           storage.DBStats     `json:"db"`
+	Engine       engine.Stats        `json:"engine"`
 	// Durability is present only for stores created with Open.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// QueryBackpressure is one query's credit-based flow-control state: the
+// explicit per-stream protocol view of lag (parked streams waiting on
+// consumer credit) that replaces silent drop-oldest as the first line of
+// slow-watcher handling on the wire protocol.
+type QueryBackpressure struct {
+	Query string `json:"query"`
+	// CreditedStreams is how many of the query's live subscriptions use
+	// credit-based flow control.
+	CreditedStreams int `json:"credited_streams"`
+	// OutstandingCredit sums the undelivered credit across those streams.
+	OutstandingCredit uint64 `json:"outstanding_credit"`
+	// ParkedStreams counts streams with changes waiting that have exhausted
+	// their credit — the consumer, not the server, is the bottleneck.
+	ParkedStreams int `json:"parked_streams"`
+	// Resumes counts park→grant recoveries over the query's lifetime
+	// (resume-after-stall), including streams since cancelled.
+	Resumes uint64 `json:"resumes"`
 }
 
 // FlushStats breaks a store's flushes into pipeline phases. The cumulative
@@ -1092,9 +1124,25 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	subs := 0
+	var bp []QueryBackpressure
 	for _, lq := range s.queries {
 		subs += len(lq.subs)
+		q := QueryBackpressure{Query: lq.name, Resumes: lq.resumes}
+		for _, sub := range lq.subs {
+			if !sub.credited {
+				continue
+			}
+			q.CreditedStreams++
+			q.OutstandingCredit += sub.credit
+			if sub.parked {
+				q.ParkedStreams++
+			}
+		}
+		if q.CreditedStreams > 0 || q.Resumes > 0 {
+			bp = append(bp, q)
+		}
 	}
+	sort.Slice(bp, func(i, j int) bool { return bp[i].Query < bp[j].Query })
 	var dur *DurabilityStats
 	if s.dur != nil {
 		dur = s.dur.stats()
@@ -1126,8 +1174,9 @@ func (s *Store) Stats() Stats {
 			LastStagePar:  s.stats.lastStagePar,
 			StagedQueries: s.stats.stagedQueries,
 		},
-		DB:     s.cdb.Stats(),
-		Engine: s.eng.Stats(),
+		Backpressure: bp,
+		DB:           s.cdb.Stats(),
+		Engine:       s.eng.Stats(),
 	}
 }
 

@@ -55,13 +55,24 @@ type Subscription struct {
 	store *Store
 	lq    *liveQuery
 	id    int
-	wake  chan struct{} // cap 1: signalled on append, closed on Cancel/Close
+	wake  chan struct{} // cap 1: signalled on append and on Grant, closed on Cancel/Close
 
 	// Guarded by store.mu.
 	cursor  uint64 // ring sequence of the next notification to deliver
 	limit   uint64 // end of the stream, frozen at Cancel/Close; noLimit while live
 	dropped uint64 // entries lost off the ring tail since the last delivery
 	closed  bool
+
+	// Credit-based flow control (EnableCredit): each delivery consumes one
+	// credit, and a subscription whose credit is exhausted while the ring
+	// holds undelivered entries is parked — its cursor stays put until Grant
+	// adds credit — instead of being drained at whatever pace the consumer
+	// manages. Parking is the explicit protocol state the wire server
+	// surfaces; falling off the ring tail (Lagged) still bounds how long a
+	// parked cursor can hold history.
+	credited bool
+	credit   uint64
+	parked   bool
 }
 
 // Watch subscribes to result changes of a registered query. Every flush that
@@ -205,13 +216,67 @@ func (sub *Subscription) takeLocked() (Notification, bool, bool) {
 		end = sub.limit
 	}
 	if sub.cursor < end {
+		if sub.credited && sub.credit == 0 {
+			// Data is waiting but the consumer has granted no credit: park.
+			// The cursor stays put — Grant resumes it — and a closed stream
+			// with its credit exhausted ends here rather than wait for a
+			// grant that will never come (its consumer is gone).
+			sub.parked = true
+			return Notification{}, false, sub.closed
+		}
 		n := lq.ring[sub.cursor-lq.ringStart]
 		n.Lagged = sub.dropped
 		sub.dropped = 0
 		sub.cursor++
+		if sub.credited {
+			sub.credit--
+		}
 		return n, true, false
 	}
 	return Notification{}, false, sub.closed
+}
+
+// EnableCredit switches the subscription to credit-based flow control with
+// the given initial credit: every delivered notification consumes one
+// credit, and Next/TryNext deliver nothing while the credit is exhausted —
+// the subscription parks with its cursor held in place until Grant adds
+// more. Call it once, before the first Next/TryNext; the wire server enables
+// it at WATCH admission so a stream's first notification already spends
+// client-granted credit.
+func (sub *Subscription) EnableCredit(initial uint64) {
+	s := sub.store
+	s.mu.Lock()
+	sub.credited = true
+	sub.credit = initial
+	s.mu.Unlock()
+}
+
+// Grant adds n delivery credits and resumes the subscription if it was
+// parked. A resume after a genuine stall (park with data waiting) counts in
+// the query's backpressure stats. Granting to a cancelled or closed
+// subscription is a no-op.
+func (sub *Subscription) Grant(n uint64) {
+	if n == 0 {
+		return
+	}
+	s := sub.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !sub.credited || sub.closed {
+		return
+	}
+	sub.credit += n
+	if sub.parked {
+		sub.parked = false
+		sub.lq.resumes++
+		// Wake the consumer exactly like a ring append would: there is data
+		// it skipped while parked. The send stays under mu so it cannot race
+		// Cancel/Close closing the channel.
+		select {
+		case sub.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Cancel ends the subscription: notifications already published stay

@@ -31,24 +31,33 @@ const snapFormat = 1
 // allocation.
 const maxCodecLen = 1 << 30
 
-// appendUvarint appends the uvarint encoding of n.
-func appendUvarint(b []byte, n uint64) []byte {
+// AppendUvarint appends the uvarint encoding of n. Exported together with
+// AppendString and Reader as the primitive layer every self-delimiting codec
+// in this repo shares — the wire protocol's frame payloads are built from
+// the same pieces as the WAL payloads here.
+func AppendUvarint(b []byte, n uint64) []byte {
 	return binary.AppendUvarint(b, n)
 }
 
-// appendString appends a length-prefixed string.
-func appendString(b []byte, s string) []byte {
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
-// byteReader decodes the length-prefixed primitives from a byte slice.
-type byteReader struct {
+// Reader decodes the length-prefixed primitives from a byte slice. Every
+// accessor returns an error instead of panicking on truncated or implausible
+// input, so decoders built on it are safe against arbitrary bytes.
+type Reader struct {
 	b   []byte
 	off int
 }
 
-func (r *byteReader) uvarint() (uint64, error) {
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Uvarint decodes one uvarint.
+func (r *Reader) Uvarint() (uint64, error) {
 	n, sz := binary.Uvarint(r.b[r.off:])
 	if sz <= 0 {
 		return 0, fmt.Errorf("storage: truncated uvarint at offset %d", r.off)
@@ -57,9 +66,9 @@ func (r *byteReader) uvarint() (uint64, error) {
 	return n, nil
 }
 
-// count decodes a uvarint that will size an allocation, bounding it.
-func (r *byteReader) count() (int, error) {
-	n, err := r.uvarint()
+// Count decodes a uvarint that will size an allocation, bounding it.
+func (r *Reader) Count() (int, error) {
+	n, err := r.Uvarint()
 	if err != nil {
 		return 0, err
 	}
@@ -69,8 +78,9 @@ func (r *byteReader) count() (int, error) {
 	return int(n), nil
 }
 
-func (r *byteReader) string_() (string, error) {
-	n, err := r.count()
+// String decodes one length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Count()
 	if err != nil {
 		return "", err
 	}
@@ -82,7 +92,22 @@ func (r *byteReader) string_() (string, error) {
 	return s, nil
 }
 
-func (r *byteReader) done() error {
+// Remaining reports how many undecoded bytes are left. Decoders bound
+// count-prefixed allocations with it: a list of n elements needs at least n
+// encoded bytes, so any count above Remaining is corruption to refuse before
+// allocating.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Rest returns the undecoded remainder and advances past it — for payloads
+// whose final field is raw bytes.
+func (r *Reader) Rest() []byte {
+	rest := r.b[r.off:]
+	r.off = len(r.b)
+	return rest
+}
+
+// Done errors unless every byte has been consumed.
+func (r *Reader) Done() error {
 	if r.off != len(r.b) {
 		return fmt.Errorf("storage: %d trailing bytes after decode", len(r.b)-r.off)
 	}
@@ -97,18 +122,18 @@ func (r *byteReader) done() error {
 // whose Value assignment may differ from the crashed process's.
 func EncodeDelta(d *Delta) []byte {
 	rels := d.Relations()
-	b := appendUvarint(nil, uint64(len(rels)))
+	b := AppendUvarint(nil, uint64(len(rels)))
 	appendTuples := func(tuples [][]string) {
-		b = appendUvarint(b, uint64(len(tuples)))
+		b = AppendUvarint(b, uint64(len(tuples)))
 		for _, t := range tuples {
-			b = appendUvarint(b, uint64(len(t)))
+			b = AppendUvarint(b, uint64(len(t)))
 			for _, c := range t {
-				b = appendString(b, c)
+				b = AppendString(b, c)
 			}
 		}
 	}
 	for _, rel := range rels {
-		b = appendString(b, rel)
+		b = AppendString(b, rel)
 		appendTuples(d.Delete[rel])
 		appendTuples(d.Insert[rel])
 	}
@@ -118,29 +143,38 @@ func EncodeDelta(d *Delta) []byte {
 // DecodeDelta parses an EncodeDelta payload. Any truncation or trailing
 // garbage is an error.
 func DecodeDelta(payload []byte) (*Delta, error) {
-	r := &byteReader{b: payload}
-	nrels, err := r.count()
+	r := NewReader(payload)
+	nrels, err := r.Count()
 	if err != nil {
 		return nil, err
 	}
 	d := NewDelta()
 	readTuples := func() ([][]string, error) {
-		n, err := r.count()
+		n, err := r.Count()
 		if err != nil {
 			return nil, err
 		}
 		if n == 0 {
 			return nil, nil
 		}
+		// Every tuple (and every column) costs at least one encoded byte, so
+		// a count beyond the remaining payload is corruption — refuse before
+		// sizing the slice, not after the allocator pays for it.
+		if n > r.Remaining() {
+			return nil, fmt.Errorf("storage: tuple count %d exceeds %d remaining bytes", n, r.Remaining())
+		}
 		tuples := make([][]string, 0, n)
 		for i := 0; i < n; i++ {
-			arity, err := r.count()
+			arity, err := r.Count()
 			if err != nil {
 				return nil, err
 			}
+			if arity > r.Remaining() {
+				return nil, fmt.Errorf("storage: arity %d exceeds %d remaining bytes", arity, r.Remaining())
+			}
 			tuple := make([]string, arity)
 			for j := range tuple {
-				if tuple[j], err = r.string_(); err != nil {
+				if tuple[j], err = r.String(); err != nil {
 					return nil, err
 				}
 			}
@@ -149,7 +183,7 @@ func DecodeDelta(payload []byte) (*Delta, error) {
 		return tuples, nil
 	}
 	for i := 0; i < nrels; i++ {
-		rel, err := r.string_()
+		rel, err := r.String()
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +200,7 @@ func DecodeDelta(payload []byte) (*Delta, error) {
 			delete(d.Insert, rel)
 		}
 	}
-	if err := r.done(); err != nil {
+	if err := r.Done(); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -188,27 +222,27 @@ func EncodeDB(w io.Writer, db *DB) error {
 		_, err := bw.Write(b)
 		return err
 	}
-	if err := put(appendUvarint(scratch[:0], snapFormat)); err != nil {
+	if err := put(AppendUvarint(scratch[:0], snapFormat)); err != nil {
 		return err
 	}
 	names := db.Dict.Names()
-	if err := put(appendUvarint(scratch[:0], uint64(len(names)))); err != nil {
+	if err := put(AppendUvarint(scratch[:0], uint64(len(names)))); err != nil {
 		return err
 	}
 	for _, name := range names {
-		if err := put(appendString(scratch[:0], name)); err != nil {
+		if err := put(AppendString(scratch[:0], name)); err != nil {
 			return err
 		}
 	}
 	rels := db.Relations()
-	if err := put(appendUvarint(scratch[:0], uint64(len(rels)))); err != nil {
+	if err := put(AppendUvarint(scratch[:0], uint64(len(rels)))); err != nil {
 		return err
 	}
 	for _, rel := range rels {
 		t := db.tables[rel]
-		b := appendString(scratch[:0], rel)
-		b = appendUvarint(b, uint64(t.Arity))
-		b = appendUvarint(b, uint64(t.dataLen()))
+		b := AppendString(scratch[:0], rel)
+		b = AppendUvarint(b, uint64(t.Arity))
+		b = AppendUvarint(b, uint64(t.dataLen()))
 		if err := put(b); err != nil {
 			return err
 		}
@@ -217,7 +251,7 @@ func EncodeDB(w io.Writer, db *DB) error {
 		// first large Apply (the partitioning is a cache, not canon).
 		for _, seg := range t.segments() {
 			for _, v := range seg {
-				if err := put(appendUvarint(scratch[:0], uint64(uint32(v)))); err != nil {
+				if err := put(AppendUvarint(scratch[:0], uint64(uint32(v)))); err != nil {
 					return err
 				}
 			}

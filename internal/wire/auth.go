@@ -1,0 +1,20 @@
+package wire
+
+import "crypto/subtle"
+
+// TokenOK reports whether a presented bearer token matches the configured
+// one, in constant time: the comparison's duration depends only on the
+// presented token's length, never on how many leading bytes happen to
+// match, so an attacker cannot binary-search the token byte by byte. An
+// empty configured token disables auth (every presentation passes) — the
+// daemon refuses to serve the wire protocol publicly without one, but tests
+// and localhost deployments may run open.
+//
+// The same predicate guards both surfaces: the wire handshake's HELLO token
+// and the HTTP endpoints' Authorization: Bearer header.
+func TokenOK(configured, presented string) bool {
+	if configured == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(configured), []byte(presented)) == 1
+}

@@ -1,0 +1,444 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"d2cq/internal/cq"
+	"d2cq/internal/live"
+	"d2cq/internal/storage"
+)
+
+// newTestServer starts a store and a wire server on a loopback listener and
+// returns the store plus the dial address. Everything shuts down with the
+// test.
+func newTestServer(t *testing.T, token string) (*live.Store, string) {
+	t.Helper()
+	s, err := live.NewStore(context.Background(), nil, cq.Database{}, live.Config{
+		MaxBatch:   1 << 20,
+		MaxLatency: time.Hour,
+		Buffer:     8,
+		History:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	srv := NewServer(s, Options{Token: token})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return s, ln.Addr().String()
+}
+
+func dialTest(t *testing.T, addr, token string) *Client {
+	t.Helper()
+	c, err := Dial(addr, ClientOptions{Token: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// pairDelta makes one new solution of "R(x,y), S(y,z)" visible.
+func pairDelta(k int) *storage.Delta {
+	return storage.NewDelta().
+		Add("R", fmt.Sprintf("a%d", k), fmt.Sprintf("b%d", k)).
+		Add("S", fmt.Sprintf("b%d", k), fmt.Sprintf("c%d", k))
+}
+
+// TestHandshakeAuth: a wrong or missing token is refused with
+// ErrCodeUnauthorized before any request frame; the right token (and any
+// token against an open server) is admitted.
+func TestHandshakeAuth(t *testing.T) {
+	_, addr := newTestServer(t, "s3cret")
+
+	if _, err := Dial(addr, ClientOptions{Token: "wrong"}); err == nil {
+		t.Fatal("bad token admitted")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != ErrCodeUnauthorized {
+			t.Fatalf("bad token error = %v, want ErrCodeUnauthorized", err)
+		}
+	}
+	if _, err := Dial(addr, ClientOptions{}); err == nil {
+		t.Fatal("missing token admitted")
+	}
+	c := dialTest(t, addr, "s3cret")
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("authenticated stats: %v", err)
+	}
+
+	_, open := newTestServer(t, "")
+	c2, err := Dial(open, ClientOptions{Token: "anything"})
+	if err != nil {
+		t.Fatalf("open server refused: %v", err)
+	}
+	c2.Close()
+}
+
+// TestRoundtrip drives the full unary surface: register, sync submit, point
+// read, stats — typed responses end to end.
+func TestRoundtrip(t *testing.T) {
+	_, addr := newTestServer(t, "tok")
+	c := dialTest(t, addr, "tok")
+	ctx := context.Background()
+
+	info, err := c.Register(ctx, "paths", "R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(info.Vars, []string{"x", "y", "z"}) || info.Count != 0 {
+		t.Fatalf("register info = %+v", info)
+	}
+
+	// Registering the same name again with a different query is a typed
+	// conflict.
+	if _, err := c.Register(ctx, "paths", "T(a)"); err == nil {
+		t.Fatal("conflicting register accepted")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != ErrCodeConflict {
+			t.Fatalf("conflict error = %v, want ErrCodeConflict", err)
+		}
+	}
+
+	version, pending, err := c.Submit(ctx, pairDelta(1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 || pending != 0 {
+		t.Fatalf("sync submit ack = version %d pending %d, want 2, 0", version, pending)
+	}
+
+	rows, readVersion, err := c.Solutions(ctx, "paths", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readVersion != 2 || len(rows) != 1 || !reflect.DeepEqual(rows[0], []string{"a1", "b1", "c1"}) {
+		t.Fatalf("solutions = %v @%d", rows, readVersion)
+	}
+
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Wire  ServerStats    `json:"wire"`
+		Store map[string]any `json:"store"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("stats document: %v", err)
+	}
+	if doc.Wire.Connections == 0 || doc.Wire.FramesIn == 0 {
+		t.Fatalf("wire stats empty: %+v", doc.Wire)
+	}
+	if doc.Store == nil {
+		t.Fatal("stats document missing store section")
+	}
+
+	// Unknown query on the watch path is a typed error too.
+	if _, err := c.Watch(ctx, "nope", WatchOptions{}); err == nil {
+		t.Fatal("watch on unknown query accepted")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != ErrCodeUnknownQuery {
+			t.Fatalf("unknown-query error = %v, want ErrCodeUnknownQuery", err)
+		}
+	}
+}
+
+// TestWatchNotifies: a watch stream delivers each flush's diff in order,
+// with the binary codec round-tripping the full notification.
+func TestWatchNotifies(t *testing.T) {
+	_, addr := newTestServer(t, "")
+	c := dialTest(t, addr, "")
+	ctx := context.Background()
+
+	if _, err := c.Register(ctx, "paths", "R(x,y), S(y,z)"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(ctx, "paths", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Snapshot.Resumed || w.Snapshot.Version != 1 || w.Snapshot.Count != 0 {
+		t.Fatalf("snapshot = %+v", w.Snapshot)
+	}
+
+	for k := 1; k <= 3; k++ {
+		if _, _, err := c.Submit(ctx, pairDelta(k), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 1; k <= 3; k++ {
+		nctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		n, ok := w.Next(nctx)
+		cancel()
+		if !ok {
+			t.Fatalf("stream ended before notification %d: %v", k, w.Err())
+		}
+		want := live.Notification{
+			Query:     "paths",
+			Version:   uint64(k + 1),
+			Count:     int64(k),
+			PrevCount: int64(k - 1),
+			Added:     [][]string{{fmt.Sprintf("a%d", k), fmt.Sprintf("b%d", k), fmt.Sprintf("c%d", k)}},
+		}
+		if !reflect.DeepEqual(n, want) {
+			t.Fatalf("notification %d = %+v, want %+v", k, n, want)
+		}
+	}
+
+	if err := w.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	nctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if n, ok := w.Next(nctx); ok {
+		t.Fatalf("notification after cancel: %+v", n)
+	}
+	if w.Err() != nil {
+		t.Fatalf("cancelled stream err = %v, want nil", w.Err())
+	}
+}
+
+// TestCreditParkResume: a manual watch with zero credit parks server-side —
+// visible in the store's backpressure stats — and each Grant releases
+// exactly that many notifications.
+func TestCreditParkResume(t *testing.T) {
+	s, addr := newTestServer(t, "")
+	c := dialTest(t, addr, "")
+	ctx := context.Background()
+
+	if _, err := c.Register(ctx, "paths", "R(x,y), S(y,z)"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(ctx, "paths", WatchOptions{Window: -1, Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 1; k <= 2; k++ {
+		if _, _, err := c.Submit(ctx, pairDelta(k), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Nothing may arrive without credit.
+	nctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	if n, ok := w.Next(nctx); ok {
+		cancel()
+		t.Fatalf("delivery with zero credit: %+v", n)
+	}
+	cancel()
+
+	// The park is explicit protocol state, surfaced by the store's stats.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if len(st.Backpressure) == 1 && st.Backpressure[0].ParkedStreams == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked stream not visible in stats: %+v", st.Backpressure)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// One credit, one notification; the resume is counted.
+	if err := w.Grant(1); err != nil {
+		t.Fatal(err)
+	}
+	nctx, cancel = context.WithTimeout(ctx, 5*time.Second)
+	n, ok := w.Next(nctx)
+	cancel()
+	if !ok || n.Version != 2 {
+		t.Fatalf("first granted notification = %+v ok=%v, want version 2", n, ok)
+	}
+	nctx, cancel = context.WithTimeout(ctx, 200*time.Millisecond)
+	if n, ok := w.Next(nctx); ok {
+		cancel()
+		t.Fatalf("second delivery on one credit: %+v", n)
+	}
+	cancel()
+
+	if err := w.Grant(1); err != nil {
+		t.Fatal(err)
+	}
+	nctx, cancel = context.WithTimeout(ctx, 5*time.Second)
+	n, ok = w.Next(nctx)
+	cancel()
+	if !ok || n.Version != 3 {
+		t.Fatalf("second granted notification = %+v ok=%v, want version 3", n, ok)
+	}
+
+	st := s.Stats()
+	if len(st.Backpressure) != 1 || st.Backpressure[0].Resumes == 0 {
+		t.Fatalf("resume not counted: %+v", st.Backpressure)
+	}
+}
+
+// TestWatchFromResume: a cursor carried in the WATCH frame replays the
+// missed notifications; a cursor past the ring's tail is answered with a
+// lagged snapshot instead of silence.
+func TestWatchFromResume(t *testing.T) {
+	_, addr := newTestServer(t, "")
+	c := dialTest(t, addr, "")
+	ctx := context.Background()
+
+	if _, err := c.Register(ctx, "paths", "R(x,y), S(y,z)"); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 4; k++ {
+		if _, _, err := c.Submit(ctx, pairDelta(k), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	from := uint64(2)
+	w, err := c.Watch(ctx, "paths", WatchOptions{From: &from})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Snapshot.Resumed || w.Snapshot.Lagged {
+		t.Fatalf("resume snapshot = %+v, want resumed", w.Snapshot)
+	}
+	for _, wantVersion := range []uint64{3, 4, 5} {
+		nctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		n, ok := w.Next(nctx)
+		cancel()
+		if !ok || n.Version != wantVersion {
+			t.Fatalf("resumed notification = %+v ok=%v, want version %d", n, ok, wantVersion)
+		}
+	}
+	w.Cancel()
+
+	// A cursor older than the ring holds is honestly refused: fresh stream,
+	// Lagged snapshot, resynchronise via Solutions.
+	ancient := uint64(0)
+	for k := 5; k <= 20; k++ { // push version 2 out of the 8-deep ring
+		if _, _, err := c.Submit(ctx, pairDelta(k), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2, err := c.Watch(ctx, "paths", WatchOptions{From: &ancient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Snapshot.Resumed || !w2.Snapshot.Lagged {
+		t.Fatalf("out-of-window snapshot = %+v, want lagged", w2.Snapshot)
+	}
+	w2.Cancel()
+}
+
+// TestConcurrentStreams: many watches and submitters share one connection;
+// every stream sees every version exactly once, in order.
+func TestConcurrentStreams(t *testing.T) {
+	_, addr := newTestServer(t, "")
+	c := dialTest(t, addr, "")
+	ctx := context.Background()
+
+	if _, err := c.Register(ctx, "paths", "R(x,y), S(y,z)"); err != nil {
+		t.Fatal(err)
+	}
+	const watchers, flushes = 4, 10
+	ws := make([]*Watch, watchers)
+	for i := range ws {
+		w, err := c.Watch(ctx, "paths", WatchOptions{Window: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	go func() {
+		for k := 1; k <= flushes; k++ {
+			if _, _, err := c.Submit(ctx, pairDelta(k), true); err != nil {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, watchers)
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *Watch) {
+			defer wg.Done()
+			for k := 1; k <= flushes; k++ {
+				nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				n, ok := w.Next(nctx)
+				cancel()
+				if !ok {
+					errs <- fmt.Errorf("watcher %d: stream ended at %d: %v", i, k, w.Err())
+					return
+				}
+				if n.Version != uint64(k+1) {
+					errs <- fmt.Errorf("watcher %d: version %d, want %d", i, n.Version, k+1)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStoreCloseEndsStreams: closing the store drains watch streams with a
+// clean WATCH_END, not a connection error.
+func TestStoreCloseEndsStreams(t *testing.T) {
+	s, addr := newTestServer(t, "")
+	c := dialTest(t, addr, "")
+	ctx := context.Background()
+
+	if _, err := c.Register(ctx, "paths", "R(x,y), S(y,z)"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(ctx, "paths", WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if n, ok := w.Next(nctx); ok {
+		t.Fatalf("notification after store close: %+v", n)
+	}
+	if w.Err() != nil {
+		t.Fatalf("stream after store close err = %v, want clean end", w.Err())
+	}
+}
+
+// TestFrameRoundTrip pins the frame encoding: append then read restores the
+// frame, and a flipped byte is a CRC error.
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{Type: FrameNotify, Stream: 42, Payload: []byte("hello frames")}
+	b := AppendFrame(nil, f)
+	got, err := ReadFrame(bufioReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Stream != f.Stream || string(got.Payload) != string(f.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", got, f)
+	}
+
+	b[len(b)-1] ^= 0x01
+	if _, err := ReadFrame(bufioReader(b)); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}

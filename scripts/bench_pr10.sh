@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Records BENCH_pr10.json: SSE/HTTP vs the binary wire protocol on the same
+# open-loop schedule. Each transport gets a fresh durable d2cqd (a fresh
+# daemon per leg keeps the second leg's tuples from deduplicating against
+# the first's under set semantics, which would starve the notify path) and
+# one d2cqload run with identical queries/watchers/rate/duration and a
+# -read-ratio mix of point-in-time reads. The report keeps each leg's
+# submit-ack / submit-notify / read percentiles plus the server-side flush
+# stats, and fails if the wire submit-ack p99 regresses past the SSE leg's —
+# the framed protocol exists to beat per-request HTTP overhead, so it must.
+set -euo pipefail
+
+PORT="${PORT:-8350}"
+WIRE_PORT="${WIRE_PORT:-8351}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+OUT="${OUT:-BENCH_pr10.json}"
+# 400/s is high enough that per-request HTTP overhead shows up in the ack
+# tail; at low rates the two transports tie and the comparison is noise.
+RATE="${RATE:-400}"
+DURATION="${DURATION:-5s}"
+QUERIES="${QUERIES:-6}"
+WATCHERS="${WATCHERS:-12}"
+READ_RATIO="${READ_RATIO:-0.2}"
+TOKEN="bench-pr10-token"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "bench_pr10: $*" >&2
+  exit 1
+}
+
+go build -o "$WORK/d2cqd" ./cmd/d2cqd
+go build -o "$WORK/d2cqload" ./cmd/d2cqload
+
+# run_leg <leg-name> <d2cqload -proto value> <d2cqload -addr value>
+run_leg() {
+  local leg="$1" proto="$2" addr="$3"
+
+  "$WORK/d2cqd" -addr "127.0.0.1:$PORT" -listen-wire "127.0.0.1:$WIRE_PORT" \
+    -auth-token "$TOKEN" -data-dir "$WORK/data-$leg" -fsync 5ms &
+  PID=$!
+  for _ in $(seq 1 100); do
+    curl -fsS -H "Authorization: Bearer $TOKEN" "$BASE/stats" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fsS -H "Authorization: Bearer $TOKEN" "$BASE/stats" >/dev/null ||
+    fail "daemon ($leg) did not come up"
+
+  "$WORK/d2cqload" -proto "$proto" -addr "$addr" -token "$TOKEN" \
+    -queries "$QUERIES" -watchers "$WATCHERS" -read-ratio "$READ_RATIO" \
+    -rate "$RATE" -duration "$DURATION" -out "$WORK/$leg.json" >/dev/null
+
+  kill "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
+  echo "bench_pr10: $leg done"
+}
+
+run_leg sse http "127.0.0.1:$PORT"
+run_leg wire wire "127.0.0.1:$WIRE_PORT"
+
+RATE="$RATE" DURATION="$DURATION" QUERIES="$QUERIES" WATCHERS="$WATCHERS" \
+  READ_RATIO="$READ_RATIO" python3 - "$WORK" "$OUT" <<'EOF'
+import json, os, sys
+
+work, out = sys.argv[1], sys.argv[2]
+
+def leg(name):
+    rep = json.load(open("%s/%s.json" % (work, name)))
+    store = rep.get("store", {})
+    # The wire STATS doc nests the live-store section beside the wire
+    # server's own counters; the HTTP /stats doc is the store section alone.
+    wire_stats = None
+    if "wire" in store:
+        wire_stats, store = store["wire"], store.get("store", {})
+    return {
+        "submits": rep["submits"],
+        "submit_ack": rep["submit_ack"],
+        "submit_notify": rep["submit_notify"],
+        "reads": rep.get("reads"),
+        "read": rep.get("read"),
+        "flushes": store.get("flushes"),
+        "notifications": store.get("notifications"),
+        "backpressure": store.get("backpressure"),
+        "wire": wire_stats,
+    }
+
+sse, wire = leg("sse"), leg("wire")
+report = {
+    "config": {
+        "rate": int(os.environ["RATE"]),
+        "duration": os.environ["DURATION"],
+        "queries": int(os.environ["QUERIES"]),
+        "watchers": int(os.environ["WATCHERS"]),
+        "read_ratio": float(os.environ["READ_RATIO"]),
+    },
+    "sse": sse,
+    "wire": wire,
+}
+json.dump(report, open(out, "w"), indent=2)
+for name, doc in (("sse", sse), ("wire", wire)):
+    print("bench_pr10 [%s]: submit-ack p50 %.2fms p99 %.2fms, notify p50 %.2fms p99 %.2fms" % (
+        name, doc["submit_ack"]["p50_ms"], doc["submit_ack"]["p99_ms"],
+        doc["submit_notify"]["p50_ms"], doc["submit_notify"]["p99_ms"]))
+if wire["submit_ack"]["p99_ms"] > sse["submit_ack"]["p99_ms"]:
+    sys.exit("bench_pr10: wire submit-ack p99 %.2fms exceeds SSE %.2fms" % (
+        wire["submit_ack"]["p99_ms"], sse["submit_ack"]["p99_ms"]))
+print("bench_pr10: wrote", out)
+EOF

@@ -8,12 +8,15 @@
 # printed, and the run fails only when p99 blows past a generous multiple of
 # the baseline — CI machines are noisy, so the gate catches
 # order-of-magnitude regressions (a submit waiting behind flush engine
-# work), not jitter. Three legs run: the single store, the -shards 4 router,
-# and a mass-fan-out leg (hundreds of SSE watchers pinned to one hot query,
-# exercising the shared broadcast ring), all held to the same gate.
+# work), not jitter. Four legs run: the single store, the -shards 4 router,
+# a mass-fan-out leg (hundreds of SSE watchers pinned to one hot query,
+# exercising the shared broadcast ring), and a wire-protocol leg (the same
+# schedule over -listen-wire with token auth, credit-gated watch streams
+# instead of SSE), all held to the same gate.
 set -euo pipefail
 
 PORT="${PORT:-8346}"
+WIRE_PORT="${WIRE_PORT:-8347}"
 BASE="http://127.0.0.1:$PORT"
 WORK="$(mktemp -d)"
 OUT="${OUT:-load_ci.json}"
@@ -38,20 +41,31 @@ go build -o "$WORK/d2cqload" ./cmd/d2cqload
 # run_leg <leg-name> <report-file> <extra d2cqd flags...>
 # LOAD_FLAGS (env, optional) appends d2cqload flags for the leg; the flag
 # package's last-one-wins parsing lets it override the defaults below.
+# WIRE_LEG=1 (env) serves and drives the wire protocol with token auth
+# instead of HTTP/JSON + SSE; the report shape and gate are identical.
 run_leg() {
   local leg="$1" out="$2"
   shift 2
 
+  local token="" load_args=(-addr "127.0.0.1:$PORT" -proto http)
+  local curl_auth=()
+  if [ "${WIRE_LEG:-}" = "1" ]; then
+    token="load-smoke-token"
+    set -- -listen-wire "127.0.0.1:$WIRE_PORT" -auth-token "$token" "$@"
+    load_args=(-addr "127.0.0.1:$WIRE_PORT" -proto wire -token "$token")
+    curl_auth=(-H "Authorization: Bearer $token")
+  fi
+
   "$WORK/d2cqd" -addr "127.0.0.1:$PORT" -data-dir "$WORK/data-$leg" -fsync 5ms "$@" &
   PID=$!
   for _ in $(seq 1 100); do
-    curl -fsS "$BASE/stats" >/dev/null 2>&1 && break
+    curl -fsS "${curl_auth[@]}" "$BASE/stats" >/dev/null 2>&1 && break
     sleep 0.1
   done
-  curl -fsS "$BASE/stats" >/dev/null || fail "daemon ($leg) did not come up on $BASE"
+  curl -fsS "${curl_auth[@]}" "$BASE/stats" >/dev/null || fail "daemon ($leg) did not come up on $BASE"
 
   # shellcheck disable=SC2086
-  "$WORK/d2cqload" -addr "127.0.0.1:$PORT" -queries 6 -watchers 12 \
+  "$WORK/d2cqload" "${load_args[@]}" -queries 6 -watchers 12 \
     -rate "$RATE" -duration "$DURATION" -out "$out" ${LOAD_FLAGS:-}
 
   kill "$PID"
@@ -90,5 +104,6 @@ EOF
 run_leg single "$OUT"
 run_leg sharded "${OUT%.json}_shards4.json" -shards 4
 LOAD_FLAGS="-watchers 500 -hot-query" run_leg fanout "${OUT%.json}_fanout.json"
+WIRE_LEG=1 run_leg wire "${OUT%.json}_wire.json"
 
 echo "load_smoke: OK"

@@ -7,15 +7,19 @@
 # write-ahead log and (b) an SSE watcher reconnecting with Last-Event-ID
 # resumes mid-stream — the missed change events arrive with their version
 # ids and no snapshot event — while an out-of-window cursor falls back to a
-# lagged snapshot. The scenario runs twice: against the single store and
-# against the -shards 4 router (per-shard WALs, routes re-derived on
+# lagged snapshot. A wire-protocol client (d2cqload -probe-watch) then
+# reconnects with the same cursor over -listen-wire and must see the same
+# resume/lagged semantics. The scenario runs twice: against the single store
+# and against the -shards 4 router (per-shard WALs, routes re-derived on
 # recovery).
 set -euo pipefail
 
 PORT="${PORT:-8344}"
+WIRE_PORT="${WIRE_PORT:-8345}"
 BASE="http://127.0.0.1:$PORT"
 WORK="$(mktemp -d)"
 BIN="$WORK/d2cqd"
+LOADBIN="$WORK/d2cqload"
 PID=""
 
 cleanup() {
@@ -63,6 +67,7 @@ else:
 }
 
 go build -o "$BIN" ./cmd/d2cqd
+go build -o "$LOADBIN" ./cmd/d2cqload
 
 # run_scenario <leg-name> <extra d2cqd flags...>
 run_scenario() {
@@ -70,7 +75,8 @@ run_scenario() {
   shift
   local data_dir="$WORK/data-$leg"
 
-  "$BIN" -addr "127.0.0.1:$PORT" -data-dir "$data_dir" -fsync always -max-latency 5ms "$@" &
+  "$BIN" -addr "127.0.0.1:$PORT" -listen-wire "127.0.0.1:$WIRE_PORT" \
+    -data-dir "$data_dir" -fsync always -max-latency 5ms "$@" &
   PID=$!
   wait_up
 
@@ -92,7 +98,8 @@ run_scenario() {
   wait "$PID" 2>/dev/null || true
   PID=""
 
-  "$BIN" -addr "127.0.0.1:$PORT" -data-dir "$data_dir" -fsync always -max-latency 5ms "$@" &
+  "$BIN" -addr "127.0.0.1:$PORT" -listen-wire "127.0.0.1:$WIRE_PORT" \
+    -data-dir "$data_dir" -fsync always -max-latency 5ms "$@" &
   PID=$!
   wait_up
 
@@ -116,6 +123,23 @@ run_scenario() {
   lagged="$(timeout 3 curl -fsS -N -H 'Last-Event-ID: 99' "$BASE/watch?query=paths" || true)"
   echo "$lagged" | grep -q '^event: snapshot$' || fail "$leg: out-of-window cursor got no snapshot: $lagged"
   echo "$lagged" | grep -q '"lagged":true' || fail "$leg: out-of-window snapshot not flagged lagged: $lagged"
+
+  # The same two cursors over the binary wire protocol: the native client's
+  # WATCH from=2 must resume with changes 3 and 4 (kill -9 + reconnect +
+  # cursor resume over -listen-wire), and an out-of-window cursor must get a
+  # lagged snapshot.
+  wire_resumed="$("$LOADBIN" -proto wire -addr "127.0.0.1:$WIRE_PORT" \
+    -probe-watch paths -probe-from 2 -probe-count 2 -probe-timeout 5s)"
+  echo "$wire_resumed" | grep -q 'snapshot resumed=true lagged=false' \
+    || fail "$leg: wire cursor did not resume: $wire_resumed"
+  echo "$wire_resumed" | grep -q 'change version=3' \
+    || fail "$leg: wire resume missing change 3: $wire_resumed"
+  echo "$wire_resumed" | grep -q 'change version=4' \
+    || fail "$leg: wire resume missing change 4: $wire_resumed"
+  wire_lagged="$("$LOADBIN" -proto wire -addr "127.0.0.1:$WIRE_PORT" \
+    -probe-watch paths -probe-from 99 -probe-count 0 -probe-timeout 5s)"
+  echo "$wire_lagged" | grep -q 'snapshot resumed=false lagged=true' \
+    || fail "$leg: wire out-of-window cursor not flagged lagged: $wire_lagged"
 
   kill "$PID"
   wait "$PID" 2>/dev/null || true
